@@ -1,0 +1,53 @@
+"""Experiment E14 (ablation): all engines on transitive-closure workloads.
+
+A broad comparison of every registered strategy on the regular (Theorem 3)
+query class: reachability in chains, trees, random DAGs and cyclic graphs.
+This is the ablation for the claim that translating recursion into graph
+traversal is competitive with, and usually better than, the generic bottom-up
+and top-down strategies even outside the same-generation benchmark.
+"""
+
+import pytest
+
+from helpers import comparison_row, engine_answers, measure_work
+from repro.workloads import binary_tree, chain, cycle, random_dag, random_graph
+
+WORKLOADS = {
+    "chain-80": chain(80),
+    "tree-depth6": binary_tree(6),
+    "dag-100": random_dag(100, seed=5),
+    "cycle-40": cycle(40),
+    "random-graph-60": random_graph(60, 150, seed=6),
+}
+ENGINES = ["graph", "seminaive", "magic", "counting", "henschen-naqvi", "topdown"]
+
+
+@pytest.fixture(scope="module")
+def work_table():
+    table = {}
+    for name, workload in WORKLOADS.items():
+        table[name] = comparison_row(ENGINES, workload)
+    print("\nE14: total work per engine and workload")
+    for name, row in table.items():
+        print(f"  {name:<16} " + "  ".join(f"{engine}={row[engine]}" for engine in ENGINES))
+    return table
+
+
+def test_graph_traversal_beats_bottom_up_on_bound_queries(work_table):
+    for name, row in work_table.items():
+        assert row["graph"] <= row["seminaive"], name
+
+
+def test_all_engines_agree(work_table):
+    # measure_work already cross-checks every answer against the least model;
+    # reaching this point means every engine agreed on every workload.
+    assert set(work_table) == set(WORKLOADS)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_bench_engine_on_workload(benchmark, engine, workload_name, work_table):
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["total_work"] = work_table[workload_name][engine]
+    benchmark(engine_answers, engine, WORKLOADS[workload_name])

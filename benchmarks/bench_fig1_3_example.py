@@ -1,0 +1,99 @@
+"""Experiment E8: the worked example of Figures 1-3.
+
+The expression e_p = (b3 . b4* U b2 . p) . b1 of Figure 1 is evaluated with
+the demand-driven traversal and with the fully preconstructed Hunt et al.
+graph, on databases scaled up from the ten-fact instance of Figure 3.  The
+demand-driven algorithm touches only the portion reachable from the query
+constant; the preconstructed graph materialises everything.
+"""
+
+import random
+
+import pytest
+
+from repro.core.traversal import evaluate_from_database
+from repro.datalog.database import Database
+from repro.instrumentation import Counters
+from repro.relalg.equations import EquationSystem
+from repro.relalg.expressions import compose, pred, star, union
+from repro.relalg.hunt import query_via_graph
+from repro.relalg.relation import BinaryRelation
+
+
+def figure1_system():
+    e_p = compose(
+        union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p"))),
+        pred("b1"),
+    )
+    return EquationSystem({"p": e_p}, base_predicates={"b1", "b2", "b3", "b4"})
+
+
+def scaled_database(copies: int, seed: int = 0) -> Database:
+    """`copies` disjoint copies of the Figure 3-style instance, plus one reachable one."""
+    rng = random.Random(seed)
+    facts = {"b1": [], "b2": [], "b3": [], "b4": []}
+    for c in range(copies):
+        tag = f"_{c}"
+        facts["b2"].append((f"u{tag}", f"u1{tag}"))
+        facts["b3"].append((f"u1{tag}", f"u4{tag}"))
+        facts["b3"].append((f"u{tag}", f"u5{tag}"))
+        facts["b4"].append((f"u5{tag}", f"u6{tag}"))
+        facts["b1"].append((f"u4{tag}", f"u5{tag}"))
+        facts["b1"].append((f"u5{tag}", f"v{tag}"))
+        facts["b1"].append((f"u6{tag}", f"w{tag}"))
+    return Database.from_dict(facts)
+
+
+def regular_environment(database: Database):
+    env = {}
+    for name in ("b1", "b2", "b3", "b4"):
+        env[name] = BinaryRelation.from_rows(database.rows(name))
+    # Close the recursion off for the Hunt baseline by treating p's base case
+    # only (the baseline handles expressions without derived predicates); the
+    # comparison below therefore uses the first-level answers of both methods.
+    return env
+
+
+def test_demand_driven_touches_one_copy_only():
+    database = scaled_database(30)
+    counters = Counters()
+    database.reset_instrumentation(counters)
+    result = evaluate_from_database(figure1_system(), database, "p", "u_0")
+    assert result.answers == {"v_0", "w_0"}
+    assert counters.distinct_facts <= 10          # one copy, not thirty
+
+
+def test_answers_match_equation_solution():
+    database = scaled_database(3)
+    system = figure1_system()
+    solution = system.solve_database(database)["p"]
+    for copy in range(3):
+        start = f"u_{copy}"
+        result = evaluate_from_database(system, database.copy(), "p", start)
+        assert result.answers == {y for (x, y) in solution if x == start}
+
+
+def run_traversal(copies):
+    database = scaled_database(copies)
+    return evaluate_from_database(figure1_system(), database, "p", "u_0").answers
+
+
+def run_hunt_preconstructed(copies):
+    database = scaled_database(copies)
+    env = regular_environment(database)
+    # Regular sub-expression only (no derived predicate): b3 . b4* . b1.
+    expression = compose(pred("b3"), star(pred("b4")), pred("b1"))
+    return query_via_graph(expression, env, "u_0")
+
+
+def test_bench_demand_driven_traversal(benchmark):
+    benchmark.extra_info["copies"] = 50
+    answers = benchmark(run_traversal, 50)
+    assert answers == {"v_0", "w_0"}
+
+
+def test_bench_hunt_preconstruction(benchmark):
+    """The impractical baseline: the whole graph is built for every query."""
+    benchmark.extra_info["copies"] = 50
+    answers = benchmark(run_hunt_preconstructed, 50)
+    assert "w_0" in answers

@@ -1,0 +1,47 @@
+"""Experiment E2: Figure 7 sample (a) -- linear work, two iterations.
+
+The paper: "In the case of sample (a), our algorithm performs two iterations
+... hence the time bound O(n)."  This module sweeps n, fits the growth
+exponent of the node count, checks the two-iteration claim, and times the
+evaluation at the largest size.
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, measure_work, work_sweep
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import sample_a
+
+SWEEP = [20, 40, 80]
+
+
+@pytest.fixture(scope="module")
+def node_exponent():
+    points = work_sweep("graph", sample_a, SWEEP, metric="nodes_generated")
+    exponent = fitted_exponent(points)
+    print(f"\nE2: sample (a) node counts {points}, fitted exponent {exponent:.2f}")
+    return exponent
+
+
+def test_two_iterations_regardless_of_n():
+    for n in SWEEP:
+        program, database, query = sample_a(n)
+        result = run_engine("graph", program, query, database.copy(), Counters())
+        assert result.iterations == 2, n
+
+
+def test_linear_node_growth(node_exponent):
+    assert node_exponent < 1.3
+
+
+def test_facts_consulted_linear():
+    points = work_sweep("graph", sample_a, SWEEP, metric="fact_retrievals")
+    assert fitted_exponent(points) < 1.3
+
+
+@pytest.mark.parametrize("n", [80])
+def test_bench_sample_a(benchmark, n, node_exponent):
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["node_exponent"] = round(node_exponent, 2)
+    benchmark(engine_answers, "graph", sample_a(n))

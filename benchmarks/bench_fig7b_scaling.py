@@ -1,0 +1,46 @@
+"""Experiment E3: Figure 7 sample (b) -- quadratic work, n iterations.
+
+The paper: "In the case of sample (b), our algorithm performs n iterations.
+Each term ... appears as the second component in i-1 distinct nodes ...
+Thus, the total number of nodes in the graph is O(n^2)."
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, work_sweep
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import sample_b
+
+SWEEP = [10, 20, 40]
+
+
+@pytest.fixture(scope="module")
+def node_exponent():
+    points = work_sweep("graph", sample_b, SWEEP, metric="nodes_generated")
+    exponent = fitted_exponent(points)
+    print(f"\nE3: sample (b) node counts {points}, fitted exponent {exponent:.2f}")
+    return exponent
+
+
+def test_n_iterations():
+    for n in SWEEP:
+        program, database, query = sample_b(n)
+        result = run_engine("graph", program, query, database.copy(), Counters())
+        assert result.iterations == n, n
+
+
+def test_quadratic_node_growth(node_exponent):
+    assert node_exponent > 1.6
+
+
+def test_counting_is_also_quadratic_here():
+    points = work_sweep("counting", sample_b, SWEEP)
+    assert fitted_exponent(points) > 1.4
+
+
+@pytest.mark.parametrize("n", [40])
+def test_bench_sample_b(benchmark, n, node_exponent):
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["node_exponent"] = round(node_exponent, 2)
+    benchmark(engine_answers, "graph", sample_b(n))

@@ -1,0 +1,59 @@
+"""Experiment E4: Figure 7 sample (c) -- linear work despite n iterations.
+
+The paper: "In the case of sample (c), our algorithm also performs n
+iterations.  In this case each term a_i will only give rise to a single node
+... and hence the time bound is only O(n).  Also observe that because the
+same path will never be traversed twice, each term b_1,...,b_n is visited
+only once."  Sample (c) is the one that separates the method from
+Henschen-Naqvi, which re-walks the down chain at every iteration.
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, work_sweep
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import sample_c
+
+SWEEP = [20, 40, 80]
+
+
+@pytest.fixture(scope="module")
+def exponents():
+    ours = fitted_exponent(work_sweep("graph", sample_c, SWEEP, metric="nodes_generated"))
+    henschen = fitted_exponent(work_sweep("henschen-naqvi", sample_c, SWEEP))
+    counting = fitted_exponent(work_sweep("counting", sample_c, SWEEP))
+    print(
+        f"\nE4: sample (c) exponents -- ours {ours:.2f}, "
+        f"Henschen-Naqvi {henschen:.2f}, counting {counting:.2f}"
+    )
+    return {"graph": ours, "henschen-naqvi": henschen, "counting": counting}
+
+
+def test_n_iterations():
+    for n in SWEEP:
+        program, database, query = sample_c(n)
+        result = run_engine("graph", program, query, database.copy(), Counters())
+        assert result.iterations == n, n
+
+
+def test_each_value_gives_one_node():
+    n = 50
+    program, database, query = sample_c(n)
+    counters = Counters()
+    run_engine("graph", program, query, database.copy(), counters)
+    # Linear in n: a small constant number of automaton states per value.
+    assert counters.nodes_generated <= 12 * n
+
+
+def test_ours_linear_henschen_naqvi_quadratic(exponents):
+    assert exponents["graph"] < 1.3
+    assert exponents["henschen-naqvi"] > 1.6
+    assert abs(exponents["graph"] - exponents["counting"]) < 0.5
+
+
+@pytest.mark.parametrize("engine", ["graph", "henschen-naqvi", "counting"])
+def test_bench_sample_c(benchmark, engine, exponents):
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["work_exponent"] = round(exponents[engine], 2)
+    benchmark(engine_answers, engine, sample_c(60))

@@ -1,0 +1,85 @@
+"""Experiment E5: the cyclic sample of Figure 8.
+
+With an up-cycle of length m and a down-cycle of length n (m, n coprime) the
+tuple (a1, b1) belongs to up^{mn} . flat . down^{mn} and to no smaller power,
+so the full answer needs m*n iterations of the main loop, and the basic
+algorithm never terminates on its own.  The benchmark checks the iteration
+count against the m*n prediction and times the bounded evaluation.
+"""
+
+import pytest
+
+from helpers import fitted_exponent
+from repro.core.cyclic import iteration_bound, query_with_cycle_bound
+from repro.core.lemma1 import transform
+from repro.core.traversal import evaluate_from_database
+from repro.datalog.errors import NonTerminationError
+from repro.datalog.semantics import answer_query
+from repro.instrumentation import Counters
+from repro.workloads import sample_cyclic
+
+COPRIME_PAIRS = [(2, 3), (3, 4), (4, 5), (3, 7)]
+
+
+@pytest.fixture(scope="module")
+def iteration_counts():
+    rows = []
+    for m, n in COPRIME_PAIRS:
+        program, database, query = sample_cyclic(m, n)
+        system = transform(program).system
+        result = query_with_cycle_bound(system, database, "sg", "a1")
+        truth = {v[0] for v in answer_query(program, query, database)}
+        rows.append((m, n, result.iterations, result.answers == truth))
+    print("\nE5: (m, n, iterations used, correct):", rows)
+    return rows
+
+
+def test_bound_equals_product_of_cycle_lengths():
+    for m, n in COPRIME_PAIRS:
+        program, database, _ = sample_cyclic(m, n)
+        system = transform(program).system
+        assert iteration_bound(system, database, "sg", "a1") == m * n
+
+
+def test_full_answer_requires_about_mn_iterations(iteration_counts):
+    for m, n, iterations, correct in iteration_counts:
+        assert correct
+        assert iterations >= m * n - 1
+        assert iterations <= m * n
+
+
+def test_unbounded_algorithm_does_not_terminate_by_itself():
+    program, database, _ = sample_cyclic(3, 4)
+    system = transform(program).system
+    with pytest.raises(NonTerminationError):
+        evaluate_from_database(system, database, "sg", "a1", max_iterations=3 * 4 * 3)
+
+
+def test_periodic_iterations_add_nothing_new(iteration_counts):
+    """The paper: the algorithm periodically performs m iterations adding nothing."""
+    program, database, _ = sample_cyclic(3, 4)
+    system = transform(program).system
+    sizes = []
+    for limit in range(1, 13):
+        result = evaluate_from_database(
+            system, database.copy(), "sg", "a1",
+            max_iterations=limit, on_iteration_limit="return",
+        )
+        sizes.append(len(result.answers))
+    assert sizes[-1] == 4
+    # growth is not monotone per step: some iterations add nothing.
+    increments = [b - a for a, b in zip(sizes, sizes[1:])]
+    assert 0 in increments
+
+
+def run_bounded(m, n):
+    program, database, query = sample_cyclic(m, n)
+    system = transform(program).system
+    return query_with_cycle_bound(system, database, "sg", "a1").answers
+
+
+@pytest.mark.parametrize("m,n", [(4, 5)])
+def test_bench_cyclic_sample(benchmark, m, n):
+    benchmark.extra_info["cycles"] = (m, n)
+    answers = benchmark(run_bounded, m, n)
+    assert len(answers) == n

@@ -1,0 +1,53 @@
+"""Experiment E10: the Section 4 flight-connections example.
+
+The n-ary query cnx(s0, dt0, D, AT) is answered through the binary-chain
+transformation with demand-driven auxiliary relations.  The benchmark sweeps
+the corridor length and the amount of unreachable "noise" flights: the
+binding-propagating pipeline must be insensitive to the noise, whereas the
+bottom-up baselines pay for every flight in the database.
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, measure_work
+from repro.workloads import corridor, hub_and_spoke
+
+NOISE_SIZES = [0, 100, 200]
+
+
+@pytest.fixture(scope="module")
+def noise_sensitivity():
+    ours = [measure_work("graph", corridor(8, extra_noise=k)).distinct_facts for k in NOISE_SIZES]
+    naive = [measure_work("naive", corridor(8, extra_noise=k)).distinct_facts for k in NOISE_SIZES]
+    print(f"\nE10: distinct facts consulted, corridor(8) with noise {NOISE_SIZES}")
+    print(f"     chain-transform traversal: {ours}")
+    print(f"     naive bottom-up          : {naive}")
+    return ours, naive
+
+
+def test_chain_transform_ignores_unreachable_flights(noise_sensitivity):
+    ours, naive = noise_sensitivity
+    assert max(ours) - min(ours) <= 12        # essentially flat
+    assert naive[-1] > naive[0] + 150          # naive reads all the noise
+
+
+def test_work_scales_with_corridor_length():
+    points = []
+    for length in (5, 10, 20):
+        counters = measure_work("graph", corridor(length))
+        points.append((length, counters.total_work()))
+    exponent = fitted_exponent(points)
+    print(f"E10: corridor work {points}, exponent {exponent:.2f}")
+    assert exponent < 2.6
+
+
+@pytest.mark.parametrize("engine", ["graph", "magic", "seminaive", "topdown"])
+def test_bench_corridor(benchmark, engine):
+    workload = corridor(10, extra_noise=100)
+    benchmark.extra_info["engine"] = engine
+    benchmark(engine_answers, engine, workload)
+
+
+def test_bench_hub_and_spoke(benchmark):
+    workload = hub_and_spoke(6, 5, seed=4)
+    benchmark(engine_answers, "graph", workload)

@@ -1,0 +1,91 @@
+"""Experiment E1: the Section 3 comparison table on the Figure 7 samples.
+
+The paper compares Henschen-Naqvi, magic sets, counting, reverse counting and
+its own algorithm on the same-generation query over the three acyclic samples
+of Figure 7, reporting the asymptotic class (n or n^2) of each combination.
+This module regenerates that table: for each sample the work of every
+strategy is measured over a sweep of n, the growth exponent is fitted, and
+the per-strategy exponents are attached to the benchmark report
+(``extra_info``) and printed.
+
+Expected shape (see DESIGN.md for the reconstruction caveat):
+
+* our algorithm and counting grow linearly on samples (a) and (c) and
+  quadratically on (b);
+* Henschen-Naqvi degrades to quadratic on sample (c);
+* the bottom-up methods without binding propagation (naive/seminaive) are
+  never better than the binding-propagating ones.
+"""
+
+import pytest
+
+from helpers import comparison_row, engine_answers, fitted_exponent, work_sweep
+from repro.workloads import sample_a, sample_b, sample_c
+
+ENGINES = ["henschen-naqvi", "magic", "counting", "reverse-counting", "graph"]
+SWEEP = [10, 20, 40]
+SAMPLES = {"a": sample_a, "b": sample_b, "c": sample_c}
+
+
+def table_of_exponents():
+    table = {}
+    for sample_name, generator in SAMPLES.items():
+        row = {}
+        for engine in ENGINES:
+            points = work_sweep(engine, generator, SWEEP)
+            row[engine] = round(fitted_exponent(points), 2)
+        table[sample_name] = row
+    return table
+
+
+@pytest.fixture(scope="module")
+def exponent_table():
+    table = table_of_exponents()
+    print("\nE1: fitted work-growth exponents (1 = linear, 2 = quadratic)")
+    header = "sample  " + "  ".join(f"{engine:>17}" for engine in ENGINES)
+    print(header)
+    for sample_name, row in table.items():
+        print(
+            f"({sample_name})     "
+            + "  ".join(f"{row[engine]:>17.2f}" for engine in ENGINES)
+        )
+    return table
+
+
+class TestTableShape:
+    """Shape assertions on the fitted exponents (loose bounds, not absolutes)."""
+
+    def test_our_algorithm_is_linear_on_samples_a_and_c(self, exponent_table):
+        assert exponent_table["a"]["graph"] < 1.5
+        assert exponent_table["c"]["graph"] < 1.5
+
+    def test_our_algorithm_is_quadratic_on_sample_b(self, exponent_table):
+        assert exponent_table["b"]["graph"] > 1.5
+
+    def test_our_algorithm_matches_counting_everywhere(self, exponent_table):
+        for sample_name in SAMPLES:
+            ours = exponent_table[sample_name]["graph"]
+            counting = exponent_table[sample_name]["counting"]
+            assert abs(ours - counting) < 0.6, sample_name
+
+    def test_henschen_naqvi_is_quadratic_on_sample_c(self, exponent_table):
+        assert exponent_table["c"]["henschen-naqvi"] > 1.5
+        assert exponent_table["c"]["graph"] < exponent_table["c"]["henschen-naqvi"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("sample_name", sorted(SAMPLES))
+def test_bench_same_generation(benchmark, engine, sample_name, exponent_table):
+    """Wall-clock benchmark of every strategy on every sample (n = 40)."""
+    workload = SAMPLES[sample_name](40)
+    benchmark.extra_info["sample"] = sample_name
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["work_exponent"] = exponent_table[sample_name][engine]
+    benchmark(engine_answers, engine, workload)
+
+
+def test_bench_comparison_row_n40(benchmark, exponent_table):
+    """One full row of the table (total work of every engine) at n = 40."""
+    workload = sample_c(40)
+    row = benchmark(comparison_row, ENGINES, workload)
+    benchmark.extra_info["work_counts"] = row

@@ -1,0 +1,62 @@
+"""Experiment E6: Theorem 3 -- the regular case runs in O(n t).
+
+For an equation without derived predicates (here: transitive closure and the
+Figure 1 expression) the algorithm performs a single iteration and its work
+is linear in the size of the reachable portion of the expression graph.  We
+sweep the database size on chains and trees and fit the exponent.
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, work_sweep
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import binary_tree, chain, random_dag
+
+SWEEP = [50, 100, 200]
+
+
+@pytest.fixture(scope="module")
+def chain_exponent():
+    points = work_sweep("graph", chain, SWEEP)
+    exponent = fitted_exponent(points)
+    print(f"\nE6: transitive closure on chains, work {points}, exponent {exponent:.2f}")
+    return exponent
+
+
+def test_single_iteration_on_regular_queries():
+    for workload in (chain(50), binary_tree(5), random_dag(60)):
+        program, database, query = workload
+        result = run_engine("graph", program, query, database.copy(), Counters())
+        assert result.iterations == 1
+
+
+def test_linear_work_on_chains(chain_exponent):
+    assert chain_exponent < 1.3
+
+
+def test_only_reachable_portion_is_consulted():
+    # Two disjoint chains: the query touches only one of them.
+    from repro.datalog.database import Database
+    from repro.workloads import closure_program
+    from repro.datalog.literals import Literal
+
+    edges = [(i, i + 1) for i in range(100)]
+    edges += [(1000 + i, 1001 + i) for i in range(100)]
+    program = closure_program()
+    database = Database.from_dict({"edge": edges})
+    counters = Counters()
+    database.reset_instrumentation(counters)
+    run_engine("graph", program, Literal("tc", [0, "Y"]), database, counters)
+    assert counters.distinct_facts <= 110
+
+
+@pytest.mark.parametrize(
+    "workload_name,workload",
+    [("chain-200", chain(200)), ("tree-depth7", binary_tree(7)), ("dag-150", random_dag(150))],
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_bench_regular_case(benchmark, workload_name, workload, chain_exponent):
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["chain_exponent"] = round(chain_exponent, 2)
+    benchmark(engine_answers, "graph", workload)

@@ -1,0 +1,62 @@
+"""Experiment E7: Theorem 4 -- the linear case runs in O(h n t).
+
+For an equation p = e0 U e1.p.e2 the running time is bounded by the number of
+iterations h (the longest e1-path from the query constant, Theorem 4(2))
+times the expression size.  We check the iteration bound on random acyclic
+genealogies and measure how the work scales with the depth and with the
+database size.
+"""
+
+import pytest
+
+from helpers import engine_answers, fitted_exponent, measure_work
+from repro.core.lemma1 import transform
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.relalg.relation import BinaryRelation
+from repro.workloads import random_genealogy
+
+
+def longest_up_path(database, start):
+    relation = BinaryRelation.from_rows(database.rows("up"))
+    return relation.longest_path_length_from(start)
+
+
+def test_iterations_bounded_by_longest_up_path():
+    for seed in range(5):
+        program, database, query = random_genealogy(60, 6, seed=seed)
+        start = query.args[0].value
+        h = longest_up_path(database, start)
+        result = run_engine("graph", program, query, database.copy(), Counters())
+        assert result.iterations <= h + 1, seed
+
+
+def test_work_scales_with_depth():
+    """Same population, increasing depth: work grows at most linearly with h."""
+    sizes = [3, 6, 12]
+    points = []
+    for depth in sizes:
+        counters = measure_work("graph", random_genealogy(120, depth, seed=1))
+        points.append((depth, counters.total_work()))
+    exponent = fitted_exponent(points)
+    print(f"\nE7: work vs depth {points}, exponent {exponent:.2f}")
+    assert exponent < 1.6
+
+
+def test_work_scales_linearly_with_population():
+    sizes = [60, 120, 240]
+    points = []
+    for people in sizes:
+        counters = measure_work("graph", random_genealogy(people, 6, seed=2))
+        points.append((people, counters.total_work()))
+    exponent = fitted_exponent(points)
+    print(f"E7: work vs population {points}, exponent {exponent:.2f}")
+    assert exponent < 1.7
+
+
+@pytest.mark.parametrize("people,depth", [(200, 8)])
+def test_bench_random_genealogy(benchmark, people, depth):
+    workload = random_genealogy(people, depth, seed=3)
+    benchmark.extra_info["people"] = people
+    benchmark.extra_info["depth"] = depth
+    benchmark(engine_answers, "graph", workload)

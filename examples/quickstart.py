@@ -1,0 +1,52 @@
+"""Quickstart: define a recursive Datalog program, ask a query, inspect the plan.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import evaluate_query, parse_program, parse_query
+
+
+def main() -> None:
+    # A small org chart: `reports_to` is the base relation, `manages` its
+    # transitive closure written as a right-linear binary-chain program.
+    program = parse_program(
+        """
+        manages(Boss, Emp) :- reports_to(Emp, Boss).
+        manages(Boss, Emp) :- manages(Boss, Mid), reports_to(Emp, Mid).
+
+        reports_to(bob, alice).
+        reports_to(carol, alice).
+        reports_to(dan, bob).
+        reports_to(erin, bob).
+        reports_to(frank, carol).
+        reports_to(grace, dan).
+        """
+    )
+
+    query = parse_query("manages(alice, Who)")
+    answer = evaluate_query(program, query)
+
+    print("query     :", query)
+    print("strategy  :", answer.strategy)
+    print("answers   :", sorted(answer.values()))
+    print("iterations:", answer.iterations)
+    print("facts read:", answer.counters.fact_retrievals)
+    print()
+
+    # The same API answers every binding pattern; the engine inverts the
+    # equation system for a bound second argument.
+    reverse = evaluate_query(program, parse_query("manages(Boss, grace)"))
+    print("who manages grace (directly or not)?", sorted(reverse.values()))
+
+    # Ground queries return {()} when true and set() when false.
+    check = evaluate_query(program, parse_query("manages(alice, grace)"))
+    print("does alice manage grace?", bool(check.answers))
+
+    # Peek at the Lemma 1 equation that drives the evaluation.
+    system = answer.details["equation_system"]
+    print("\nLemma 1 equation system:")
+    print(system)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The same-generation problem: the paper's running example (Section 3).
+
+Builds the Figure 7 samples, evaluates the query sg(a, Y) with every
+registered strategy and prints a work-count comparison -- a miniature version
+of the paper's evaluation table.
+
+Run with:  python examples/same_generation.py [n]
+"""
+
+import sys
+
+from repro.datalog.semantics import answer_query
+from repro.engines import available_engines, run_engine
+from repro.instrumentation import Counters
+from repro.workloads import sample_a, sample_b, sample_c
+
+
+def compare(sample_name, workload) -> None:
+    program, database, query = workload
+    truth = answer_query(program, query, database)
+    print(f"\nSample ({sample_name}): query {query}, |answer| = {len(truth)}")
+    print(f"  {'engine':<18} {'facts':>7} {'nodes':>7} {'firings':>8} {'total':>8}  ok")
+    for name in sorted(available_engines()):
+        counters = Counters()
+        fresh_db = database.copy()
+        fresh_db.reset_instrumentation(counters)
+        result = run_engine(name, program, query, fresh_db, counters)
+        ok = "yes" if result.answers == truth else "NO"
+        print(
+            f"  {name:<18} {counters.fact_retrievals:>7} {counters.nodes_generated:>7} "
+            f"{counters.rule_firings:>8} {counters.total_work():>8}  {ok}"
+        )
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    print(f"Same-generation comparison on the Figure 7 samples (n = {n})")
+    compare("a", sample_a(n))
+    compare("b", sample_b(n))
+    compare("c", sample_c(n))
+    print(
+        "\nThe shape to look for: the graph-traversal strategy ('graph') does\n"
+        "linear work on samples (a) and (c) and quadratic work on (b), matching\n"
+        "the counting method, while Henschen-Naqvi degrades on sample (c)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The paper's contribution: Lemma 1, EM(p, i), graph traversal, Section 4.
+
+Modules
+-------
+``lemma1``
+    The nine-step transformation from a linear binary-chain program to a
+    system of equations over ∪, ·, *.
+``automaton``
+    The automaton hierarchy EM(p, i) built from the equations.
+``traversal``
+    The demand-driven graph-traversal evaluator of Figures 4-5.
+``queries``
+    Reduction of all five binding patterns to the basic p(a, Y) case.
+``cyclic``
+    The iteration bound that makes the algorithm terminate on cyclic data.
+``adornment``
+    Adorned programs and the chain-program condition (Section 4).
+``chain_transform``
+    The n-ary to binary-chain transformation with binding propagation
+    (bin-p, base-r, in-r, out-r).
+``planner``
+    End-to-end evaluation: classify the (program, query) pair, choose the
+    strategy, run it.
+"""
+
+from .automaton import EMHierarchy, Expansion
+from .cyclic import (
+    LinearDecomposition,
+    accessible_nodes,
+    decompose_linear,
+    iteration_bound,
+    query_with_cycle_bound,
+)
+from .lemma1 import Lemma1Result, equation_for, transform
+from .queries import QueryEvaluator, invert_expression, invert_system, inverse_name
+from .traversal import (
+    DatabaseProvider,
+    GraphTraversalEvaluator,
+    TraversalResult,
+    evaluate_from_database,
+)
+
+__all__ = [
+    "DatabaseProvider",
+    "EMHierarchy",
+    "Expansion",
+    "GraphTraversalEvaluator",
+    "Lemma1Result",
+    "LinearDecomposition",
+    "QueryEvaluator",
+    "TraversalResult",
+    "accessible_nodes",
+    "decompose_linear",
+    "equation_for",
+    "evaluate_from_database",
+    "inverse_name",
+    "invert_expression",
+    "invert_system",
+    "iteration_bound",
+    "query_with_cycle_bound",
+    "transform",
+]

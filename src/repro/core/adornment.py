@@ -1,0 +1,407 @@
+"""Adorned programs and the chain-program condition (Section 4).
+
+An *adornment* for an n-ary predicate is a string over ``{b, f}`` marking
+which argument positions are bound.  Starting from the query literal, rules
+are adorned by propagating bindings sideways: for a rule whose body contains
+(at most) one derived literal ``q(Z)``, the base literals are split into a
+*prefix* group -- the literals connected (through shared variables) to the
+bound head variables -- and a *suffix* group, and the adornment of ``q``
+marks as bound exactly the positions of ``Z`` whose variables occur in the
+prefix or in a bound head position (conditions (1)-(5) of the paper).
+
+The transformation of Section 4 is only equivalence-preserving when the
+adorned program is a **chain program**: in every adorned rule the variables
+of the prefix literals must be disjoint from the head variables designated
+as free (otherwise bindings do not flow in a chain and the transformed
+program over-approximates -- the paper's counter-example is reproduced in the
+tests).  :meth:`AdornedProgram.is_chain_program` checks this condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.analysis import ProgramAnalysis, analyze
+from ..datalog.errors import NotApplicableError
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Term, Variable
+
+BOUND = "b"
+FREE = "f"
+
+
+@dataclass(frozen=True)
+class AdornedPredicate:
+    """A predicate name together with an adornment string (e.g. ``sg^bf``)."""
+
+    name: str
+    adornment: str
+
+    def __post_init__(self):
+        if any(ch not in (BOUND, FREE) for ch in self.adornment):
+            raise ValueError(f"adornment must be over {{b, f}}, got {self.adornment!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.adornment)
+
+    @property
+    def bound_positions(self) -> Tuple[int, ...]:
+        return tuple(i for i, ch in enumerate(self.adornment) if ch == BOUND)
+
+    @property
+    def free_positions(self) -> Tuple[int, ...]:
+        return tuple(i for i, ch in enumerate(self.adornment) if ch == FREE)
+
+    def mangled_name(self) -> str:
+        """A flat predicate name usable in an ordinary Datalog program."""
+        return f"{self.name}_{self.adornment}" if self.adornment else self.name
+
+    def __str__(self) -> str:
+        return f"{self.name}^{self.adornment}" if self.adornment else self.name
+
+
+def adornment_from_query(query: Literal) -> AdornedPredicate:
+    """The adornment induced by a query literal: constants are bound."""
+    pattern = "".join(BOUND if isinstance(t, Constant) else FREE for t in query.args)
+    return AdornedPredicate(query.predicate, pattern)
+
+
+@dataclass
+class AdornedRule:
+    """One adorned rule.
+
+    Attributes
+    ----------
+    head:
+        The adorned head predicate.
+    head_args:
+        The argument vector of the head (terms of the original rule).
+    prefix:
+        Base (and built-in) literals placed *before* the derived literal:
+        the group connected to the bound head variables.
+    derived:
+        The adorned derived body literal, or ``None`` for an exit rule.
+    derived_args:
+        Argument vector of the derived literal (empty tuple when absent).
+    suffix:
+        Base (and built-in) literals placed *after* the derived literal.
+    original:
+        The rule of the original program this adorned rule was built from.
+    index:
+        Position of the adorned rule in the adorned program (used to name the
+        auxiliary predicates base-r / in-r / out-r of Section 4).
+    """
+
+    head: AdornedPredicate
+    head_args: Tuple[Term, ...]
+    prefix: Tuple[Literal, ...]
+    derived: Optional[AdornedPredicate]
+    derived_args: Tuple[Term, ...]
+    suffix: Tuple[Literal, ...]
+    original: Rule
+    index: int = -1
+
+    # -- variable bookkeeping -------------------------------------------------
+
+    def bound_head_terms(self) -> Tuple[Term, ...]:
+        """X^b: the head arguments at bound positions."""
+        return tuple(self.head_args[i] for i in self.head.bound_positions)
+
+    def free_head_terms(self) -> Tuple[Term, ...]:
+        """X^f: the head arguments at free positions."""
+        return tuple(self.head_args[i] for i in self.head.free_positions)
+
+    def bound_derived_terms(self) -> Tuple[Term, ...]:
+        """Z^b: the derived-literal arguments at positions bound in its adornment."""
+        if self.derived is None:
+            return ()
+        return tuple(self.derived_args[i] for i in self.derived.bound_positions)
+
+    def free_derived_terms(self) -> Tuple[Term, ...]:
+        """Z^f: the derived-literal arguments at positions free in its adornment."""
+        if self.derived is None:
+            return ()
+        return tuple(self.derived_args[i] for i in self.derived.free_positions)
+
+    def prefix_variables(self) -> Set[Variable]:
+        variables: Set[Variable] = set()
+        for literal in self.prefix:
+            variables.update(literal.variables())
+        return variables
+
+    def suffix_variables(self) -> Set[Variable]:
+        variables: Set[Variable] = set()
+        for literal in self.suffix:
+            variables.update(literal.variables())
+        return variables
+
+    def free_head_variables(self) -> Set[Variable]:
+        return {t for t in self.free_head_terms() if isinstance(t, Variable)}
+
+    def bound_head_variables(self) -> Set[Variable]:
+        return {t for t in self.bound_head_terms() if isinstance(t, Variable)}
+
+    # -- the paper's conditions ------------------------------------------------------
+
+    def satisfies_grouping_conditions(self) -> bool:
+        """Conditions (2)-(4) of the adorning algorithm, checked strictly.
+
+        (2) no prefix literal is directly connected to a suffix literal;
+        (3) the prefix literals form a connected set;
+        (4) the prefix (when non-empty) is connected to a bound head variable.
+        Condition (1) (the groups partition the base literals) and (5) (the
+        derived adornment) hold by construction.
+
+        Note: :func:`adorn` constructs the prefix as the union of *all*
+        variable-connected components touching a bound head variable; when
+        more than one such component exists, condition (3) is violated even
+        though binding propagation remains sound (every prefix variable still
+        receives its binding from the bound head arguments).  This method
+        reports the strict paper condition so callers can detect the
+        relaxation.
+        """
+        for left in self.prefix:
+            for right in self.suffix:
+                if left.shares_variable_with(right):
+                    return False
+        if self.prefix and not _is_connected(self.prefix):
+            return False
+        if self.prefix:
+            bound_vars = self.bound_head_variables()
+            if not (self.prefix_variables() & bound_vars):
+                return False
+        return True
+
+    def satisfies_chain_condition(self) -> bool:
+        """The chain-program condition of Section 4.
+
+        The variables of the prefix literals must all be different from the
+        head variables designated as free.  Exit rules (no derived literal)
+        satisfy it trivially.
+        """
+        if self.derived is None:
+            return True
+        return not (self.prefix_variables() & self.free_head_variables())
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        head = f"{self.head.mangled_name()}({', '.join(map(str, self.head_args))})"
+        parts = [str(lit) for lit in self.prefix]
+        if self.derived is not None:
+            derived_args = ", ".join(map(str, self.derived_args))
+            parts.append(f"{self.derived.mangled_name()}({derived_args})")
+        parts.extend(str(lit) for lit in self.suffix)
+        if not parts:
+            return f"{head}."
+        return f"{head} :- {', '.join(parts)}."
+
+
+def _is_connected(literals: Sequence[Literal]) -> bool:
+    """True when the literals form one connected component via shared variables.
+
+    Ground literals (no variables) count as connected to everything, matching
+    the paper's intent that constants impose no chaining constraint.
+    """
+    with_variables = [lit for lit in literals if lit.variables()]
+    if len(with_variables) <= 1:
+        return True
+    remaining = set(range(len(with_variables)))
+    frontier = [remaining.pop()]
+    connected = set(frontier)
+    while frontier:
+        index = frontier.pop()
+        for other in list(remaining):
+            if with_variables[index].shares_variable_with(with_variables[other]):
+                remaining.discard(other)
+                connected.add(other)
+                frontier.append(other)
+    return not remaining
+
+
+@dataclass
+class AdornedProgram:
+    """The result of adorning a linear program with respect to a query."""
+
+    program: Program
+    query: Literal
+    query_predicate: AdornedPredicate
+    rules: List[AdornedRule] = field(default_factory=list)
+
+    def adorned_predicates(self) -> Set[AdornedPredicate]:
+        """All adorned derived predicates occurring in the adorned program."""
+        result = {self.query_predicate}
+        for rule in self.rules:
+            result.add(rule.head)
+            if rule.derived is not None:
+                result.add(rule.derived)
+        return result
+
+    def rules_for(self, adorned: AdornedPredicate) -> List[AdornedRule]:
+        return [rule for rule in self.rules if rule.head == adorned]
+
+    def is_chain_program(self) -> bool:
+        """True when every adorned rule satisfies the chain condition."""
+        return all(rule.satisfies_chain_condition() for rule in self.rules)
+
+    def violations(self) -> List[AdornedRule]:
+        """The adorned rules that violate the chain condition."""
+        return [rule for rule in self.rules if not rule.satisfies_chain_condition()]
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def adorn(
+    program: Program,
+    query: Literal,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> AdornedProgram:
+    """Construct the adorned program for ``program`` and ``query``.
+
+    The program must be linear with at most one derived literal per rule body
+    (the special form assumed throughout Section 4).
+
+    Raises
+    ------
+    NotApplicableError
+        When a rule has more than one derived body literal, or when the
+        sideways grouping cannot satisfy conditions (2)-(4).
+    """
+    analysis = analysis or analyze(program)
+    derived_predicates = program.derived_predicates
+    for rule in program.idb_rules():
+        derived_count = sum(
+            1 for lit in rule.body if lit.predicate in derived_predicates
+        )
+        if derived_count > 1:
+            raise NotApplicableError(
+                f"rule {rule} has {derived_count} derived body literals; "
+                "the Section 4 transformation assumes at most one"
+            )
+    if query.predicate not in derived_predicates:
+        raise NotApplicableError(
+            f"query predicate {query.predicate!r} is not a derived predicate"
+        )
+
+    query_adorned = adornment_from_query(query)
+    adorned = AdornedProgram(program=program, query=query, query_predicate=query_adorned)
+    worklist: List[AdornedPredicate] = [query_adorned]
+    processed: Set[AdornedPredicate] = set()
+    index = 0
+    while worklist:
+        current = worklist.pop(0)
+        if current in processed:
+            continue
+        processed.add(current)
+        for rule in program.rules_for(current.name):
+            if not rule.body:
+                continue
+            adorned_rule = _adorn_rule(rule, current, derived_predicates, index)
+            adorned_rule.index = index
+            index += 1
+            adorned.rules.append(adorned_rule)
+            if adorned_rule.derived is not None and adorned_rule.derived not in processed:
+                worklist.append(adorned_rule.derived)
+    return adorned
+
+
+def _adorn_rule(
+    rule: Rule,
+    head_adorned: AdornedPredicate,
+    derived_predicates: Set[str],
+    index: int,
+) -> AdornedRule:
+    """Adorn a single rule for the given head adornment (conditions (1)-(5))."""
+    head_args = rule.head.args
+    bound_positions = head_adorned.bound_positions
+    bound_head_vars = {
+        head_args[i] for i in bound_positions if isinstance(head_args[i], Variable)
+    }
+
+    derived_literals = [lit for lit in rule.body if lit.predicate in derived_predicates]
+    other_literals = [lit for lit in rule.body if lit.predicate not in derived_predicates]
+
+    if not derived_literals:
+        return AdornedRule(
+            head=head_adorned,
+            head_args=head_args,
+            prefix=tuple(other_literals),
+            derived=None,
+            derived_args=(),
+            suffix=(),
+            original=rule,
+            index=index,
+        )
+
+    derived_literal = derived_literals[0]
+
+    # Split the non-derived literals into connected components (shared
+    # variables), then put into the prefix every component that touches a
+    # bound head variable.  This satisfies condition (2) by construction and
+    # condition (4) whenever the prefix is non-empty.
+    components = _variable_components(other_literals)
+    prefix: List[Literal] = []
+    suffix: List[Literal] = []
+    for component in components:
+        component_vars: Set[Variable] = set()
+        for literal in component:
+            component_vars.update(literal.variables())
+        if component_vars & bound_head_vars:
+            prefix.extend(component)
+        else:
+            suffix.extend(component)
+
+    # Condition (5): the derived adornment marks bound the positions whose
+    # variables occur in the prefix or in a bound head position; positions
+    # filled with constants are bound as well.
+    prefix_vars: Set[Variable] = set()
+    for literal in prefix:
+        prefix_vars.update(literal.variables())
+    binding_sources = prefix_vars | bound_head_vars
+    pattern = []
+    for term in derived_literal.args:
+        if isinstance(term, Constant):
+            pattern.append(BOUND)
+        elif term in binding_sources:
+            pattern.append(BOUND)
+        else:
+            pattern.append(FREE)
+    derived_adorned = AdornedPredicate(derived_literal.predicate, "".join(pattern))
+
+    return AdornedRule(
+        head=head_adorned,
+        head_args=head_args,
+        prefix=tuple(prefix),
+        derived=derived_adorned,
+        derived_args=derived_literal.args,
+        suffix=tuple(suffix),
+        original=rule,
+        index=index,
+    )
+
+
+def _variable_components(literals: Sequence[Literal]) -> List[List[Literal]]:
+    """Group literals into connected components of the shared-variable graph."""
+    literals = list(literals)
+    if not literals:
+        return []
+    unassigned = set(range(len(literals)))
+    components: List[List[Literal]] = []
+    while unassigned:
+        seed = min(unassigned)
+        unassigned.discard(seed)
+        component = [seed]
+        frontier = [seed]
+        while frontier:
+            index = frontier.pop()
+            for other in list(unassigned):
+                if literals[index].shares_variable_with(literals[other]):
+                    unassigned.discard(other)
+                    component.append(other)
+                    frontier.append(other)
+        components.append([literals[i] for i in sorted(component)])
+    return components

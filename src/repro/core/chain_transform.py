@@ -1,0 +1,352 @@
+"""The Section 4 transformation: n-ary linear queries to binary-chain queries.
+
+For an adorned program the transformation introduces four kinds of binary
+predicates:
+
+* ``bin-p^a`` -- the binary equivalent of the adorned predicate ``p^a``: its
+  tuples are pairs ``(t(x^b), t(x^f))`` splitting a ``p``-tuple into its
+  bound and free projections;
+* ``base-r``  -- for an adorned rule ``r`` whose body contains only base
+  literals: pairs ``(t(x^b), t(x^f))`` obtained by joining the body and
+  projecting onto the head arguments;
+* ``in-r``    -- for a rule with a derived body literal: pairs
+  ``(t(x^b), t(z^b))`` joining the *prefix* literals (this is where the
+  query bindings are pushed towards the recursive call);
+* ``out-r``   -- pairs ``(t(z^f), t(x^f))`` joining the *suffix* literals.
+
+The rules of the transformed binary-chain program are then
+
+    bin-p^a(U, V) :- base-r(U, V).
+    bin-p^a(U, V) :- in-r(U, U1), bin-q^d(U1, V1), out-r(V1, V).
+
+with ``in-r`` / ``out-r`` omitted when their definition degenerates to the
+identity (empty body and equal argument vectors), exactly as in the paper's
+flight-connections example.
+
+Crucially the auxiliary predicates are *not* materialised: they behave as
+base relations of the transformed program but their tuples are computed on
+demand, by joining the original extensional relations only when the graph
+traversal reaches a node in their domain.  :class:`ChainTransformProvider`
+implements that demand-driven retrieval, so the query bindings restrict the
+set of database facts consulted (the whole point of the transformation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.database import Database
+from ..datalog.errors import NotApplicableError
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Term, Variable
+from ..datalog.unify import satisfy_body
+from ..instrumentation import Counters
+from .adornment import AdornedPredicate, AdornedProgram, AdornedRule, adorn
+
+
+def bin_name(adorned: AdornedPredicate) -> str:
+    """Name of the binary equivalent of an adorned predicate."""
+    return f"bin_{adorned.mangled_name()}"
+
+
+@dataclass(frozen=True)
+class AuxiliaryDefinition:
+    """Definition of one ``base-r`` / ``in-r`` / ``out-r`` predicate.
+
+    The relation contains the pairs ``(t(σ(input_terms)), t(σ(output_terms)))``
+    for every substitution ``σ`` satisfying ``body`` in the extensional
+    database.
+    """
+
+    name: str
+    role: str                       # "base", "in" or "out"
+    body: Tuple[Literal, ...]
+    input_terms: Tuple[Term, ...]
+    output_terms: Tuple[Term, ...]
+    rule_index: int
+
+    def is_identity(self) -> bool:
+        """True when the definition degenerates to the identity relation.
+
+        This is the paper's omission criterion: an empty body with equal
+        input and output vectors.
+        """
+        return not self.body and self.input_terms == self.output_terms
+
+    def __str__(self) -> str:
+        head = (
+            f"{self.name}(t({', '.join(map(str, self.input_terms))}), "
+            f"t({', '.join(map(str, self.output_terms))}))"
+        )
+        if not self.body:
+            return f"{head}."
+        return f"{head} :- {', '.join(map(str, self.body))}."
+
+
+@dataclass
+class ChainTransformResult:
+    """Everything produced by the Section 4 transformation."""
+
+    adorned: AdornedProgram
+    binary_program: Program
+    query_predicate: str                 # bin-q^a, the predicate to evaluate
+    query_bound_tuple: Tuple[object, ...]  # t(x^b) of the original query
+    free_terms: Tuple[Term, ...]           # x^f of the original query (variables)
+    definitions: Dict[str, AuxiliaryDefinition] = field(default_factory=dict)
+
+    def auxiliary_names(self) -> Set[str]:
+        return set(self.definitions)
+
+    def describe(self) -> str:
+        """Human-readable dump: the binary-chain rules plus the definitions."""
+        lines = [str(rule) for rule in self.binary_program.idb_rules()]
+        lines.append("")
+        lines.extend(str(defn) for defn in self.definitions.values())
+        return "\n".join(lines)
+
+
+def transform_to_binary_chain(
+    program: Program,
+    query: Literal,
+    adorned: Optional[AdornedProgram] = None,
+    require_chain: bool = True,
+) -> ChainTransformResult:
+    """Apply the Section 4 transformation for ``program`` and ``query``.
+
+    Parameters
+    ----------
+    program, query:
+        The original linear program and the query literal (constants mark the
+        bound argument positions).
+    adorned:
+        A pre-built adorned program; constructed with :func:`adorn` when
+        omitted.
+    require_chain:
+        When true (the default) a
+        :class:`~repro.datalog.errors.NotApplicableError` is raised if the
+        adorned program is not a chain program -- in that case the
+        transformed program may compute a strict superset of the original
+        relation (Lemma 5 holds but Lemma 6 fails), as the paper's
+        counter-example shows.  Pass ``False`` to build the transformation
+        anyway (used by the tests that reproduce the counter-example).
+    """
+    adorned = adorned if adorned is not None else adorn(program, query)
+    if require_chain and not adorned.is_chain_program():
+        offenders = ", ".join(str(rule) for rule in adorned.violations())
+        raise NotApplicableError(
+            "the adorned program is not a chain program; the binary-chain "
+            f"transformation would not be equivalence-preserving (violations: {offenders})"
+        )
+
+    definitions: Dict[str, AuxiliaryDefinition] = {}
+    rules: List[Rule] = []
+
+    for adorned_rule in adorned.rules:
+        head_bin = bin_name(adorned_rule.head)
+        if adorned_rule.derived is None:
+            base_def = AuxiliaryDefinition(
+                name=f"base_r{adorned_rule.index}",
+                role="base",
+                body=tuple(adorned_rule.prefix) + tuple(adorned_rule.suffix),
+                input_terms=adorned_rule.bound_head_terms(),
+                output_terms=adorned_rule.free_head_terms(),
+                rule_index=adorned_rule.index,
+            )
+            definitions[base_def.name] = base_def
+            rules.append(
+                Rule(
+                    Literal(head_bin, ["U", "V"]),
+                    [Literal(base_def.name, ["U", "V"])],
+                )
+            )
+            continue
+
+        in_def = AuxiliaryDefinition(
+            name=f"in_r{adorned_rule.index}",
+            role="in",
+            body=tuple(adorned_rule.prefix),
+            input_terms=adorned_rule.bound_head_terms(),
+            output_terms=adorned_rule.bound_derived_terms(),
+            rule_index=adorned_rule.index,
+        )
+        out_def = AuxiliaryDefinition(
+            name=f"out_r{adorned_rule.index}",
+            role="out",
+            body=tuple(adorned_rule.suffix),
+            input_terms=adorned_rule.free_derived_terms(),
+            output_terms=adorned_rule.free_head_terms(),
+            rule_index=adorned_rule.index,
+        )
+        body: List[Literal] = []
+        chain_variables = ["U", "U1", "V1", "V"]
+        left_var = "U"
+        if in_def.is_identity():
+            # U1 = U: drop the in-r literal.
+            in_var = left_var
+        else:
+            definitions[in_def.name] = in_def
+            body.append(Literal(in_def.name, [left_var, "U1"]))
+            in_var = "U1"
+        if out_def.is_identity():
+            out_var = "V"
+        else:
+            out_var = "V1"
+        body.append(Literal(bin_name(adorned_rule.derived), [in_var, out_var]))
+        if not out_def.is_identity():
+            definitions[out_def.name] = out_def
+            body.append(Literal(out_def.name, [out_var, "V"]))
+        rules.append(Rule(Literal(head_bin, ["U", "V"]), body))
+
+    binary_program = Program(rules, validate=False)
+
+    query_adorned = adorned.query_predicate
+    bound_values = tuple(
+        term.value for term in query.args if isinstance(term, Constant)
+    )
+    free_terms = tuple(term for term in query.args if isinstance(term, Variable))
+    return ChainTransformResult(
+        adorned=adorned,
+        binary_program=binary_program,
+        query_predicate=bin_name(query_adorned),
+        query_bound_tuple=bound_values,
+        free_terms=free_terms,
+        definitions=definitions,
+    )
+
+
+class ChainTransformProvider:
+    """Demand-driven retrieval of the ``base-r`` / ``in-r`` / ``out-r`` tuples.
+
+    Implements the :class:`repro.core.traversal.RelationProvider` protocol
+    for the transformed binary-chain program: the first argument of every
+    auxiliary relation is always a tuple all of whose components carry a
+    binding that originates from the bound arguments of the query, so the
+    joins below only touch the relevant portion of the extensional database.
+    """
+
+    def __init__(self, result: ChainTransformResult, database: Database):
+        self.result = result
+        self.database = database
+
+    # -- RelationProvider protocol ------------------------------------------------
+
+    def successors(self, predicate: str, value: object) -> Iterable[object]:
+        definition = self._definition(predicate)
+        return self._join(definition, definition.input_terms, definition.output_terms, value)
+
+    def predecessors(self, predicate: str, value: object) -> Iterable[object]:
+        definition = self._definition(predicate)
+        return self._join(definition, definition.output_terms, definition.input_terms, value)
+
+    def domain(self, predicate: str) -> Iterable[object]:
+        """First components of the auxiliary relation (enumerated exhaustively).
+
+        Only needed for queries with a completely free first argument, which
+        defeat binding propagation anyway; implemented for completeness.
+        """
+        definition = self._definition(predicate)
+        values = set()
+        for substitution in satisfy_body(list(definition.body), self.database):
+            values.add(_project(definition.input_terms, substitution))
+        return values
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _definition(self, predicate: str) -> AuxiliaryDefinition:
+        try:
+            return self.result.definitions[predicate]
+        except KeyError:
+            raise NotApplicableError(
+                f"{predicate!r} is not an auxiliary relation of the transformation"
+            ) from None
+
+    def _active_domain(self) -> List[object]:
+        """All constants of the extensional database (cached).
+
+        Only needed when a definition leaves an output variable unconstrained,
+        which can happen on non-chain programs (the paper's counter-example:
+        "the second argument is in no way bound to the first argument and
+        hence can assume any value").
+        """
+        if not hasattr(self, "_domain_cache"):
+            values: Set[object] = set()
+            for predicate in self.database.predicates():
+                for row in self.database.rows(predicate):
+                    values.update(row)
+            self._domain_cache: List[object] = sorted(values, key=repr)
+        return self._domain_cache
+
+    def _join(
+        self,
+        definition: AuxiliaryDefinition,
+        bound_terms: Tuple[Term, ...],
+        result_terms: Tuple[Term, ...],
+        value: object,
+    ) -> List[object]:
+        bindings = _bind(bound_terms, value)
+        if bindings is None:
+            return []
+        results: List[object] = []
+        for substitution in satisfy_body(
+            list(definition.body), self.database, initial=bindings
+        ):
+            unbound = [
+                term
+                for term in result_terms
+                if isinstance(term, Variable) and term not in substitution
+            ]
+            if not unbound:
+                results.append(_project(result_terms, substitution))
+                continue
+            # Unconstrained output variables range over the whole active
+            # domain (only reachable on non-chain programs).
+            results.extend(
+                _project(result_terms, {**substitution, **dict(zip(unbound, combo))})
+                for combo in _combinations(self._active_domain(), len(unbound))
+            )
+        return results
+
+
+def _combinations(domain: Sequence[object], count: int) -> Iterable[Tuple[object, ...]]:
+    """All tuples of length ``count`` over ``domain`` (cartesian power)."""
+    if count == 0:
+        yield ()
+        return
+    for value in domain:
+        for rest in _combinations(domain, count - 1):
+            yield (value,) + rest
+
+
+def _bind(terms: Tuple[Term, ...], value: object) -> Optional[Dict[Variable, object]]:
+    """Match a tuple value against a vector of terms, producing bindings."""
+    components: Tuple[object, ...]
+    if isinstance(value, tuple):
+        components = value
+    else:
+        components = (value,)
+    if len(components) != len(terms):
+        return None
+    bindings: Dict[Variable, object] = {}
+    for term, component in zip(terms, components):
+        if isinstance(term, Constant):
+            if term.value != component:
+                return None
+        else:
+            assert isinstance(term, Variable)
+            if term in bindings and bindings[term] != component:
+                return None
+            bindings[term] = component
+    return bindings
+
+
+def _project(terms: Tuple[Term, ...], substitution: Dict[Variable, object]) -> Tuple[object, ...]:
+    """The tuple value t(σ(terms))."""
+    values: List[object] = []
+    for term in terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        else:
+            values.append(substitution[term])  # type: ignore[index]
+    return tuple(values)

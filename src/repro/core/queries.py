@@ -1,0 +1,231 @@
+"""Handling of the five query binding patterns of Section 3.
+
+The basic algorithm evaluates queries of the form ``p(a, Y)`` (first argument
+bound).  The end of Section 3 explains how the other binding patterns are
+reduced to it:
+
+* ``p(X, b)``: apply the algorithm to ``r(b, Y)`` where ``r`` is the inverse
+  of ``p`` -- implemented here by inverting the whole equation system;
+* ``p(X, Y)``: apply the algorithm to ``p(a, Y)`` for every candidate value
+  ``a`` of the domain of ``p``;
+* ``p(a, b)`` and ``p(X, X)``: the binding of the second argument cannot be
+  used by the algorithm; evaluate with the second argument free and filter
+  (Section 4's transformation is the way to exploit such bindings).
+
+The module also provides :func:`answer_literal`, which dispatches a query
+literal to the appropriate strategy and returns the answers in the same
+projection convention as :func:`repro.datalog.semantics.answer_query`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..datalog.errors import NotApplicableError
+from ..datalog.literals import Literal
+from ..datalog.terms import Constant, Variable
+from ..instrumentation import Counters
+from ..relalg.automaton import ID
+from ..relalg.equations import EquationSystem
+from ..relalg.expressions import (
+    Compose,
+    Empty,
+    Expression,
+    Identity,
+    Inverse,
+    Pred,
+    Star,
+    Union,
+)
+from .traversal import GraphTraversalEvaluator, RelationProvider, TraversalResult
+
+#: Suffix used for the automatically generated inverse predicates.
+INVERSE_SUFFIX = "~inv"
+
+
+def inverse_name(predicate: str) -> str:
+    """Name of the inverse twin of a derived predicate."""
+    return predicate + INVERSE_SUFFIX
+
+
+def invert_expression(expression: Expression, derived: Set[str]) -> Expression:
+    """The expression denoting the inverse relation.
+
+    Inversion distributes over the operators (``(e1·e2)⁻¹ = e2⁻¹·e1⁻¹`` and
+    so on); base predicates become :class:`Inverse` leaves (read backwards by
+    the automaton), while *derived* predicates are renamed to their inverse
+    twins so that the expansion of ``EM(p, i)`` keeps working on inverted
+    equations.
+    """
+    if isinstance(expression, Pred):
+        if expression.name in derived:
+            return Pred(inverse_name(expression.name))
+        return Inverse(expression)
+    if isinstance(expression, (Identity, Empty)):
+        return expression
+    if isinstance(expression, Inverse):
+        inner = expression.inner
+        if isinstance(inner, Pred) and inner.name in derived:
+            return Pred(inner.name)
+        return inner
+    if isinstance(expression, Union):
+        return Union([invert_expression(item, derived) for item in expression.items])
+    if isinstance(expression, Compose):
+        return Compose([invert_expression(item, derived) for item in reversed(expression.items)])
+    if isinstance(expression, Star):
+        return Star(invert_expression(expression.inner, derived))
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def invert_system(system: EquationSystem) -> EquationSystem:
+    """An equation system extended with an inverse twin for every derived predicate."""
+    derived = set(system.derived_predicates)
+    equations: Dict[str, Expression] = dict(system.equations)
+    for predicate in derived:
+        equations[inverse_name(predicate)] = invert_expression(system.rhs(predicate), derived)
+    return EquationSystem(equations, base_predicates=system.base_predicates)
+
+
+class QueryEvaluator:
+    """Evaluate all five query binding patterns over one equation system."""
+
+    def __init__(
+        self,
+        system: EquationSystem,
+        provider: RelationProvider,
+        counters: Optional[Counters] = None,
+        max_iterations: Optional[int] = None,
+        on_iteration_limit: str = "raise",
+        stall_limit: Optional[int] = None,
+    ):
+        self.system = system
+        self.provider = provider
+        self.counters = counters if counters is not None else Counters()
+        self.max_iterations = max_iterations
+        self.on_iteration_limit = on_iteration_limit
+        self.stall_limit = stall_limit
+        self._forward = GraphTraversalEvaluator(
+            system,
+            provider,
+            counters=self.counters,
+            max_iterations=max_iterations,
+            on_iteration_limit=on_iteration_limit,
+            stall_limit=stall_limit,
+        )
+        self._inverted: Optional[GraphTraversalEvaluator] = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _inverted_evaluator(self) -> GraphTraversalEvaluator:
+        if self._inverted is None:
+            self._inverted = GraphTraversalEvaluator(
+                invert_system(self.system),
+                self.provider,
+                counters=self.counters,
+                max_iterations=self.max_iterations,
+                on_iteration_limit=self.on_iteration_limit,
+                stall_limit=self.stall_limit,
+            )
+        return self._inverted
+
+    def candidate_domain(self, predicate: str) -> Set[object]:
+        """Candidate values for the bound argument of ``predicate(a, Y)``.
+
+        These are the values that can label the start node: the domains of
+        the base relations on transitions reachable from the initial state of
+        ``M(e_p)`` through ``id`` transitions only.
+        """
+        automaton = self._forward.hierarchy.m_of(predicate)
+        derived = self.system.derived_predicates
+        seen = {automaton.initial}
+        frontier = [automaton.initial]
+        values: Set[object] = set()
+        while frontier:
+            state = frontier.pop()
+            for transition in automaton.outgoing(state):
+                if transition.label == ID:
+                    if transition.target not in seen:
+                        seen.add(transition.target)
+                        frontier.append(transition.target)
+                elif transition.label in derived:
+                    # A derived predicate right at the start: fall back to its
+                    # own candidate domain.
+                    values |= self.candidate_domain(transition.label)
+                else:
+                    if transition.inverted:
+                        relation_values = {
+                            v for v in self.provider.domain(transition.label)
+                        }
+                        # For an inverted base transition the start values are
+                        # the *range* of the relation; provider.domain gives
+                        # first components, so walk successors instead.
+                        relation_values = set()
+                        for first in self.provider.domain(transition.label):
+                            relation_values |= set(
+                                self.provider.successors(transition.label, first)
+                            )
+                        values |= relation_values
+                    else:
+                        values |= set(self.provider.domain(transition.label))
+        return values
+
+    # -- the five binding patterns ---------------------------------------------------
+
+    def bound_free(self, predicate: str, value: object) -> TraversalResult:
+        """``p(a, Y)`` -- the basic case."""
+        return self._forward.query_from(predicate, value)
+
+    def free_bound(self, predicate: str, value: object) -> TraversalResult:
+        """``p(X, b)`` -- evaluate the inverse relation from ``b``."""
+        return self._inverted_evaluator().query_from(inverse_name(predicate), value)
+
+    def free_free(self, predicate: str) -> Set[Tuple[object, object]]:
+        """``p(X, Y)`` -- evaluate ``p(a, Y)`` for every candidate ``a``.
+
+        As the paper notes this can duplicate work when the graphs for
+        different start values intersect; the benchmarks quantify it.
+        """
+        pairs: Set[Tuple[object, object]] = set()
+        for value in sorted(self.candidate_domain(predicate), key=repr):
+            result = self.bound_free(predicate, value)
+            pairs.update((value, answer) for answer in result.answers)
+        return pairs
+
+    def bound_bound(self, predicate: str, first: object, second: object) -> bool:
+        """``p(a, b)`` -- the second binding cannot be used; evaluate and test."""
+        return second in self.bound_free(predicate, first).answers
+
+    def same_variable(self, predicate: str) -> Set[object]:
+        """``p(X, X)`` -- evaluate with both arguments free and filter."""
+        return {x for (x, y) in self.free_free(predicate) if x == y}
+
+    # -- literal-level dispatch ----------------------------------------------------------
+
+    def answer_literal(self, query: Literal) -> Set[Tuple[object, ...]]:
+        """Answer a binary query literal, projecting onto its distinct variables.
+
+        The projection convention matches
+        :func:`repro.datalog.semantics.answer_query`: one tuple per
+        instantiation of the distinct variables in order of first occurrence;
+        ground queries answer ``{()}`` or ``set()``.
+        """
+        if query.arity != 2:
+            raise NotApplicableError(
+                "the graph-traversal evaluator answers binary queries; "
+                "use the Section 4 transformation for n-ary predicates"
+            )
+        first, second = query.args
+        predicate = query.predicate
+        if isinstance(first, Constant) and isinstance(second, Constant):
+            holds = self.bound_bound(predicate, first.value, second.value)
+            return {()} if holds else set()
+        if isinstance(first, Constant):
+            answers = self.bound_free(predicate, first.value).answers
+            return {(value,) for value in answers}
+        if isinstance(second, Constant):
+            answers = self.free_bound(predicate, second.value).answers
+            return {(value,) for value in answers}
+        assert isinstance(first, Variable) and isinstance(second, Variable)
+        if first == second:
+            return {(value,) for value in self.same_variable(predicate)}
+        return self.free_free(predicate)

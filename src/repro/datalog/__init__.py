@@ -1,0 +1,67 @@
+"""Datalog substrate: language, storage, analysis and reference semantics.
+
+This subpackage is the foundation everything else builds on:
+
+* :mod:`~repro.datalog.terms`, :mod:`~repro.datalog.literals`,
+  :mod:`~repro.datalog.rules` -- the abstract syntax of Datalog programs
+  exactly as defined in Section 2 of the paper;
+* :mod:`~repro.datalog.parser` -- a small concrete syntax;
+* :mod:`~repro.datalog.database` -- indexed storage for extensional (and
+  derived) relations with retrieval instrumentation;
+* :mod:`~repro.datalog.unify` -- substitutions and rule instantiation;
+* :mod:`~repro.datalog.analysis` -- dependency graph, SCCs and the program
+  classes of Section 2 (linear, binary-chain, regular, ...);
+* :mod:`~repro.datalog.semantics` -- the least model, used as ground truth in
+  the test suite.
+"""
+
+from .database import Database, Relation
+from .errors import (
+    DatalogSyntaxError,
+    EvaluationError,
+    NonTerminationError,
+    NotApplicableError,
+    ProgramValidationError,
+    ReproError,
+    UnsafeRuleError,
+)
+from .literals import Literal, ground_atom
+from .parser import parse_literal, parse_program, parse_query, parse_rules
+from .rules import Program, Rule, program_from_rules, rule
+from .semantics import answer_query, derived_relation, is_true, least_model
+from .terms import Constant, Term, Variable, make_constant, make_term
+from .analysis import ProgramAnalysis, analyze, strongly_connected_components
+
+__all__ = [
+    "Constant",
+    "Database",
+    "DatalogSyntaxError",
+    "EvaluationError",
+    "Literal",
+    "NonTerminationError",
+    "NotApplicableError",
+    "Program",
+    "ProgramAnalysis",
+    "ProgramValidationError",
+    "Relation",
+    "ReproError",
+    "Rule",
+    "Term",
+    "UnsafeRuleError",
+    "Variable",
+    "analyze",
+    "answer_query",
+    "derived_relation",
+    "ground_atom",
+    "is_true",
+    "least_model",
+    "make_constant",
+    "make_term",
+    "parse_literal",
+    "parse_program",
+    "parse_query",
+    "parse_rules",
+    "program_from_rules",
+    "rule",
+    "strongly_connected_components",
+]

@@ -1,0 +1,317 @@
+"""Program analysis: dependency graph, recursion, and the Section 2 classes.
+
+Step 2 of the Lemma 1 transformation and every classification of Section 2
+("recursive", "mutually recursive", "linear", "right-/left-linear",
+"regular", "binary-chain") reduces to properties of the *predicate dependency
+graph*: the directed graph whose nodes are the predicate symbols and which
+has an arc from ``p`` to ``q`` whenever ``q`` occurs in the body of a rule
+with head ``p``.  A predicate is recursive iff it lies on a cycle; the set of
+predicates mutually recursive to ``p`` is the strongly connected component of
+``p`` (when that component is non-trivial).
+
+The SCC computation is our own iterative Tarjan implementation -- the paper
+itself cites Tarjan [21] and we also reuse it inside the evaluation engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .literals import Literal
+from .rules import Program, Rule
+
+
+# ---------------------------------------------------------------------------
+# Generic graph utilities (also used by the traversal engines)
+# ---------------------------------------------------------------------------
+
+def strongly_connected_components(
+    graph: Mapping[Hashable, Iterable[Hashable]]
+) -> List[List[Hashable]]:
+    """Tarjan's algorithm, iteratively, in reverse topological order.
+
+    ``graph`` maps each node to an iterable of successors.  Nodes that only
+    appear as successors are included automatically.  The returned components
+    are ordered so that a component never has an arc into a later one
+    (reverse topological order), which is the order in which bottom-up
+    stratified evaluation wants to process them.
+    """
+    successors: Dict[Hashable, List[Hashable]] = {}
+    for node, targets in graph.items():
+        successors.setdefault(node, [])
+        for target in targets:
+            successors[node].append(target)
+            successors.setdefault(target, [])
+
+    index_counter = 0
+    index: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+
+    for root in successors:
+        if root in index:
+            continue
+        # Iterative DFS: each frame is (node, iterator over successors).
+        work: List[Tuple[Hashable, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = successors[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def reachable_from(
+    graph: Mapping[Hashable, Iterable[Hashable]], start: Hashable
+) -> Set[Hashable]:
+    """The set of nodes reachable from ``start`` (including ``start``)."""
+    seen: Set[Hashable] = {start}
+    frontier: List[Hashable] = [start]
+    while frontier:
+        node = frontier.pop()
+        for child in graph.get(node, ()):  # type: ignore[arg-type]
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Program analysis proper
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProgramAnalysis:
+    """Precomputed recursion structure of a program.
+
+    Attributes
+    ----------
+    program:
+        The analysed program.
+    dependency_graph:
+        predicate -> set of predicates occurring in bodies of its rules.
+    sccs:
+        Strongly connected components of the dependency graph in reverse
+        topological order.
+    recursive_predicates:
+        Predicates lying on a cycle of the dependency graph.
+    """
+
+    program: Program
+    dependency_graph: Dict[str, Set[str]] = field(default_factory=dict)
+    sccs: List[List[str]] = field(default_factory=list)
+    recursive_predicates: Set[str] = field(default_factory=set)
+    _component_of: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def of(cls, program: Program) -> "ProgramAnalysis":
+        graph: Dict[str, Set[str]] = {p: set() for p in program.predicates}
+        self_loop: Set[str] = set()
+        for rule in program.idb_rules():
+            head = rule.head.predicate
+            for literal in rule.body:
+                if literal.is_builtin:
+                    continue
+                graph.setdefault(head, set()).add(literal.predicate)
+                if literal.predicate == head:
+                    self_loop.add(head)
+        analysis = cls(program=program, dependency_graph=graph)
+        analysis.sccs = strongly_connected_components(graph)
+        for component in analysis.sccs:
+            members = frozenset(component)
+            nontrivial = len(component) > 1 or (
+                len(component) == 1 and component[0] in self_loop
+            )
+            for predicate in component:
+                analysis._component_of[predicate] = members
+                if nontrivial:
+                    analysis.recursive_predicates.add(predicate)
+        return analysis
+
+    # -- recursion structure ------------------------------------------------
+
+    def is_recursive_predicate(self, predicate: str) -> bool:
+        """True when ``predicate`` is mutually recursive to itself."""
+        return predicate in self.recursive_predicates
+
+    def mutually_recursive_set(self, predicate: str) -> FrozenSet[str]:
+        """The predicates mutually recursive to ``predicate``.
+
+        For a non-recursive predicate this is the empty set (a predicate is
+        mutually recursive to itself only when it is recursive).
+        """
+        if predicate not in self.recursive_predicates:
+            return frozenset()
+        return self._component_of.get(predicate, frozenset())
+
+    def are_mutually_recursive(self, p: str, q: str) -> bool:
+        """True when ``p`` and ``q`` are mutually recursive."""
+        if p not in self.recursive_predicates or q not in self.recursive_predicates:
+            return False
+        return self._component_of.get(p) is self._component_of.get(q) or (
+            self._component_of.get(p) == self._component_of.get(q)
+        )
+
+    def recursive_components(self) -> List[FrozenSet[str]]:
+        """Maximal sets of mutually recursive predicates, bottom-up order."""
+        result = []
+        for component in self.sccs:
+            members = frozenset(component)
+            if members & self.recursive_predicates:
+                result.append(members)
+        return result
+
+    def evaluation_order(self) -> List[FrozenSet[str]]:
+        """All SCCs (recursive or not) in reverse topological order."""
+        return [frozenset(c) for c in self.sccs]
+
+    # -- rule classes ----------------------------------------------------------
+
+    def is_recursive_rule(self, rule: Rule) -> bool:
+        """Head predicate mutually recursive to some body predicate."""
+        head = rule.head.predicate
+        return any(
+            self.are_mutually_recursive(head, lit.predicate)
+            for lit in rule.body
+            if not lit.is_builtin
+        )
+
+    def is_linear_rule(self, rule: Rule) -> bool:
+        """At most one body literal is mutually recursive to the head."""
+        head = rule.head.predicate
+        count = sum(
+            1
+            for lit in rule.body
+            if not lit.is_builtin and self.are_mutually_recursive(head, lit.predicate)
+        )
+        return count <= 1
+
+    def is_right_linear_rule(self, rule: Rule) -> bool:
+        """Binary-chain rule with recursion only allowed in the last position."""
+        if not rule.is_binary_chain_rule():
+            return False
+        head = rule.head.predicate
+        for literal in rule.body[:-1]:
+            if self.are_mutually_recursive(head, literal.predicate):
+                return False
+        return True
+
+    def is_left_linear_rule(self, rule: Rule) -> bool:
+        """Binary-chain rule with recursion only allowed in the first position."""
+        if not rule.is_binary_chain_rule():
+            return False
+        head = rule.head.predicate
+        for literal in rule.body[1:]:
+            if self.are_mutually_recursive(head, literal.predicate):
+                return False
+        return True
+
+    # -- program / predicate classes ----------------------------------------------
+
+    def is_recursive_program(self) -> bool:
+        """True when the program contains at least one recursive rule."""
+        return any(self.is_recursive_rule(r) for r in self.program.idb_rules())
+
+    def is_linear_program(self) -> bool:
+        """True when every rule is linear."""
+        return all(self.is_linear_rule(r) for r in self.program.idb_rules())
+
+    def is_linearly_recursive_program(self) -> bool:
+        """Linear program with at least one recursive rule."""
+        return self.is_linear_program() and self.is_recursive_program()
+
+    def is_binary_chain_program(self) -> bool:
+        """All predicates binary and all intensional rules binary-chain rules."""
+        for predicate in self.program.predicates:
+            try:
+                if self.program.arity(predicate) != 2:
+                    return False
+            except KeyError:
+                continue
+        return all(r.is_binary_chain_rule() for r in self.program.idb_rules())
+
+    def is_right_linear_predicate(self, predicate: str) -> bool:
+        """All rules of predicates mutually recursive to ``predicate`` are right-linear."""
+        group = self.mutually_recursive_set(predicate) or frozenset({predicate})
+        for member in group:
+            for rule in self.program.rules_for(member):
+                if rule.body and not self.is_right_linear_rule(rule):
+                    return False
+        return True
+
+    def is_left_linear_predicate(self, predicate: str) -> bool:
+        """All rules of predicates mutually recursive to ``predicate`` are left-linear."""
+        group = self.mutually_recursive_set(predicate) or frozenset({predicate})
+        for member in group:
+            for rule in self.program.rules_for(member):
+                if rule.body and not self.is_left_linear_rule(rule):
+                    return False
+        return True
+
+    def is_regular_predicate(self, predicate: str) -> bool:
+        """Right-linear or left-linear (Section 2)."""
+        return self.is_right_linear_predicate(predicate) or self.is_left_linear_predicate(
+            predicate
+        )
+
+    def is_regular_program(self) -> bool:
+        """Binary-chain program all of whose derived predicates are regular."""
+        if not self.is_binary_chain_program():
+            return False
+        return all(self.is_regular_predicate(p) for p in self.program.derived_predicates)
+
+    def has_single_recursive_rule_per_nonregular_predicate(self) -> bool:
+        """The premise of statement (6) of Lemma 1.
+
+        For each nonregular predicate ``q`` there is at most one rule whose
+        head is ``q`` and whose body contains a predicate mutually recursive
+        to ``q``.
+        """
+        for predicate in self.program.derived_predicates:
+            if self.is_regular_predicate(predicate):
+                continue
+            recursive_rules = [
+                r for r in self.program.rules_for(predicate) if self.is_recursive_rule(r)
+            ]
+            if len(recursive_rules) > 1:
+                return False
+        return True
+
+
+def analyze(program: Program) -> ProgramAnalysis:
+    """Convenience wrapper: :meth:`ProgramAnalysis.of`."""
+    return ProgramAnalysis.of(program)

@@ -1,0 +1,255 @@
+"""The extensional database: relation storage with per-position hash indexes.
+
+The paper assumes (Section 3, comparison with Bancilhon et al.) that "any
+tuple in a base relation can be retrieved in constant time".  This module
+provides exactly that abstraction: a :class:`Database` stores, per predicate,
+a set of constant tuples and maintains hash indexes keyed by any subset of
+bound argument positions, so that a lookup such as ``up(a, Y)`` touches only
+the matching tuples.
+
+Every retrieval can be charged to a :class:`~repro.instrumentation.Counters`
+object, which is how the benchmarks measure the "set of potentially relevant
+facts" consulted by each strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..instrumentation import Counters
+from .literals import Literal
+from .rules import Program, Rule
+from .terms import Constant, Term, Variable
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A single stored relation: a set of constant tuples plus indexes."""
+
+    def __init__(self, name: str, arity: int):
+        self.name = name
+        self.arity = arity
+        self.rows: Set[Row] = set()
+        # Indexes are built lazily: bound-position frozenset -> key tuple -> rows.
+        self._indexes: Dict[FrozenSet[int], Dict[Row, Set[Row]]] = {}
+
+    def add(self, row: Row) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
+            )
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in sorted(positions))
+            index.setdefault(key, set()).add(row)
+        return True
+
+    def _index_for(self, positions: FrozenSet[int]) -> Dict[Row, Set[Row]]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            ordered = sorted(positions)
+            for row in self.rows:
+                key = tuple(row[i] for i in ordered)
+                index.setdefault(key, set()).add(row)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, bindings: Dict[int, object]) -> Set[Row]:
+        """All rows whose value at each position in ``bindings`` matches.
+
+        ``bindings`` maps argument positions (0-based) to required constants.
+        An empty ``bindings`` returns every row.
+        """
+        if not bindings:
+            return self.rows
+        positions = frozenset(bindings)
+        index = self._index_for(positions)
+        key = tuple(bindings[i] for i in sorted(positions))
+        return index.get(key, set())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.rows
+
+
+class Database:
+    """A mutable collection of relations (the extensional database).
+
+    The same class is used for derived relations produced by the bottom-up
+    engines, so that intermediate results enjoy the same indexing.
+    """
+
+    def __init__(self, counters: Optional[Counters] = None):
+        self.relations: Dict[str, Relation] = {}
+        self.counters = counters if counters is not None else Counters()
+        self._touched: Set[Tuple[str, Row]] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add_fact(self, predicate: str, values: Iterable[object]) -> bool:
+        """Add a single fact; returns True when it is new."""
+        row = tuple(v.value if isinstance(v, Constant) else v for v in values)
+        relation = self.relations.get(predicate)
+        if relation is None:
+            relation = Relation(predicate, len(row))
+            self.relations[predicate] = relation
+        return relation.add(row)
+
+    def add_facts(self, predicate: str, rows: Iterable[Iterable[object]]) -> int:
+        """Add many facts; returns the number of new ones."""
+        added = 0
+        for row in rows:
+            if self.add_fact(predicate, row):
+                added += 1
+        return added
+
+    def load_program_facts(self, program: Program) -> int:
+        """Copy every fact embedded in a program into this database."""
+        added = 0
+        for fact in program.edb_facts():
+            if self.add_fact(fact.head.predicate, fact.head.constant_values()):
+                added += 1
+        return added
+
+    @classmethod
+    def from_program(cls, program: Program, counters: Optional[Counters] = None) -> "Database":
+        """Build a database from the facts of ``program``."""
+        db = cls(counters=counters)
+        db.load_program_facts(program)
+        return db
+
+    @classmethod
+    def from_dict(
+        cls, facts: Dict[str, Iterable[Iterable[object]]], counters: Optional[Counters] = None
+    ) -> "Database":
+        """Build a database from ``{"pred": [(a, b), ...], ...}``."""
+        db = cls(counters=counters)
+        for predicate, rows in facts.items():
+            db.add_facts(predicate, rows)
+        return db
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def predicates(self) -> Set[str]:
+        """Names of the stored relations."""
+        return set(self.relations)
+
+    def arity(self, predicate: str) -> Optional[int]:
+        """Arity of a stored relation, or ``None`` when unknown."""
+        relation = self.relations.get(predicate)
+        return relation.arity if relation else None
+
+    def rows(self, predicate: str) -> Set[Row]:
+        """All rows of a relation (empty set for unknown predicates).
+
+        This accessor does *not* charge retrieval counters; it is meant for
+        inspection and for bulk set operations whose cost the caller accounts
+        for separately.
+        """
+        relation = self.relations.get(predicate)
+        return set(relation.rows) if relation else set()
+
+    def contains(self, predicate: str, row: Row) -> bool:
+        """Membership test, charged as a single retrieval."""
+        relation = self.relations.get(predicate)
+        found = relation is not None and tuple(row) in relation
+        self._charge(predicate, [tuple(row)] if found else [])
+        return found
+
+    def match(self, literal: Literal, charge: bool = True) -> List[Row]:
+        """Rows of ``literal``'s relation matching its bound positions.
+
+        The literal may mix constants and variables; repeated variables are
+        honoured (``p(X, X)`` only matches rows with equal components).
+        Retrievals are charged to :attr:`counters` unless ``charge`` is false.
+        """
+        relation = self.relations.get(literal.predicate)
+        if relation is None:
+            return []
+        bindings: Dict[int, object] = {}
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Constant):
+                bindings[position] = term.value
+        candidates = relation.lookup(bindings)
+        # Enforce repeated-variable equality constraints.
+        var_positions: Dict[Variable, List[int]] = {}
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Variable):
+                var_positions.setdefault(term, []).append(position)
+        repeated = [positions for positions in var_positions.values() if len(positions) > 1]
+        if repeated:
+            result = [
+                row
+                for row in candidates
+                if all(len({row[i] for i in positions}) == 1 for positions in repeated)
+            ]
+        else:
+            result = list(candidates)
+        if charge:
+            self._charge(literal.predicate, result)
+        return result
+
+    def count(self, predicate: str) -> int:
+        """Number of rows stored for ``predicate``."""
+        relation = self.relations.get(predicate)
+        return len(relation) if relation else 0
+
+    def total_facts(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(len(rel) for rel in self.relations.values())
+
+    # -- instrumentation -----------------------------------------------------------
+
+    def _charge(self, predicate: str, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.counters.fact_retrievals += 1
+            key = (predicate, row)
+            if key not in self._touched:
+                self._touched.add(key)
+                self.counters.distinct_facts += 1
+
+    def reset_instrumentation(self, counters: Optional[Counters] = None) -> None:
+        """Start a fresh measurement (optionally swapping the counter object)."""
+        if counters is not None:
+            self.counters = counters
+        else:
+            self.counters.reset()
+        self._touched.clear()
+
+    # -- conversion ------------------------------------------------------------------
+
+    def to_facts(self) -> List[Rule]:
+        """Render the whole database as a list of fact rules."""
+        facts: List[Rule] = []
+        for predicate, relation in sorted(self.relations.items()):
+            for row in sorted(relation.rows, key=repr):
+                facts.append(Rule(Literal(predicate, [Constant(v) for v in row])))
+        return facts
+
+    def copy(self) -> "Database":
+        """An independent copy sharing no mutable state (counters excluded)."""
+        clone = Database()
+        for predicate, relation in self.relations.items():
+            clone.add_facts(predicate, relation.rows)
+        return clone
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {p: rel.rows for p, rel in self.relations.items() if rel.rows}
+        theirs = {p: rel.rows for p, rel in other.relations.items() if rel.rows}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{p}:{len(rel)}" for p, rel in sorted(self.relations.items()))
+        return f"Database({parts})"

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Datalog substrate.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so a caller
+can catch the whole family with a single ``except`` clause.  The more specific
+classes distinguish problems with the *text* of a program (parsing), with its
+*structure* (validation, safety), and with the *applicability* of an
+evaluation strategy to a given program/query pair.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class DatalogSyntaxError(ReproError):
+    """Raised by the parser when the program text is malformed.
+
+    Attributes
+    ----------
+    line:
+        One-based line number at which the problem was detected, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ProgramValidationError(ReproError):
+    """Raised when a structurally invalid program is constructed.
+
+    Examples: a base predicate used in the head of a rule with a non-empty
+    body, a predicate used with two different arities, or an unsafe rule
+    (a head variable that does not occur in any positive body literal).
+    """
+
+
+class UnsafeRuleError(ProgramValidationError):
+    """Raised for rules whose head variables are not bound by the body."""
+
+
+class NotApplicableError(ReproError):
+    """Raised when an evaluation strategy does not apply to the given input.
+
+    The paper's method only covers certain program classes (binary-chain,
+    linear, chain programs after adornment); asking the corresponding
+    evaluator to run outside its class raises this error rather than silently
+    producing wrong answers.
+    """
+
+
+class NonTerminationError(ReproError):
+    """Raised when an iterative evaluator exceeds its iteration budget.
+
+    The basic graph-traversal algorithm of the paper may not terminate on
+    cyclic data (Section 3, Figure 8).  Evaluators accept an explicit
+    ``max_iterations`` bound and raise this error when the bound is hit
+    without the termination condition being reached.
+    """
+
+    def __init__(self, message: str, partial_answer=None, iterations: int | None = None):
+        super().__init__(message)
+        self.partial_answer = partial_answer
+        self.iterations = iterations
+
+
+class EvaluationError(ReproError):
+    """Raised for internal inconsistencies detected during evaluation."""

@@ -1,0 +1,157 @@
+"""Literals: a predicate name applied to a vector of terms.
+
+Section 2 of the paper: "each ``p_i(X_i)`` is called a *literal*, and ``X_i``
+is its *argument vector*".  We additionally support the built-in comparison
+predicates (``<``, ``<=``, ``>``, ``>=``, ``=``, ``!=``) that the paper's
+flight-connections example of Section 4 uses (``AT1 < DT1``).  Built-in
+literals are evaluated, never stored, and are only legal when their arguments
+are bound at evaluation time (the paper's safety requirement: "unsafe
+built-in predicates must not be allowed").
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from .terms import Constant, Term, TermLike, Variable, make_term
+
+#: The built-in comparison predicates and their Python implementations.
+BUILTIN_PREDICATES: Dict[str, Callable[[object, object], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Literal:
+    """An atom ``p(t1, ..., tn)``.
+
+    Instances are immutable and hashable.  The constructor coerces raw Python
+    values in ``args`` through :func:`repro.datalog.terms.make_term`, so both
+    of the following are accepted and equivalent::
+
+        Literal("up", [Variable("X"), Constant("a")])
+        Literal("up", ["X", "a"])
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Sequence[TermLike] = ()):
+        if not isinstance(predicate, str) or not predicate:
+            raise ValueError("predicate name must be a non-empty string")
+        self.predicate = predicate
+        self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
+        self._hash = hash((self.predicate, self.args))
+
+    # -- basic structural properties -------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    @property
+    def is_builtin(self) -> bool:
+        """True when the predicate is a built-in comparison."""
+        return self.predicate in BUILTIN_PREDICATES
+
+    @property
+    def is_ground(self) -> bool:
+        """True when every argument is a constant."""
+        return all(t.is_constant for t in self.args)
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the literal has exactly two argument positions."""
+        return self.arity == 2
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables occurring in the argument vector, left to right.
+
+        Duplicates are preserved so that callers can reason about shared
+        positions; use ``set(lit.variables())`` for the distinct set.
+        """
+        return tuple(t for t in self.args if isinstance(t, Variable))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """The constants occurring in the argument vector, left to right."""
+        return tuple(t for t in self.args if isinstance(t, Constant))
+
+    def constant_values(self) -> Tuple[object, ...]:
+        """The payload values of the argument vector; requires groundness."""
+        if not self.is_ground:
+            raise ValueError(f"literal {self} is not ground")
+        return tuple(t.value for t in self.args)  # type: ignore[union-attr]
+
+    # -- derived literals --------------------------------------------------
+
+    def with_args(self, args: Sequence[TermLike]) -> "Literal":
+        """A copy of this literal with a different argument vector."""
+        return Literal(self.predicate, args)
+
+    def with_predicate(self, predicate: str) -> "Literal":
+        """A copy of this literal with a different predicate name."""
+        return Literal(predicate, self.args)
+
+    def evaluate_builtin(self) -> bool:
+        """Evaluate a ground built-in comparison literal.
+
+        Raises
+        ------
+        ValueError
+            If the literal is not a built-in, is not binary, or is not ground.
+        """
+        if not self.is_builtin:
+            raise ValueError(f"{self.predicate} is not a built-in predicate")
+        if self.arity != 2:
+            raise ValueError("built-in comparisons take exactly two arguments")
+        if not self.is_ground:
+            raise ValueError(f"built-in literal {self} has unbound arguments")
+        left, right = self.constant_values()
+        return BUILTIN_PREDICATES[self.predicate](left, right)
+
+    # -- shared-variable structure (used by the adornment algorithm) -------
+
+    def shares_variable_with(self, other: "Literal") -> bool:
+        """True when the two literals are *directly connected*.
+
+        The paper (Section 4, condition (2)): "Two literals in a rule are
+        directly connected if they share a common variable as an argument."
+        """
+        mine = set(self.variables())
+        return any(v in mine for v in other.variables())
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.predicate == other.predicate
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Literal({self.predicate!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        if self.is_builtin and self.arity == 2:
+            return f"{self.args[0]} {self.predicate} {self.args[1]}"
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+def ground_atom(predicate: str, values: Iterable[object]) -> Literal:
+    """Build a ground literal directly from raw Python values.
+
+    Unlike the :class:`Literal` constructor, strings are *not* interpreted as
+    variables even when capitalised: every value becomes a constant.
+    """
+    return Literal(predicate, [Constant(v) if not isinstance(v, Constant) else v for v in values])

@@ -1,0 +1,266 @@
+"""A small parser for textual Datalog programs.
+
+The accepted syntax mirrors the notation of the paper closely::
+
+    % the same generation program (comments start with '%' or '#')
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+
+    up(a, b).          % facts: ground heads with no body
+    flat(b, c).
+
+Conventions
+-----------
+* identifiers starting with an upper-case letter or ``_`` are **variables**;
+* identifiers starting with a lower-case letter are **constant symbols**
+  (their payload is the identifier string);
+* integer literals are constants with an ``int`` payload;
+* single- or double-quoted strings are constants with a ``str`` payload;
+* the infix comparisons ``<  <=  >  >=  =  !=`` are built-in literals
+  (``AT1 < DT1`` in the flight example of Section 4);
+* each clause ends with a period.
+
+The parser produces :class:`~repro.datalog.rules.Program` /
+:class:`~repro.datalog.rules.Rule` objects; queries (single literals with a
+mix of constants and variables, e.g. ``sg(john, Y)``) can be parsed with
+:func:`parse_literal`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from .errors import DatalogSyntaxError
+from .literals import BUILTIN_PREDICATES, Literal
+from .rules import Program, Rule
+from .terms import Constant, Term, Variable
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"(%|#|//)[^\n]*"),
+    ("WS", r"[ \t\r\n]+"),
+    ("IMPLIES", r":-"),
+    ("COMPARE", r"<=|>=|!=|==|<|>|="),
+    ("NUMBER", r"-?\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("PERIOD", r"\."),
+    ("QMARK", r"\?"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split program text into tokens, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DatalogSyntaxError(f"unexpected character {text[pos]!r}", line=line)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, value, line))
+        line += value.count("\n")
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = list(tokens)
+        self.index = 0
+
+    # -- token stream helpers ------------------------------------------------
+
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise DatalogSyntaxError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            found = token.text if token else "end of input"
+            line = token.line if token else None
+            raise DatalogSyntaxError(f"expected {kind}, found {found!r}", line=line)
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_program(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_literal()
+        if head.is_builtin:
+            raise DatalogSyntaxError(
+                f"built-in predicate {head.predicate!r} cannot be a rule head"
+            )
+        token = self.peek()
+        body: List[Literal] = []
+        if token is not None and token.kind == "IMPLIES":
+            self.advance()
+            body.append(self.parse_literal())
+            while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
+                self.advance()
+                body.append(self.parse_literal())
+        self.expect("PERIOD")
+        return Rule(head, body)
+
+    def parse_literal(self) -> Literal:
+        token = self.peek()
+        if token is None:
+            raise DatalogSyntaxError("unexpected end of input while reading a literal")
+        # Either `ident(args)` or an infix comparison `term OP term`.
+        first_term, was_plain_atom = self.parse_term_or_atom()
+        nxt = self.peek()
+        if nxt is not None and nxt.kind == "COMPARE":
+            op = self.advance().text
+            right, _ = self.parse_term_or_atom()
+            if op not in BUILTIN_PREDICATES:
+                raise DatalogSyntaxError(f"unknown comparison operator {op!r}", line=nxt.line)
+            return Literal(op, [first_term, right])
+        if was_plain_atom and isinstance(first_term, Constant):
+            # A zero-argument predicate like `halt.` -- represent as arity 0.
+            return Literal(str(first_term.value), [])
+        raise DatalogSyntaxError(
+            f"expected a literal near {token.text!r}", line=token.line
+        )
+
+    def parse_term_or_atom(self) -> Tuple[Term, bool]:
+        """Parse either a term, or an atom ``p(t, ...)`` (returned via exception path).
+
+        Returns ``(term, True)`` when the construct was a bare identifier or
+        literal value.  When an identifier is immediately followed by ``(`` we
+        instead parse the full atom and *raise through* by storing it --
+        handled by :meth:`parse_literal` through `_pending_atom`.
+        """
+        token = self.advance()
+        if token.kind == "IDENT":
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "LPAREN":
+                # It is an atom: p(arg, ..., arg)
+                self.advance()
+                args: List[Term] = []
+                if self.peek() is not None and self.peek().kind != "RPAREN":  # type: ignore[union-attr]
+                    args.append(self.parse_term())
+                    while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
+                        self.advance()
+                        args.append(self.parse_term())
+                self.expect("RPAREN")
+                atom = Literal(token.text, args)
+                self._pending_atom = atom
+                raise _AtomParsed(atom)
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text), True
+            return Constant(token.text), True
+        if token.kind == "NUMBER":
+            return Constant(int(token.text)), True
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1]), True
+        raise DatalogSyntaxError(f"unexpected token {token.text!r}", line=token.line)
+
+    def parse_term(self) -> Term:
+        token = self.advance()
+        if token.kind == "IDENT":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        if token.kind == "NUMBER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        raise DatalogSyntaxError(f"expected a term, found {token.text!r}", line=token.line)
+
+
+class _AtomParsed(Exception):
+    """Internal control-flow signal: a full atom was parsed where a term could be."""
+
+    def __init__(self, atom: Literal):
+        super().__init__(str(atom))
+        self.atom = atom
+
+
+def _parse_literal_with_atoms(parser: _Parser) -> Literal:
+    try:
+        return parser.parse_literal()
+    except _AtomParsed as signal:
+        return signal.atom
+
+
+# Patch the grammar entry points to route the atom signal.  Using the
+# exception keeps parse_term_or_atom simple while letting `p(X) < q(Y)` be
+# rejected naturally (comparisons only accept plain terms).
+_original_parse_literal = _Parser.parse_literal
+
+
+def _parse_literal(self: _Parser) -> Literal:  # type: ignore[override]
+    try:
+        return _original_parse_literal(self)
+    except _AtomParsed as signal:
+        return signal.atom
+
+
+_Parser.parse_literal = _parse_literal  # type: ignore[method-assign]
+
+
+def parse_program(text: str, validate: bool = True) -> Program:
+    """Parse a full program (rules and facts) from text."""
+    parser = _Parser(tokenize(text))
+    rules = parser.parse_program()
+    return Program(rules, validate=validate)
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse text into a list of rules without building a validated Program."""
+    parser = _Parser(tokenize(text))
+    return parser.parse_program()
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single literal, e.g. a query such as ``sg(john, Y)``.
+
+    A trailing period or question mark is accepted and ignored.
+    """
+    tokens = [t for t in tokenize(text) if t.kind not in ("PERIOD", "QMARK")]
+    parser = _Parser(tokens)
+    literal = parser.parse_literal()
+    if not parser.at_end():
+        extra = parser.peek()
+        raise DatalogSyntaxError(
+            f"unexpected trailing input {extra.text!r}", line=extra.line if extra else None
+        )
+    return literal
+
+
+def parse_query(text: str) -> Literal:
+    """Alias of :func:`parse_literal`, reads better at call sites."""
+    return parse_literal(text)

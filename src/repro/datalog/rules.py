@@ -1,0 +1,305 @@
+"""Rules and programs.
+
+A Datalog program (Section 2 of the paper) is a finite set of rules
+
+    p0(X0) :- p1(X1), p2(X2), ..., pn(Xn)
+
+A rule with an empty body and an all-constant head is a *fact*; the set of
+facts is the *extensional database* (EDB) and the remaining rules form the
+*intensional database* (IDB).  Predicates appearing in facts are *base*
+predicates, predicates appearing in the head of a rule with a non-empty body
+are *derived* predicates, and the two sets must be disjoint.
+
+:class:`Program` stores the rules, computes the base/derived split, validates
+the structural requirements (disjointness, consistent arities, safety) and
+offers the classification helpers that Section 2 defines on individual rules
+(binary-chain rule, linear rule).  Whole-program classification that needs
+the mutual-recursion relation (recursive, linear, regular, binary-chain
+*programs*) lives in :mod:`repro.datalog.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .errors import ProgramValidationError, UnsafeRuleError
+from .literals import Literal
+from .terms import Variable
+
+
+class Rule:
+    """A single Horn clause ``head :- body``.
+
+    Instances are immutable and hashable.  A rule with an empty body whose
+    head is ground is a *fact* (:attr:`is_fact`).
+    """
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Literal, body: Sequence[Literal] = ()):
+        if head.is_builtin:
+            raise ProgramValidationError(
+                f"built-in predicate {head.predicate!r} cannot appear in a rule head"
+            )
+        self.head = head
+        self.body: Tuple[Literal, ...] = tuple(body)
+        self._hash = hash((self.head, self.body))
+
+    # -- structural properties ---------------------------------------------
+
+    @property
+    def is_fact(self) -> bool:
+        """True for a rule with an empty body and an all-constant head."""
+        return not self.body and self.head.is_ground
+
+    @property
+    def body_predicates(self) -> Tuple[str, ...]:
+        """Predicate names occurring in the body, in order, builtins included."""
+        return tuple(lit.predicate for lit in self.body)
+
+    def positive_body(self) -> Tuple[Literal, ...]:
+        """Body literals that are not built-in comparisons."""
+        return tuple(lit for lit in self.body if not lit.is_builtin)
+
+    def builtin_body(self) -> Tuple[Literal, ...]:
+        """Body literals that are built-in comparisons."""
+        return tuple(lit for lit in self.body if lit.is_builtin)
+
+    def variables(self) -> Set[Variable]:
+        """All variables occurring anywhere in the rule."""
+        result: Set[Variable] = set(self.head.variables())
+        for lit in self.body:
+            result.update(lit.variables())
+        return result
+
+    def is_safe(self) -> bool:
+        """Safety: every head / built-in variable occurs in a positive body literal.
+
+        Facts are trivially safe.  This is the restriction the paper imposes
+        ("unsafe built-in predicates must not be allowed") extended with the
+        usual range-restriction on head variables.
+        """
+        bound: Set[Variable] = set()
+        for lit in self.positive_body():
+            bound.update(lit.variables())
+        if not self.body:
+            return self.head.is_ground
+        head_ok = all(v in bound for v in self.head.variables())
+        builtin_ok = all(
+            all(v in bound for v in lit.variables()) for lit in self.builtin_body()
+        )
+        return head_ok and builtin_ok
+
+    # -- Section 2 rule classes ---------------------------------------------
+
+    def is_binary_chain_rule(self) -> bool:
+        """True for a rule of the binary-chain form.
+
+        ``p(X1, Xn+1) :- p1(X1, X2), p2(X2, X3), ..., pn(Xn, Xn+1)`` with all
+        the ``X1 .. Xn+1`` distinct variables and ``n >= 0`` (an empty body is
+        allowed when the head is of the form ``p(X, X)``, which is how the
+        reflexivity rule of ``*`` is written).
+        """
+        if self.head.arity != 2:
+            return False
+        if any(not t.is_variable for t in self.head.args):
+            return False
+        x_first, x_last = self.head.args
+        if not self.body:
+            # p*(X, X) :-   -- the degenerate chain of length 0.
+            return x_first == x_last
+        chain_vars: List[Variable] = [x_first]  # type: ignore[list-item]
+        for lit in self.body:
+            if lit.is_builtin or lit.arity != 2:
+                return False
+            left, right = lit.args
+            if not (left.is_variable and right.is_variable):
+                return False
+            if left != chain_vars[-1]:
+                return False
+            chain_vars.append(right)  # type: ignore[arg-type]
+        if chain_vars[-1] != x_last:
+            return False
+        return len(set(chain_vars)) == len(chain_vars)
+
+    def count_occurrences(self, predicates: Set[str]) -> int:
+        """Number of body literals whose predicate belongs to ``predicates``."""
+        return sum(1 for lit in self.body if lit.predicate in predicates)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Rule) and self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {list(self.body)!r})"
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {body}."
+
+
+class Program:
+    """A finite set of rules, split into extensional and intensional parts.
+
+    Parameters
+    ----------
+    rules:
+        The rules, facts included.  Order is preserved (it is occasionally
+        meaningful for reproducing the paper's worked examples verbatim) but
+        equality of programs ignores it.
+    validate:
+        When true (the default) the constructor checks the structural
+        requirements of Section 2 and raises
+        :class:`~repro.datalog.errors.ProgramValidationError` on violation.
+    """
+
+    def __init__(self, rules: Iterable[Rule], validate: bool = True):
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._arities: Dict[str, int] = {}
+        self._base: Set[str] = set()
+        self._derived: Set[str] = set()
+        self._rules_by_head: Dict[str, List[Rule]] = {}
+        self._classify()
+        if validate:
+            self._validate()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _classify(self) -> None:
+        for rule in self.rules:
+            self._check_arity(rule.head)
+            for lit in rule.body:
+                if not lit.is_builtin:
+                    self._check_arity(lit)
+            if rule.body:
+                self._derived.add(rule.head.predicate)
+            self._rules_by_head.setdefault(rule.head.predicate, []).append(rule)
+        for rule in self.rules:
+            if not rule.body:
+                pred = rule.head.predicate
+                if pred not in self._derived:
+                    self._base.add(pred)
+        # Predicates that only ever occur in bodies are base relations too
+        # (their facts may live in an external Database object).
+        for rule in self.rules:
+            for lit in rule.body:
+                if lit.is_builtin:
+                    continue
+                pred = lit.predicate
+                if pred not in self._derived:
+                    self._base.add(pred)
+
+    def _check_arity(self, literal: Literal) -> None:
+        known = self._arities.get(literal.predicate)
+        if known is None:
+            self._arities[literal.predicate] = literal.arity
+        elif known != literal.arity:
+            raise ProgramValidationError(
+                f"predicate {literal.predicate!r} used with arities {known} and {literal.arity}"
+            )
+
+    def _validate(self) -> None:
+        # Section 2 forbids a predicate from being both base and derived:
+        # "no base predicate appears in the head of a rule with a nonempty
+        # body".  A predicate with at least one fact and at least one proper
+        # rule violates this.
+        with_facts = {r.head.predicate for r in self.rules if not r.body}
+        overlap = with_facts & self._derived
+        if overlap:
+            name = sorted(overlap)[0]
+            raise ProgramValidationError(
+                f"predicate {name!r} is used both as a base and as a derived predicate"
+            )
+        for rule in self.rules:
+            if not rule.body and not rule.head.is_ground:
+                raise ProgramValidationError(
+                    f"rule {rule} has an empty body but a non-ground head"
+                )
+            if not rule.is_safe():
+                raise UnsafeRuleError(f"rule {rule} is unsafe")
+
+    # -- predicate sets ---------------------------------------------------------
+
+    @property
+    def base_predicates(self) -> Set[str]:
+        """Predicates that only occur in facts or rule bodies (EDB relations)."""
+        return set(self._base)
+
+    @property
+    def derived_predicates(self) -> Set[str]:
+        """Predicates defined by at least one rule with a non-empty body."""
+        return set(self._derived)
+
+    @property
+    def predicates(self) -> Set[str]:
+        """All non-built-in predicates mentioned anywhere in the program."""
+        return set(self._arities)
+
+    def arity(self, predicate: str) -> int:
+        """Declared arity of ``predicate``.
+
+        Raises ``KeyError`` for unknown predicates.
+        """
+        return self._arities[predicate]
+
+    # -- rule access -------------------------------------------------------------
+
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """All rules (facts included) whose head predicate is ``predicate``."""
+        return tuple(self._rules_by_head.get(predicate, ()))
+
+    def idb_rules(self) -> Tuple[Rule, ...]:
+        """The intensional database: rules with a non-empty body."""
+        return tuple(r for r in self.rules if r.body)
+
+    def edb_facts(self) -> Tuple[Rule, ...]:
+        """The extensional database: facts embedded in the program text."""
+        return tuple(r for r in self.rules if not r.body)
+
+    def is_binary(self) -> bool:
+        """True when every non-built-in predicate is binary."""
+        return all(a == 2 for p, a in self._arities.items() if p not in (">", "<"))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Program) and set(self.rules) == set(other.rules)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.rules))
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules)"
+
+    # -- convenience constructors --------------------------------------------------
+
+    def extended(self, extra_rules: Iterable[Rule]) -> "Program":
+        """A new program with ``extra_rules`` appended."""
+        return Program(list(self.rules) + list(extra_rules))
+
+    def without_facts(self) -> "Program":
+        """A new program containing only the intensional rules."""
+        return Program(self.idb_rules(), validate=False)
+
+
+def rule(head: Literal, *body: Literal) -> Rule:
+    """Terse constructor: ``rule(h, b1, b2)`` instead of ``Rule(h, [b1, b2])``."""
+    return Rule(head, body)
+
+
+def program_from_rules(*rules_: Rule) -> Program:
+    """Terse constructor for a :class:`Program` from individual rules."""
+    return Program(rules_)

@@ -1,0 +1,109 @@
+"""Model-theoretic semantics: the least model, used as ground truth.
+
+Section 2 of the paper defines truth via derivations: ``p(c)`` is true iff
+``{p(c)}`` derives a set of extensional facts.  For a Datalog program this
+coincides with membership in the least fixpoint of the immediate-consequence
+operator, which is what this module computes by plain (unoptimised) naive
+iteration.  Every evaluation strategy in :mod:`repro.engines` and the
+graph-traversal algorithm of :mod:`repro.core` is tested against this
+function; it is deliberately simple rather than fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .database import Database, Row
+from .literals import Literal
+from .rules import Program, Rule
+from .terms import Constant, Variable
+from .unify import instantiate_rule, match_literal
+
+
+def least_model(program: Program, database: Optional[Database] = None) -> Database:
+    """Compute the least model of ``program`` over ``database``.
+
+    Parameters
+    ----------
+    program:
+        The Datalog program.  Facts embedded in the program are added to the
+        extensional database automatically.
+    database:
+        Extensional facts stored externally (may be ``None``).
+
+    Returns
+    -------
+    Database
+        A database containing *all* facts of the least model: the extensional
+        relations plus every derived tuple.
+    """
+    model = Database()
+    if database is not None:
+        for predicate in database.predicates():
+            model.add_facts(predicate, database.rows(predicate))
+    model.load_program_facts(program)
+
+    idb_rules = program.idb_rules()
+    changed = True
+    while changed:
+        changed = False
+        for rule in idb_rules:
+            for head_row, _ in instantiate_rule(rule, model):
+                if model.add_fact(rule.head.predicate, head_row):
+                    changed = True
+    return model
+
+
+def derived_relation(
+    program: Program, predicate: str, database: Optional[Database] = None
+) -> Set[Row]:
+    """All tuples of ``predicate`` in the least model."""
+    return least_model(program, database).rows(predicate)
+
+
+def answer_query(
+    program: Program, query: Literal, database: Optional[Database] = None
+) -> Set[Tuple[object, ...]]:
+    """Answer a query literal against the least model.
+
+    The answer is, per the paper, "the set of all instantiations of the
+    variables in the query such that the instantiated literal is true".  The
+    returned tuples list the values of the query's *distinct variables* in
+    order of first occurrence.  For a ground query the result is either the
+    empty set (false) or ``{()}`` (true).
+    """
+    model = least_model(program, database)
+    return answer_against_relation(model.rows(query.predicate), query)
+
+
+def answer_against_relation(
+    rows: Iterable[Row], query: Literal
+) -> Set[Tuple[object, ...]]:
+    """Project the rows matching ``query`` onto its distinct variables."""
+    variables: List[Variable] = []
+    for term in query.args:
+        if isinstance(term, Variable) and term not in variables:
+            variables.append(term)
+    answers: Set[Tuple[object, ...]] = set()
+    for row in rows:
+        substitution = match_literal(query, row)
+        if substitution is None:
+            continue
+        answers.add(tuple(substitution[v] for v in variables))
+    return answers
+
+
+def free_variable_order(query: Literal) -> List[Variable]:
+    """The distinct variables of a query, in order of first occurrence."""
+    variables: List[Variable] = []
+    for term in query.args:
+        if isinstance(term, Variable) and term not in variables:
+            variables.append(term)
+    return variables
+
+
+def is_true(program: Program, atom: Literal, database: Optional[Database] = None) -> bool:
+    """Truth of a ground atom in the least model."""
+    if not atom.is_ground:
+        raise ValueError(f"atom {atom} is not ground")
+    return atom.constant_values() in least_model(program, database).rows(atom.predicate)

@@ -1,0 +1,141 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper (Section 2) defines a term as *a variable or a constant*.  There
+are no function symbols in Datalog, so terms never nest -- with one pragmatic
+exception used by the Section 4 transformation: the transformed binary-chain
+program manipulates *tuples of constants* as single domain elements (the
+``t(X^b)`` / ``t(X^f)`` notation of the paper).  We therefore allow the value
+carried by a :class:`Constant` to be any hashable Python object, including a
+tuple of other constant values.
+
+Both classes are immutable and hashable so they can live in sets and be used
+as dictionary keys, which the evaluation engines rely on heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Term:
+    """Abstract base class for :class:`Variable` and :class:`Constant`."""
+
+    __slots__ = ()
+
+    @property
+    def is_variable(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.is_variable
+
+
+class Variable(Term):
+    """A logical variable, identified by its name.
+
+    Two variables with the same name are the same variable.  By the textual
+    convention of :mod:`repro.datalog.parser`, variable names start with an
+    upper-case letter or an underscore, but the class itself accepts any
+    non-empty string.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError("variable name must be a non-empty string")
+        self.name = name
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant, wrapping an arbitrary hashable Python value.
+
+    Strings, integers and tuples of such values are the typical payloads.
+    Equality and hashing delegate to the wrapped value, so ``Constant(3)``
+    and ``Constant(3)`` are interchangeable.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        hash(value)  # fail fast on unhashable payloads
+        self.value = value
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return format_constant_value(self.value)
+
+
+TermLike = Union[Term, str, int, float, tuple]
+
+
+def format_constant_value(value) -> str:
+    """Render a constant payload the way the parser would accept it back."""
+    if isinstance(value, tuple):
+        inner = ", ".join(format_constant_value(v) for v in value)
+        return f"t({inner})"
+    if isinstance(value, str):
+        if value and (value[0].islower() or value[0].isdigit()) and all(
+            ch.isalnum() or ch == "_" for ch in value
+        ):
+            return value
+        return repr(value)
+    return repr(value)
+
+
+def make_term(value: TermLike) -> Term:
+    """Coerce a convenient Python value into a :class:`Term`.
+
+    * :class:`Term` instances are returned unchanged.
+    * Strings starting with an upper-case letter or ``_`` become variables
+      (matching the parser's convention).
+    * Everything else becomes a constant.
+
+    This helper keeps the programmatic API terse::
+
+        Literal("up", ["X", "a"])     # Variable("X"), Constant("a")
+        Literal("edge", [1, 2])       # Constant(1), Constant(2)
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+def make_constant(value) -> Constant:
+    """Coerce a raw value into a :class:`Constant` (never a variable)."""
+    if isinstance(value, Constant):
+        return value
+    if isinstance(value, Variable):
+        raise ValueError(f"expected a constant, got variable {value.name}")
+    return Constant(value)

@@ -1,0 +1,198 @@
+"""Substitutions, matching, and rule instantiation over a database.
+
+The bottom-up engines repeatedly need the set of instantiations ``sigma`` of
+a rule's variables such that every body literal, instantiated by ``sigma``,
+is a fact of the (extensional or derived) database.  This module implements
+that as a left-to-right nested-loop join that uses the per-position indexes
+of :class:`~repro.datalog.database.Database` to only enumerate matching rows.
+Built-in comparison literals are evaluated as filters once their arguments
+are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .database import Database, Row
+from .errors import EvaluationError
+from .literals import Literal
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+Substitution = Dict[Variable, object]
+
+
+def apply_to_term(term: Term, substitution: Substitution) -> Term:
+    """Apply a substitution to a single term."""
+    if isinstance(term, Variable) and term in substitution:
+        return Constant(substitution[term])
+    return term
+
+
+def apply_to_literal(literal: Literal, substitution: Substitution) -> Literal:
+    """Apply a substitution to every argument of a literal."""
+    return Literal(literal.predicate, [apply_to_term(t, substitution) for t in literal.args])
+
+
+def apply_to_rule(rule: Rule, substitution: Substitution) -> Rule:
+    """Apply a substitution to the head and every body literal of a rule."""
+    return Rule(
+        apply_to_literal(rule.head, substitution),
+        [apply_to_literal(lit, substitution) for lit in rule.body],
+    )
+
+
+def match_literal(
+    literal: Literal, row: Row, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Extend ``substitution`` so that ``literal`` matches the ground ``row``.
+
+    Returns the extended substitution, or ``None`` when the row is
+    incompatible with the literal's constants or with bindings already in
+    the substitution.  The input substitution is never mutated.
+    """
+    if len(row) != literal.arity:
+        return None
+    result: Substitution = dict(substitution) if substitution else {}
+    for term, value in zip(literal.args, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            assert isinstance(term, Variable)
+            bound = result.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                result[term] = value
+            elif bound != value:
+                return None
+    return result
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def satisfy_body(
+    body: Sequence[Literal],
+    database: Database,
+    initial: Optional[Substitution] = None,
+    derived: Optional[Database] = None,
+    derived_only_for: Optional[Iterable[str]] = None,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions making every body literal true.
+
+    Parameters
+    ----------
+    body:
+        The body literals, processed left to right.  Built-in comparisons are
+        postponed until their arguments are bound and then applied as
+        filters.
+    database:
+        Primary source of facts (typically the EDB plus already-derived
+        tuples, depending on the engine).
+    initial:
+        Bindings already fixed (e.g. from the rule head during top-down
+        evaluation, or from a delta tuple during seminaive evaluation).
+    derived:
+        Optional second database consulted *in addition to* ``database``.
+    derived_only_for:
+        When given, predicates in this collection are looked up only in
+        ``derived`` (used by seminaive evaluation to force one occurrence to
+        range over the delta relation).
+    """
+    pending: List[Literal] = list(body)
+    substitution: Substitution = dict(initial) if initial else {}
+    only_for = set(derived_only_for) if derived_only_for else set()
+    yield from _satisfy(pending, 0, substitution, database, derived, only_for)
+
+
+def _satisfy(
+    body: List[Literal],
+    index: int,
+    substitution: Substitution,
+    database: Database,
+    derived: Optional[Database],
+    derived_only_for: set,
+) -> Iterator[Substitution]:
+    # Greedily evaluate any built-in literal whose arguments are fully bound.
+    position = index
+    while position < len(body):
+        literal = body[position]
+        if literal.is_builtin:
+            grounded = apply_to_literal(literal, substitution)
+            if grounded.is_ground:
+                if not grounded.evaluate_builtin():
+                    return
+                body = body[:position] + body[position + 1 :]
+                continue
+        position += 1
+
+    if index >= len(body):
+        yield dict(substitution)
+        return
+
+    literal = body[index]
+    if literal.is_builtin:
+        # Still unbound at its turn: defer it to the end; if nothing binds it
+        # later the rule is unsafe, which Program validation already rejects.
+        deferred = body[:index] + body[index + 1 :] + [literal]
+        if deferred == body:
+            raise EvaluationError(f"built-in literal {literal} never becomes ground")
+        yield from _satisfy(deferred, index, substitution, database, derived, derived_only_for)
+        return
+
+    bound_literal = apply_to_literal(literal, substitution)
+    candidate_rows: List[Row] = []
+    if literal.predicate not in derived_only_for:
+        candidate_rows.extend(database.match(bound_literal))
+    if derived is not None:
+        candidate_rows.extend(derived.match(bound_literal))
+    for row in candidate_rows:
+        extended = match_literal(literal, row, substitution)
+        if extended is None:
+            continue
+        yield from _satisfy(body, index + 1, extended, database, derived, derived_only_for)
+
+
+def instantiate_rule(
+    rule: Rule,
+    database: Database,
+    derived: Optional[Database] = None,
+    initial: Optional[Substitution] = None,
+    derived_only_for: Optional[Iterable[str]] = None,
+) -> Iterator[Tuple[Row, Substitution]]:
+    """Enumerate head rows derivable by one application of ``rule``.
+
+    Yields ``(head_row, substitution)`` pairs.  The head row contains raw
+    constant values (not :class:`Constant` wrappers).
+    """
+    for substitution in satisfy_body(
+        rule.body, database, initial=initial, derived=derived, derived_only_for=derived_only_for
+    ):
+        head = apply_to_literal(rule.head, substitution)
+        if not head.is_ground:
+            raise EvaluationError(f"rule {rule} produced a non-ground head {head}")
+        yield head.constant_values(), substitution
+
+
+def rename_apart(rule: Rule, suffix: str) -> Rule:
+    """Rename every variable in ``rule`` by appending ``suffix``.
+
+    Used when the same rule is spliced into a derivation more than once and
+    variable capture must be avoided.
+    """
+    mapping: Dict[Variable, object] = {}
+    renamed_args = {}
+    for var in rule.variables():
+        renamed_args[var] = Variable(var.name + suffix)
+
+    def rename_literal(literal: Literal) -> Literal:
+        return Literal(
+            literal.predicate,
+            [renamed_args.get(t, t) if isinstance(t, Variable) else t for t in literal.args],
+        )
+
+    return Rule(rename_literal(rule.head), [rename_literal(lit) for lit in rule.body])

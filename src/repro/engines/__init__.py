@@ -1,0 +1,51 @@
+"""Baseline evaluation strategies for the comparison experiments.
+
+The registry (:func:`available_engines`) exposes:
+
+========================  ====================================================
+name                      strategy
+========================  ====================================================
+``naive``                 naive bottom-up fixpoint [2, 6, 18]
+``seminaive``             seminaive (differential) bottom-up fixpoint [2]
+``topdown``               memoised top-down resolution (QSQ / tabled PROLOG) [24]
+``henschen-naqvi``        the Henschen-Naqvi iterative method [7]
+``magic``                 magic-sets rewriting + seminaive [3, 5]
+``counting``              the counting method [3, 16]
+``reverse-counting``      reverse counting (candidate verification) [3]
+``graph``                 the paper's graph-traversal strategy (Sections 3-4)
+========================  ====================================================
+"""
+
+from .base import Engine, EngineResult, available_engines, get_engine, register
+from .counting import CountingEngine, ReverseCountingEngine
+from .graph import GraphTraversalEngine
+from .henschen_naqvi import HenschenNaqviEngine
+from .magic import MagicSetsEngine, rewrite_magic
+from .naive import NaiveEngine
+from .seminaive import SeminaiveEngine, evaluate_seminaive
+from .topdown import TopDownEngine
+
+
+def run_engine(name, program, query, database=None, counters=None):
+    """Instantiate engine ``name`` and answer ``query`` with it."""
+    return get_engine(name).answer(program, query, database=database, counters=counters)
+
+
+__all__ = [
+    "CountingEngine",
+    "Engine",
+    "EngineResult",
+    "GraphTraversalEngine",
+    "HenschenNaqviEngine",
+    "MagicSetsEngine",
+    "NaiveEngine",
+    "ReverseCountingEngine",
+    "SeminaiveEngine",
+    "TopDownEngine",
+    "available_engines",
+    "evaluate_seminaive",
+    "get_engine",
+    "register",
+    "rewrite_magic",
+    "run_engine",
+]

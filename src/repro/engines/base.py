@@ -1,0 +1,117 @@
+"""Common interface for the baseline evaluation strategies.
+
+Every engine answers a query against a program and a database and reports
+machine-independent work counters, so the comparison benchmarks of the paper
+(Section 3, the same-generation table) can be reproduced by measuring
+``Counters.total_work`` as the database grows.
+
+The engines are deliberately written in the style the original papers
+describe them, *not* optimised beyond that: duplication of work (naive
+evaluation refiring rules, Henschen-Naqvi retraversing paths) is part of what
+the comparison measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple, Type
+
+from ..datalog.database import Database
+from ..datalog.errors import NotApplicableError
+from ..datalog.literals import Literal
+from ..datalog.rules import Program
+from ..instrumentation import Counters
+
+
+@dataclass
+class EngineResult:
+    """The outcome of one engine run.
+
+    Attributes
+    ----------
+    answers:
+        Tuples over the query's distinct variables, in order of first
+        occurrence (the convention of
+        :func:`repro.datalog.semantics.answer_query`).
+    engine:
+        The engine's registry name.
+    counters:
+        Work counters accumulated while answering.
+    iterations:
+        Number of outer-loop rounds, when the engine is iterative.
+    details:
+        Engine-specific extras (e.g. the rewritten magic program).
+    """
+
+    answers: Set[Tuple[object, ...]]
+    engine: str
+    counters: Counters
+    iterations: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def values(self) -> Set[object]:
+        """Bare values for single-variable queries."""
+        return {t[0] for t in self.answers if len(t) == 1}
+
+
+class Engine:
+    """Base class: an evaluation strategy with a registry name."""
+
+    name: str = "abstract"
+
+    def answer(
+        self,
+        program: Program,
+        query: Literal,
+        database: Optional[Database] = None,
+        counters: Optional[Counters] = None,
+    ) -> EngineResult:
+        """Answer ``query`` against ``program`` (+ optional external database).
+
+        Subclasses implement :meth:`_run`; this wrapper merges the program's
+        own facts with the external database and wires up the counters.
+        """
+        counters = counters if counters is not None else Counters()
+        combined = Database(counters=counters)
+        if database is not None:
+            for predicate in database.predicates():
+                combined.add_facts(predicate, database.rows(predicate))
+        combined.load_program_facts(program)
+        return self._run(program, query, combined, counters)
+
+    def _run(
+        self,
+        program: Program,
+        query: Literal,
+        database: Database,
+        counters: Counters,
+    ) -> EngineResult:
+        raise NotImplementedError
+
+    def applicable(self, program: Program, query: Literal) -> bool:
+        """Whether the engine's restrictions are met (default: always)."""
+        return True
+
+
+_REGISTRY: Dict[str, Type[Engine]] = {}
+
+
+def register(engine_class: Type[Engine]) -> Type[Engine]:
+    """Class decorator adding an engine to the registry."""
+    _REGISTRY[engine_class.name] = engine_class
+    return engine_class
+
+
+def available_engines() -> Dict[str, Type[Engine]]:
+    """Registry name -> engine class, for all registered engines."""
+    return dict(_REGISTRY)
+
+
+def get_engine(name: str) -> Engine:
+    """Instantiate a registered engine by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise NotApplicableError(
+            f"unknown engine {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,45 @@
+"""The paper's own strategy packaged behind the common engine interface.
+
+This is a thin adapter around :func:`repro.core.planner.evaluate_query` so
+the comparison benchmarks can run "our algorithm" next to the baselines with
+identical instrumentation and result types.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.planner import evaluate_query
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.rules import Program
+from ..instrumentation import Counters
+from .base import Engine, EngineResult, register
+
+
+@register
+class GraphTraversalEngine(Engine):
+    """Lemma 1 + EM(p, i) + demand-driven graph traversal (Sections 3-4)."""
+
+    name = "graph"
+
+    def __init__(self, strategy: str = "auto"):
+        self.strategy = strategy
+
+    def _run(
+        self,
+        program: Program,
+        query: Literal,
+        database: Database,
+        counters: Counters,
+    ) -> EngineResult:
+        answer = evaluate_query(
+            program, query, database=database, strategy=self.strategy, counters=counters
+        )
+        return EngineResult(
+            answers=answer.answers,
+            engine=self.name,
+            counters=counters,
+            iterations=answer.iterations,
+            details={"strategy": answer.strategy, **answer.details},
+        )

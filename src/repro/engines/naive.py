@@ -1,0 +1,58 @@
+"""Naive bottom-up evaluation [2, 6, 18].
+
+Repeatedly fire every intensional rule over the whole current database until
+no new tuple appears, then select the answer from the derived relation.  This
+is the completely general method the paper uses as the semantic baseline; its
+weaknesses are exactly the ones the introduction lists: every round refires
+rules on data already processed (duplication of work) and the whole derived
+relation is computed regardless of the query bindings (a large set of
+potentially relevant facts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.rules import Program
+from ..datalog.semantics import answer_against_relation
+from ..datalog.unify import instantiate_rule
+from ..instrumentation import Counters
+from .base import Engine, EngineResult, register
+
+
+@register
+class NaiveEngine(Engine):
+    """Naive (Jacobi-style) bottom-up fixpoint evaluation."""
+
+    name = "naive"
+
+    def _run(
+        self,
+        program: Program,
+        query: Literal,
+        database: Database,
+        counters: Counters,
+    ) -> EngineResult:
+        idb_rules = program.idb_rules()
+        iterations = 0
+        changed = True
+        while changed:
+            iterations += 1
+            counters.iterations += 1
+            changed = False
+            for rule in idb_rules:
+                for head_row, _ in instantiate_rule(rule, database):
+                    counters.rule_firings += 1
+                    if database.add_fact(rule.head.predicate, head_row):
+                        counters.derived_tuples += 1
+                        changed = True
+        answers = answer_against_relation(database.rows(query.predicate), query)
+        return EngineResult(
+            answers=answers,
+            engine=self.name,
+            counters=counters,
+            iterations=iterations,
+            details={"derived_size": database.count(query.predicate)},
+        )

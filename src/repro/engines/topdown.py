@@ -1,0 +1,168 @@
+"""Top-down evaluation with memoisation (the QSQ / tabled-PROLOG baseline).
+
+PROLOG's SLD resolution is one of the evaluation methods the paper's
+introduction lists; plain SLD does not terminate on cyclic data and
+duplicates work heavily, so deductive-database systems use its memoised
+variants (query/subquery [24], OLDT).  This engine implements a simple
+recursive QSQR-style evaluation:
+
+* subgoals are generalised to *adorned calls* ``(predicate, bound pattern,
+  bound values)``;
+* a global answer table maps each call to the answer tuples found so far;
+* when a call is already in progress (a cycle), the current table content is
+  used instead of recursing;
+* the whole computation is repeated until the tables stop changing, which
+  makes the method terminating and complete on Datalog.
+
+The work counters count every rule body instantiation, so the duplication
+inherent in restarting the computation is visible to the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.rules import Program, Rule
+from ..datalog.terms import Constant, Variable
+from ..datalog.unify import apply_to_literal, match_literal
+from ..instrumentation import Counters
+from .base import Engine, EngineResult, register
+
+Call = Tuple[str, str, Tuple[object, ...]]       # predicate, adornment, bound values
+AnswerTable = Dict[Call, Set[Tuple[object, ...]]]
+
+
+@register
+class TopDownEngine(Engine):
+    """Memoised top-down (QSQR-style) evaluation."""
+
+    name = "topdown"
+
+    def _run(
+        self,
+        program: Program,
+        query: Literal,
+        database: Database,
+        counters: Counters,
+    ) -> EngineResult:
+        evaluator = _TopDown(program, database, counters)
+        rows = evaluator.solve(query)
+        from ..datalog.semantics import answer_against_relation
+
+        answers = answer_against_relation(rows, query)
+        return EngineResult(
+            answers=answers,
+            engine=self.name,
+            counters=counters,
+            iterations=evaluator.restarts,
+            details={"table_size": sum(len(v) for v in evaluator.table.values())},
+        )
+
+
+class _TopDown:
+    def __init__(self, program: Program, database: Database, counters: Counters):
+        self.program = program
+        self.database = database
+        self.counters = counters
+        self.table: AnswerTable = {}
+        self.in_progress: Set[Call] = set()
+        self.restarts = 0
+
+    # -- public entry -------------------------------------------------------
+
+    def solve(self, query: Literal) -> Set[Tuple[object, ...]]:
+        """All full tuples of the query predicate matching the query's constants."""
+        call = self._call_of(query)
+        # Iterate to fixpoint: QSQR restarts until the tables stabilise.
+        while True:
+            self.restarts += 1
+            self.counters.iterations += 1
+            before = {key: set(values) for key, values in self.table.items()}
+            self.in_progress.clear()
+            self._solve_call(call, query)
+            if self.table == before:
+                break
+        return self.table.get(call, set())
+
+    # -- internals ------------------------------------------------------------
+
+    def _call_of(self, literal: Literal) -> Call:
+        adornment = "".join(
+            "b" if isinstance(term, Constant) else "f" for term in literal.args
+        )
+        bound_values = tuple(
+            term.value for term in literal.args if isinstance(term, Constant)
+        )
+        return (literal.predicate, adornment, bound_values)
+
+    def _solve_call(self, call: Call, literal: Literal) -> Set[Tuple[object, ...]]:
+        """Fill the table entry for ``call``; returns the (possibly partial) answers."""
+        self.table.setdefault(call, set())
+        if call in self.in_progress:
+            return self.table[call]
+        self.in_progress.add(call)
+        for rule in self.program.rules_for(literal.predicate):
+            if not rule.body:
+                row = rule.head.constant_values()
+                if self._matches_call(row, literal):
+                    self.table[call].add(row)
+                continue
+            head_substitution = self._bind_head(rule, literal)
+            if head_substitution is None:
+                continue
+            self._solve_body(rule, list(rule.body), head_substitution, call)
+        self.in_progress.discard(call)
+        return self.table[call]
+
+    def _bind_head(self, rule: Rule, literal: Literal):
+        substitution: Dict[Variable, object] = {}
+        for term, query_term in zip(rule.head.args, literal.args):
+            if isinstance(query_term, Constant):
+                if isinstance(term, Constant):
+                    if term.value != query_term.value:
+                        return None
+                else:
+                    existing = substitution.get(term)
+                    if existing is not None and existing != query_term.value:
+                        return None
+                    substitution[term] = query_term.value
+        return substitution
+
+    def _matches_call(self, row: Tuple[object, ...], literal: Literal) -> bool:
+        return match_literal(literal, row) is not None
+
+    def _solve_body(
+        self,
+        rule: Rule,
+        body: List[Literal],
+        substitution: Dict[Variable, object],
+        call: Call,
+    ) -> None:
+        if not body:
+            head = apply_to_literal(rule.head, substitution)
+            if head.is_ground:
+                self.counters.rule_firings += 1
+                self.table[call].add(head.constant_values())
+            return
+        literal, rest = body[0], body[1:]
+        if literal.is_builtin:
+            grounded = apply_to_literal(literal, substitution)
+            if grounded.is_ground:
+                if grounded.evaluate_builtin():
+                    self._solve_body(rule, rest, substitution, call)
+            else:
+                # Defer the comparison until its variables are bound.
+                self._solve_body(rule, rest + [literal], substitution, call)
+            return
+        bound_literal = apply_to_literal(literal, substitution)
+        if literal.predicate in self.program.derived_predicates:
+            subcall = self._call_of(bound_literal)
+            rows = set(self._solve_call(subcall, bound_literal))
+        else:
+            rows = set(map(tuple, self.database.match(bound_literal)))
+        for row in rows:
+            extended = match_literal(literal, row, substitution)
+            if extended is not None:
+                self._solve_body(rule, rest, extended, call)

@@ -1,0 +1,76 @@
+"""Binary relational algebra: relations, expressions, equations, automata.
+
+The substrate for Section 3 of the paper:
+
+* :mod:`~repro.relalg.relation` -- finite binary relations with the "natural"
+  operations ∪, ·, *, ⁻¹;
+* :mod:`~repro.relalg.expressions` -- the expression language over predicate
+  symbols, with structural evaluation and the rewriting helpers Lemma 1
+  needs;
+* :mod:`~repro.relalg.equations` -- equation systems ``p = e_p`` (step 1 of
+  Lemma 1) and a reference least-fixpoint solver;
+* :mod:`~repro.relalg.automaton` -- the standard regular-expression-to-NFA
+  construction producing M(e), Figure 1 of the paper;
+* :mod:`~repro.relalg.hunt` -- the fully preconstructed expression graph of
+  Hunt et al. [8], kept as a baseline.
+"""
+
+from .automaton import ID, Automaton, Transition, simulate, thompson
+from .equations import EquationSystem
+from .expressions import (
+    Compose,
+    Empty,
+    Expression,
+    Identity,
+    Inverse,
+    Pred,
+    Star,
+    Union,
+    compose,
+    composition_factors,
+    distribute,
+    empty,
+    evaluate,
+    identity,
+    inverse,
+    pred,
+    simplify,
+    star,
+    union,
+    union_terms,
+)
+from .hunt import ExpressionGraph, evaluate_via_graph, query_via_graph
+from .relation import BinaryRelation
+
+__all__ = [
+    "Automaton",
+    "BinaryRelation",
+    "Compose",
+    "Empty",
+    "EquationSystem",
+    "Expression",
+    "ExpressionGraph",
+    "ID",
+    "Identity",
+    "Inverse",
+    "Pred",
+    "Star",
+    "Transition",
+    "Union",
+    "compose",
+    "composition_factors",
+    "distribute",
+    "empty",
+    "evaluate",
+    "evaluate_via_graph",
+    "identity",
+    "inverse",
+    "pred",
+    "query_via_graph",
+    "simplify",
+    "simulate",
+    "star",
+    "thompson",
+    "union",
+    "union_terms",
+]

@@ -1,0 +1,285 @@
+"""Nondeterministic finite automata over predicate symbols.
+
+Section 3 of the paper: "We represent this equation as a nondeterministic
+finite automaton, denoted by M(e_p).  For an expression e, M(e) is the
+automaton obtained by the standard technique from e when we regard e as a
+regular expression over the alphabet consisting of all predicate symbols
+appearing in e."  The transitions labelled ``id`` are epsilon transitions
+interpreted as the identity relation.
+
+This module provides that standard construction (Thompson's construction)
+plus the small amount of automaton surgery the evaluation algorithm needs:
+fresh-state copying and transition replacement (used by ``EM(p, i)`` in
+:mod:`repro.core.automaton`).  The construction intentionally mirrors
+Figure 1 of the paper: every operator introduces explicit ``id`` transitions
+rather than being optimised away, because the interpretation graph of
+Section 3 is defined over exactly these states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .expressions import (
+    Compose,
+    Empty,
+    Expression,
+    Identity,
+    Inverse,
+    Pred,
+    Star,
+    Union,
+)
+
+#: The label used for epsilon / identity transitions, as in the paper's figures.
+ID = "id"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single transition ``source --label--> target``.
+
+    ``label`` is either :data:`ID` or a predicate name; ``inverted`` marks
+    transitions that read the predicate backwards (produced by ``Inverse``
+    sub-expressions).
+    """
+
+    source: int
+    label: str
+    target: int
+    inverted: bool = False
+
+    def is_identity(self) -> bool:
+        return self.label == ID
+
+    def __str__(self) -> str:
+        arrow = "<-" if self.inverted else "->"
+        return f"q{self.source} -{self.label}{arrow} q{self.target}"
+
+
+class Automaton:
+    """A mutable NFA with integer states.
+
+    States are plain integers handed out by :meth:`new_state`, so copies of
+    other automata can be spliced in without clashes (the ``EM(p, i)``
+    construction of the paper relies on this).
+    """
+
+    def __init__(self) -> None:
+        self._next_state = 0
+        self.initial: int = -1
+        self.final: int = -1
+        self.transitions: List[Transition] = []
+        self._outgoing: Dict[int, List[Transition]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        self._outgoing.setdefault(state, [])
+        return state
+
+    def add_transition(
+        self, source: int, label: str, target: int, inverted: bool = False
+    ) -> Transition:
+        transition = Transition(source, label, target, inverted)
+        self.transitions.append(transition)
+        self._outgoing.setdefault(source, []).append(transition)
+        self._outgoing.setdefault(target, [])
+        return transition
+
+    def remove_transition(self, transition: Transition) -> None:
+        self.transitions.remove(transition)
+        self._outgoing[transition.source].remove(transition)
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def states(self) -> List[int]:
+        return sorted(self._outgoing)
+
+    def outgoing(self, state: int) -> Tuple[Transition, ...]:
+        return tuple(self._outgoing.get(state, ()))
+
+    def transitions_on(self, labels: Iterable[str]) -> List[Transition]:
+        wanted = set(labels)
+        return [t for t in self.transitions if t.label in wanted]
+
+    def labels(self) -> Set[str]:
+        """All non-identity labels used by the automaton."""
+        return {t.label for t in self.transitions if t.label != ID}
+
+    def state_count(self) -> int:
+        return len(self._outgoing)
+
+    # -- surgery ----------------------------------------------------------------------
+
+    def splice(self, other: "Automaton") -> Dict[int, int]:
+        """Copy every state and transition of ``other`` into this automaton.
+
+        Returns the state-renaming map.  The initial/final states of *this*
+        automaton are unchanged; the caller wires the copy in with explicit
+        ``id`` transitions (exactly as the paper describes for EM(p, i)).
+        """
+        mapping: Dict[int, int] = {}
+        for state in other.states:
+            mapping[state] = self.new_state()
+        for transition in other.transitions:
+            self.add_transition(
+                mapping[transition.source],
+                transition.label,
+                mapping[transition.target],
+                transition.inverted,
+            )
+        return mapping
+
+    def copy(self) -> "Automaton":
+        clone = Automaton()
+        mapping = clone.splice(self)
+        clone.initial = mapping[self.initial]
+        clone.final = mapping[self.final]
+        return clone
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lines = [f"initial: q{self.initial}", f"final: q{self.final}"]
+        for transition in self.transitions:
+            lines.append(str(transition))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """A short single-line summary."""
+        return (
+            f"Automaton(states={self.state_count()}, transitions={len(self.transitions)}, "
+            f"labels={sorted(self.labels())})"
+        )
+
+
+def thompson(expression: Expression) -> Automaton:
+    """Build M(e): the Thompson automaton of ``expression``.
+
+    Every predicate occurrence becomes a single transition labelled with the
+    predicate name; ``id`` transitions implement sequencing, choice and the
+    closure operator, matching Figure 1 of the paper.
+    """
+    automaton = Automaton()
+    initial, final = _build(expression, automaton)
+    automaton.initial = initial
+    automaton.final = final
+    return automaton
+
+
+def _build(expression: Expression, automaton: Automaton) -> Tuple[int, int]:
+    if isinstance(expression, Pred):
+        start = automaton.new_state()
+        end = automaton.new_state()
+        automaton.add_transition(start, expression.name, end)
+        return start, end
+    if isinstance(expression, Identity):
+        start = automaton.new_state()
+        end = automaton.new_state()
+        automaton.add_transition(start, ID, end)
+        return start, end
+    if isinstance(expression, Empty):
+        # Two states with no connecting transition: nothing is accepted.
+        return automaton.new_state(), automaton.new_state()
+    if isinstance(expression, Inverse):
+        return _build_inverse(expression.inner, automaton)
+    if isinstance(expression, Union):
+        start = automaton.new_state()
+        end = automaton.new_state()
+        for item in expression.items:
+            item_start, item_end = _build(item, automaton)
+            automaton.add_transition(start, ID, item_start)
+            automaton.add_transition(item_end, ID, end)
+        return start, end
+    if isinstance(expression, Compose):
+        start: Optional[int] = None
+        previous_end: Optional[int] = None
+        for item in expression.items:
+            item_start, item_end = _build(item, automaton)
+            if start is None:
+                start = item_start
+            else:
+                automaton.add_transition(previous_end, ID, item_start)  # type: ignore[arg-type]
+            previous_end = item_end
+        assert start is not None and previous_end is not None
+        return start, previous_end
+    if isinstance(expression, Star):
+        inner_start, inner_end = _build(expression.inner, automaton)
+        start = automaton.new_state()
+        end = automaton.new_state()
+        automaton.add_transition(start, ID, inner_start)
+        automaton.add_transition(inner_end, ID, end)
+        automaton.add_transition(start, ID, end)          # zero iterations
+        automaton.add_transition(inner_end, ID, inner_start)  # repeat
+        return start, end
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def _build_inverse(expression: Expression, automaton: Automaton) -> Tuple[int, int]:
+    """Build the automaton of ``expression`` read backwards.
+
+    Inversion distributes over the operators: (e1·e2)⁻¹ = e2⁻¹·e1⁻¹,
+    (e1 ∪ e2)⁻¹ = e1⁻¹ ∪ e2⁻¹, (e*)⁻¹ = (e⁻¹)*, and a base predicate becomes
+    a single inverted transition.
+    """
+    if isinstance(expression, Pred):
+        start = automaton.new_state()
+        end = automaton.new_state()
+        automaton.add_transition(start, expression.name, end, inverted=True)
+        return start, end
+    if isinstance(expression, (Identity, Empty)):
+        return _build(expression, automaton)
+    if isinstance(expression, Inverse):
+        return _build(expression.inner, automaton)
+    if isinstance(expression, Union):
+        return _build(Union([Inverse(item) for item in expression.items]), automaton)
+    if isinstance(expression, Compose):
+        reversed_items = [Inverse(item) for item in reversed(expression.items)]
+        return _build(Compose(reversed_items), automaton)
+    if isinstance(expression, Star):
+        return _build(Star(Inverse(expression.inner)), automaton)
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def simulate(automaton: Automaton, word: Iterable[str]) -> bool:
+    """Language-level simulation: does the automaton accept ``word``?
+
+    ``word`` is a sequence of predicate names.  This ignores the relational
+    interpretation entirely and is used in tests to check that M(e) has the
+    same language as the regular expression ``e`` (Lemma 2's premise).
+    Inverted transitions consume the label ``name^-1``.
+    """
+    current: Set[int] = _epsilon_closure(automaton, {automaton.initial})
+    for symbol in word:
+        next_states: Set[int] = set()
+        for state in current:
+            for transition in automaton.outgoing(state):
+                if transition.label == ID:
+                    continue
+                effective = (
+                    f"{transition.label}^-1" if transition.inverted else transition.label
+                )
+                if effective == symbol:
+                    next_states.add(transition.target)
+        current = _epsilon_closure(automaton, next_states)
+        if not current:
+            return False
+    return automaton.final in current
+
+
+def _epsilon_closure(automaton: Automaton, states: Set[int]) -> Set[int]:
+    closure = set(states)
+    frontier = list(states)
+    while frontier:
+        state = frontier.pop()
+        for transition in automaton.outgoing(state):
+            if transition.label == ID and transition.target not in closure:
+                closure.add(transition.target)
+                frontier.append(transition.target)
+    return closure

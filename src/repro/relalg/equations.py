@@ -1,0 +1,185 @@
+"""Systems of equations over relational expressions.
+
+Step 1 of Lemma 1 turns a binary-chain program into an *initial* equation
+system: one equation ``p = e1 ∪ ... ∪ em`` per derived predicate ``p``, where
+``ei`` is the concatenation (composition) of the body predicate symbols of
+the i-th rule for ``p``.  The subsequent rewriting steps of Lemma 1 operate
+on such systems; they live in :mod:`repro.core.lemma1`.  This module provides
+the data structure itself plus:
+
+* construction from a binary-chain program (step 1);
+* a reference *fixpoint solver* that computes the unique smallest solution of
+  a system over concrete base relations -- statement (7) of Lemma 1 says this
+  solution equals the relations computed by the program, which the test suite
+  checks against :func:`repro.datalog.semantics.least_model`;
+* the bookkeeping queries the rewriting steps need (which predicates appear
+  in which right-hand sides, occurrence counts, substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..datalog.analysis import ProgramAnalysis, analyze
+from ..datalog.database import Database
+from ..datalog.errors import NotApplicableError
+from ..datalog.rules import Program
+from .expressions import (
+    Expression,
+    Identity,
+    compose,
+    pred,
+    simplify,
+    union,
+)
+from .relation import BinaryRelation
+
+
+class EquationSystem:
+    """An ordered mapping ``derived predicate -> right-hand-side expression``."""
+
+    def __init__(
+        self,
+        equations: Mapping[str, Expression],
+        base_predicates: Iterable[str] = (),
+    ):
+        self.equations: Dict[str, Expression] = dict(equations)
+        self.base_predicates: Set[str] = set(base_predicates)
+        overlap = self.base_predicates & set(self.equations)
+        if overlap:
+            raise ValueError(f"predicates {sorted(overlap)} are both base and derived")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_program(
+        cls, program: Program, analysis: Optional[ProgramAnalysis] = None
+    ) -> "EquationSystem":
+        """Step 1 of Lemma 1: the initial equation system of a binary-chain program.
+
+        Raises
+        ------
+        NotApplicableError
+            If the intensional rules are not all binary-chain rules.
+        """
+        analysis = analysis or analyze(program)
+        if not analysis.is_binary_chain_program():
+            raise NotApplicableError(
+                "the initial equation system is only defined for binary-chain programs"
+            )
+        equations: Dict[str, Expression] = {}
+        for predicate in sorted(program.derived_predicates):
+            branches: List[Expression] = []
+            for rule in program.rules_for(predicate):
+                if not rule.body:
+                    continue
+                factors = [pred(lit.predicate) for lit in rule.body]
+                branches.append(compose(*factors) if factors else Identity())
+            equations[predicate] = simplify(union(*branches))
+        return cls(equations, base_predicates=program.base_predicates)
+
+    # -- basic access ------------------------------------------------------------
+
+    @property
+    def derived_predicates(self) -> Set[str]:
+        return set(self.equations)
+
+    def rhs(self, predicate: str) -> Expression:
+        """Right-hand side of the equation for ``predicate``."""
+        return self.equations[predicate]
+
+    def predicates_in_rhs(self, predicate: str) -> Set[str]:
+        """Predicate names occurring in the right-hand side for ``predicate``."""
+        return self.equations[predicate].predicates()
+
+    def dependency_graph(self) -> Dict[str, Set[str]]:
+        """derived predicate -> derived predicates occurring in its RHS."""
+        return {
+            p: self.predicates_in_rhs(p) & self.derived_predicates for p in self.equations
+        }
+
+    def derived_occurrences(self, predicate: str) -> int:
+        """Occurrences of *derived* predicates in the RHS for ``predicate``."""
+        return self.equations[predicate].occurrence_count(self.derived_predicates)
+
+    def __iter__(self) -> Iterator[Tuple[str, Expression]]:
+        return iter(self.equations.items())
+
+    def __len__(self) -> int:
+        return len(self.equations)
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self.equations
+
+    def __str__(self) -> str:
+        return "\n".join(f"{p} = {e}" for p, e in self.equations.items())
+
+    def __repr__(self) -> str:
+        return f"EquationSystem({len(self.equations)} equations)"
+
+    # -- rewriting support ------------------------------------------------------------
+
+    def with_equation(self, predicate: str, expression: Expression) -> "EquationSystem":
+        """A copy with the equation for ``predicate`` replaced."""
+        updated = dict(self.equations)
+        updated[predicate] = expression
+        return EquationSystem(updated, self.base_predicates)
+
+    def substitute_everywhere(
+        self, predicate: str, expression: Expression, skip: Iterable[str] = ()
+    ) -> "EquationSystem":
+        """Substitute ``expression`` for ``predicate`` in every other RHS."""
+        skipped = set(skip) | {predicate}
+        updated = {}
+        for name, rhs in self.equations.items():
+            if name in skipped:
+                updated[name] = rhs
+            else:
+                updated[name] = simplify(rhs.substitute(predicate, expression))
+        return EquationSystem(updated, self.base_predicates)
+
+    def copy(self) -> "EquationSystem":
+        return EquationSystem(dict(self.equations), set(self.base_predicates))
+
+    # -- reference solver ------------------------------------------------------------------
+
+    def solve(
+        self,
+        base_relations: Mapping[str, BinaryRelation],
+        universe: Optional[Set[object]] = None,
+        max_iterations: int = 10_000,
+    ) -> Dict[str, BinaryRelation]:
+        """The unique smallest solution of the system over the given base relations.
+
+        Jointly iterates all equations from the empty relations until nothing
+        changes (Kleene iteration).  Because every operator is monotone the
+        limit is the least solution; statement (7) of Lemma 1 says it agrees
+        with the program's semantics.
+        """
+        if universe is None:
+            universe = set()
+            for relation in base_relations.values():
+                universe |= relation.active_domain()
+        env: Dict[str, BinaryRelation] = dict(base_relations)
+        for predicate in self.equations:
+            env.setdefault(predicate, BinaryRelation.empty())
+        for _ in range(max_iterations):
+            changed = False
+            for predicate, expression in self.equations.items():
+                value = expression.evaluate(env, universe)
+                if value != env[predicate]:
+                    env[predicate] = value
+                    changed = True
+            if not changed:
+                return {p: env[p] for p in self.equations}
+        raise RuntimeError("equation solving did not converge (increase max_iterations)")
+
+    def solve_database(
+        self, database: Database, universe: Optional[Set[object]] = None
+    ) -> Dict[str, BinaryRelation]:
+        """Like :meth:`solve` but reading the base relations from a Database."""
+        base_relations = {}
+        for predicate in database.predicates():
+            if database.arity(predicate) == 2:
+                base_relations[predicate] = BinaryRelation.from_rows(database.rows(predicate))
+        return self.solve(base_relations, universe)

@@ -1,0 +1,492 @@
+"""Relational expressions over binary relations.
+
+Lemma 1 of the paper transforms a linear binary-chain program into a system
+of equations whose right-hand sides are expressions over predicate symbols
+built from ∪ (union), · (composition) and * (reflexive transitive closure).
+This module provides that expression language:
+
+* the AST (:class:`Pred`, :class:`Union`, :class:`Compose`, :class:`Star`,
+  :class:`Inverse`, :class:`Identity`, :class:`Empty`);
+* structural evaluation against an environment of concrete
+  :class:`~repro.relalg.relation.BinaryRelation` values;
+* the rewriting helpers Lemma 1 needs (substitution, flattening into a union
+  of composition sequences, factoring of left/right recursion, distribution
+  of composition over union);
+* the size measure of the paper ("the total number of tuples in the argument
+  relations, where different occurrences of the same relation are considered
+  different relations").
+
+Expressions are immutable and hashable.  The constructors normalise nothing;
+call :func:`simplify` for the algebraic clean-ups (∅ absorption, id units,
+flattening).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .relation import BinaryRelation
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    # -- structure ----------------------------------------------------------
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def predicates(self) -> Set[str]:
+        """All predicate names referenced anywhere in the expression."""
+        result: Set[str] = set()
+        stack: List[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Pred):
+                result.add(node.name)
+            stack.extend(node.children())
+        return result
+
+    def contains(self, name: str) -> bool:
+        """True when a predicate called ``name`` occurs in the expression."""
+        return name in self.predicates()
+
+    def occurrence_count(self, names: Iterable[str]) -> int:
+        """Number of occurrences of predicates from ``names``."""
+        wanted = set(names)
+        count = 0
+        stack: List[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Pred) and node.name in wanted:
+                count += 1
+            stack.extend(node.children())
+        return count
+
+    def substitute(self, name: str, replacement: "Expression") -> "Expression":
+        """Replace every occurrence of predicate ``name`` by ``replacement``."""
+        raise NotImplementedError
+
+    def size(self, sizes: Dict[str, int]) -> int:
+        """The paper's size measure: total tuples over all *occurrences*.
+
+        ``sizes`` maps predicate names to their relation cardinalities.
+        Unknown names count as zero.
+        """
+        total = 0
+        stack: List[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Pred):
+                total += sizes.get(node.name, 0)
+            stack.extend(node.children())
+        return total
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        env: Dict[str, BinaryRelation],
+        universe: Optional[Set[object]] = None,
+    ) -> BinaryRelation:
+        """Evaluate the expression over concrete relations.
+
+        ``env`` maps predicate names to relations; names missing from the
+        environment denote the empty relation.  ``universe`` fixes the carrier
+        of ``id`` and of the reflexive part of ``*``; when omitted, the active
+        domain of the relevant sub-relation is used.
+        """
+        raise NotImplementedError
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Pred(Expression):
+    """A reference to a (base or derived) predicate."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("predicate name must be non-empty")
+        self.name = name
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return replacement if self.name == name else self
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        return env.get(self.name, BinaryRelation.empty())
+
+    def _key(self):
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Identity(Expression):
+    """The identity relation ``id`` (unit of composition)."""
+
+    __slots__ = ()
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return self
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        if universe is None:
+            universe = set()
+            for relation in env.values():
+                universe |= relation.active_domain()
+        return BinaryRelation.identity(universe)
+
+    def _key(self):
+        return ()
+
+    def __str__(self) -> str:
+        return "id"
+
+
+class Empty(Expression):
+    """The empty relation ∅ (unit of union, absorbing for composition)."""
+
+    __slots__ = ()
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return self
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        return BinaryRelation.empty()
+
+    def _key(self):
+        return ()
+
+    def __str__(self) -> str:
+        return "0"
+
+
+class Union(Expression):
+    """An n-ary union ``e1 ∪ e2 ∪ ... ∪ ek``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expression]):
+        self.items: Tuple[Expression, ...] = tuple(items)
+        if not self.items:
+            raise ValueError("Union requires at least one operand; use Empty() for none")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.items
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return Union([item.substitute(name, replacement) for item in self.items])
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        result = BinaryRelation.empty()
+        for item in self.items:
+            result = result.union(item.evaluate(env, universe))
+        return result
+
+    def _key(self):
+        return self.items
+
+    def __str__(self) -> str:
+        return " U ".join(_wrap(item, for_union=True) for item in self.items)
+
+
+class Compose(Expression):
+    """An n-ary composition ``e1 · e2 · ... · ek``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[Expression]):
+        self.items: Tuple[Expression, ...] = tuple(items)
+        if not self.items:
+            raise ValueError("Compose requires at least one operand; use Identity() for none")
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.items
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return Compose([item.substitute(name, replacement) for item in self.items])
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        result: Optional[BinaryRelation] = None
+        for item in self.items:
+            value = item.evaluate(env, universe)
+            result = value if result is None else result.compose(value)
+        assert result is not None
+        return result
+
+    def _key(self):
+        return self.items
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(item, for_union=False) for item in self.items)
+
+
+class Star(Expression):
+    """Reflexive transitive closure ``e*``."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expression):
+        self.inner = inner
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.inner,)
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return Star(self.inner.substitute(name, replacement))
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        if universe is None:
+            # The reflexive part must cover every value that can flow into the
+            # closure, not just the active domain of the inner relation --
+            # otherwise e0 . e1* would lose tuples of e0 whenever e1 is small.
+            universe = set()
+            for relation in env.values():
+                universe |= relation.active_domain()
+        return self.inner.evaluate(env, universe).reflexive_transitive_closure(universe)
+
+    def _key(self):
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{_wrap_atomic(self.inner)}*"
+
+
+class Inverse(Expression):
+    """Inverse ``e⁻¹`` (needed for queries of the form p(X, b))."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expression):
+        self.inner = inner
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.inner,)
+
+    def substitute(self, name: str, replacement: Expression) -> Expression:
+        return Inverse(self.inner.substitute(name, replacement))
+
+    def evaluate(self, env, universe=None) -> BinaryRelation:
+        return self.inner.evaluate(env, universe).inverse()
+
+    def _key(self):
+        return (self.inner,)
+
+    def __str__(self) -> str:
+        return f"{_wrap_atomic(self.inner)}^-1"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def pred(name: str) -> Pred:
+    """A predicate reference."""
+    return Pred(name)
+
+
+def union(*items: Expression) -> Expression:
+    """n-ary union; zero operands give ∅, one operand is returned unchanged."""
+    if not items:
+        return Empty()
+    if len(items) == 1:
+        return items[0]
+    return Union(list(items))
+
+
+def compose(*items: Expression) -> Expression:
+    """n-ary composition; zero operands give id, one operand is returned unchanged."""
+    if not items:
+        return Identity()
+    if len(items) == 1:
+        return items[0]
+    return Compose(list(items))
+
+
+def star(inner: Expression) -> Star:
+    """Reflexive transitive closure."""
+    return Star(inner)
+
+
+def inverse(inner: Expression) -> Inverse:
+    """Relational inverse."""
+    return Inverse(inner)
+
+
+def empty() -> Empty:
+    """The empty relation."""
+    return Empty()
+
+
+def identity() -> Identity:
+    """The identity relation."""
+    return Identity()
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers
+# ---------------------------------------------------------------------------
+
+def _wrap(item: Expression, for_union: bool) -> str:
+    if isinstance(item, Union) and not for_union:
+        return f"({item})"
+    if isinstance(item, Union) and for_union:
+        return str(item)
+    return str(item)
+
+
+def _wrap_atomic(item: Expression) -> str:
+    if isinstance(item, (Pred, Identity, Empty, Star)):
+        return str(item)
+    return f"({item})"
+
+
+# ---------------------------------------------------------------------------
+# Simplification and normal forms (the workhorses of Lemma 1)
+# ---------------------------------------------------------------------------
+
+def simplify(expression: Expression) -> Expression:
+    """Algebraic clean-up.
+
+    * flattens nested unions and compositions;
+    * removes ∅ from unions and lets it absorb compositions;
+    * removes ``id`` factors from compositions;
+    * deduplicates union branches (preserving first-occurrence order);
+    * rewrites ``∅*`` and ``id*`` to ``id`` and collapses ``(e*)*`` to ``e*``.
+    """
+    if isinstance(expression, (Pred, Identity, Empty)):
+        return expression
+    if isinstance(expression, Star):
+        inner = simplify(expression.inner)
+        if isinstance(inner, (Empty, Identity)):
+            return Identity()
+        if isinstance(inner, Star):
+            return inner
+        return Star(inner)
+    if isinstance(expression, Inverse):
+        inner = simplify(expression.inner)
+        if isinstance(inner, Empty):
+            return Empty()
+        if isinstance(inner, Identity):
+            return Identity()
+        if isinstance(inner, Inverse):
+            return inner.inner
+        return Inverse(inner)
+    if isinstance(expression, Union):
+        flat: List[Expression] = []
+        for item in expression.items:
+            item = simplify(item)
+            if isinstance(item, Empty):
+                continue
+            if isinstance(item, Union):
+                flat.extend(item.items)
+            else:
+                flat.append(item)
+        deduplicated: List[Expression] = []
+        seen: Set[Expression] = set()
+        for item in flat:
+            if item not in seen:
+                seen.add(item)
+                deduplicated.append(item)
+        return union(*deduplicated)
+    if isinstance(expression, Compose):
+        flat = []
+        for item in expression.items:
+            item = simplify(item)
+            if isinstance(item, Empty):
+                return Empty()
+            if isinstance(item, Identity):
+                continue
+            if isinstance(item, Compose):
+                flat.extend(item.items)
+            else:
+                flat.append(item)
+        return compose(*flat)
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def union_terms(expression: Expression) -> List[Expression]:
+    """The top-level union branches of a simplified expression.
+
+    ``e1 ∪ e2 ∪ e3`` yields ``[e1, e2, e3]``; a non-union expression yields a
+    singleton list; ∅ yields the empty list.
+    """
+    expression = simplify(expression)
+    if isinstance(expression, Empty):
+        return []
+    if isinstance(expression, Union):
+        return list(expression.items)
+    return [expression]
+
+
+def composition_factors(expression: Expression) -> List[Expression]:
+    """The top-level composition factors of a term.
+
+    ``e1 · e2 · e3`` yields ``[e1, e2, e3]``; any other expression yields a
+    singleton list.
+    """
+    if isinstance(expression, Compose):
+        return list(expression.items)
+    return [expression]
+
+
+def distribute(expression: Expression, over: Set[str]) -> Expression:
+    """Distribute composition over union around occurrences of ``over``.
+
+    This is step 8 of Lemma 1: rewrite ``e · (e1 ∪ ... ∪ en)`` into
+    ``e·e1 ∪ ... ∪ e·en`` (and symmetrically on the left) whenever the union
+    contains an occurrence of a predicate in ``over``, so that left/right
+    recursion through the union becomes visible to steps 3 and 4.  Unions not
+    involving ``over`` are left alone (they can stay factored, which keeps
+    expressions small -- the Horner form the paper advocates).
+    """
+    expression = simplify(expression)
+    if isinstance(expression, (Pred, Identity, Empty)):
+        return expression
+    if isinstance(expression, Star):
+        return Star(distribute(expression.inner, over))
+    if isinstance(expression, Inverse):
+        return Inverse(distribute(expression.inner, over))
+    if isinstance(expression, Union):
+        return simplify(union(*[distribute(item, over) for item in expression.items]))
+    if isinstance(expression, Compose):
+        factors = [distribute(f, over) for f in expression.items]
+        # Repeatedly split the first union factor that mentions `over`.
+        for index, factor in enumerate(factors):
+            if isinstance(factor, Union) and factor.predicates() & over:
+                prefix = factors[:index]
+                suffix = factors[index + 1 :]
+                branches = [
+                    distribute(simplify(compose(*(prefix + [item] + suffix))), over)
+                    for item in factor.items
+                ]
+                return simplify(union(*branches))
+        return simplify(compose(*factors))
+    raise TypeError(f"unknown expression node {expression!r}")
+
+
+def evaluate(
+    expression: Expression,
+    env: Dict[str, BinaryRelation],
+    universe: Optional[Set[object]] = None,
+) -> BinaryRelation:
+    """Module-level convenience wrapper for :meth:`Expression.evaluate`."""
+    return expression.evaluate(env, universe)

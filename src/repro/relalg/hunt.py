@@ -1,0 +1,156 @@
+"""The Hunt--Szymanski--Ullman expression-graph baseline [8, 20].
+
+The paper derives its algorithm from the observation (Hunt et al. [8]) that
+an expression ``e`` over binary relations with operators ∪, ·, * and ⁻¹ can
+be turned into a directed graph ``G(e)`` such that ``e(x, y)`` holds iff
+``G(e)`` contains a path from a node representing ``x`` to a node
+representing ``y``.  As the paper points out, the original algorithm is
+impractical because it *preconstructs the entire graph*: it "contains copies
+of all tuples from every argument relation in the expression", and for a
+query ``p(a, Y)`` "large portions of G(p) usually are irrelevant to the
+query".
+
+This module implements exactly that preconstructed variant.  It serves two
+purposes:
+
+* a correctness oracle for expressions that contain no derived predicates
+  (the regular case), checked against structural evaluation; and
+* the ablation baseline for experiment E13/E14: demand-driven traversal
+  (``repro.core.traversal``) versus full preconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..instrumentation import Counters
+from .automaton import ID, Automaton, thompson
+from .expressions import Expression
+from .relation import BinaryRelation
+
+Node = Tuple[int, object]
+
+
+class ExpressionGraph:
+    """The fully preconstructed interpretation graph of an expression.
+
+    Nodes are pairs ``(state, value)`` for *every* automaton state and every
+    value in the universe of the argument relations; arcs follow the
+    transitions of ``M(e)`` interpreted over the relations (``id`` arcs keep
+    the value, a transition on ``r`` steps along a tuple of ``r``).
+    """
+
+    def __init__(
+        self,
+        expression: Expression,
+        env: Dict[str, BinaryRelation],
+        universe: Optional[Set[object]] = None,
+        counters: Optional[Counters] = None,
+    ):
+        self.expression = expression
+        self.env = env
+        self.counters = counters if counters is not None else Counters()
+        self.automaton: Automaton = thompson(expression)
+        if universe is None:
+            universe = set()
+            for relation in env.values():
+                universe |= relation.active_domain()
+        self.universe: Set[object] = set(universe)
+        self.nodes: Set[Node] = set()
+        self.successors: Dict[Node, Set[Node]] = {}
+        self._construct()
+
+    # -- construction -------------------------------------------------------
+
+    def _construct(self) -> None:
+        """Materialise every node and arc (the paper's criticised step)."""
+        for state in self.automaton.states:
+            for value in self.universe:
+                node = (state, value)
+                self.nodes.add(node)
+                self.successors[node] = set()
+                self.counters.nodes_generated += 1
+        for state in self.automaton.states:
+            for transition in self.automaton.outgoing(state):
+                if transition.label == ID:
+                    for value in self.universe:
+                        self._add_arc((state, value), (transition.target, value))
+                    continue
+                relation = self.env.get(transition.label, BinaryRelation.empty())
+                pairs = relation.pairs
+                for left, right in pairs:
+                    self.counters.fact_retrievals += 1
+                    if transition.inverted:
+                        left, right = right, left
+                    self._add_arc((state, left), (transition.target, right))
+
+    def _add_arc(self, source: Node, target: Node) -> None:
+        if source not in self.successors:
+            self.nodes.add(source)
+            self.successors[source] = set()
+            self.counters.nodes_generated += 1
+        if target not in self.successors:
+            self.nodes.add(target)
+            self.successors[target] = set()
+            self.counters.nodes_generated += 1
+        self.successors[source].add(target)
+
+    # -- queries ---------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def arc_count(self) -> int:
+        return sum(len(targets) for targets in self.successors.values())
+
+    def reachable(self, start: Node) -> Set[Node]:
+        """All nodes reachable from ``start`` (including it)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for succ in self.successors.get(node, ()):  # type: ignore[arg-type]
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def answers_from(self, value: object) -> Set[object]:
+        """The answer to ``e(value, Y)``: final-state values reachable from (qs, value)."""
+        start = (self.automaton.initial, value)
+        final = self.automaton.final
+        return {v for (state, v) in self.reachable(start) if state == final}
+
+    def relation(self) -> BinaryRelation:
+        """The full relation denoted by the expression."""
+        pairs = []
+        for value in self.universe:
+            for answer in self.answers_from(value):
+                pairs.append((value, answer))
+        return BinaryRelation(pairs)
+
+
+def evaluate_via_graph(
+    expression: Expression,
+    env: Dict[str, BinaryRelation],
+    universe: Optional[Set[object]] = None,
+    counters: Optional[Counters] = None,
+) -> BinaryRelation:
+    """Evaluate an expression by building its full graph (Hunt et al. style)."""
+    return ExpressionGraph(expression, env, universe, counters).relation()
+
+
+def query_via_graph(
+    expression: Expression,
+    env: Dict[str, BinaryRelation],
+    bound_value: object,
+    universe: Optional[Set[object]] = None,
+    counters: Optional[Counters] = None,
+) -> Set[object]:
+    """Answer ``e(bound_value, Y)`` using the fully preconstructed graph.
+
+    The whole graph is built even though only the part reachable from
+    ``(initial, bound_value)`` matters -- this is precisely the inefficiency
+    the paper's demand-driven algorithm removes.
+    """
+    return ExpressionGraph(expression, env, universe, counters).answers_from(bound_value)

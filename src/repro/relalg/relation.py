@@ -1,0 +1,252 @@
+"""Binary relations and the "natural" operations of the paper.
+
+Section 2: "The 'natural' set of operations used in connection with binary
+relations contains the following operations: ∪ (union), · (composition), and
+* (reflexive transitive closure)."  The paper additionally mentions inverse
+(⁻¹) when discussing Hunt et al. [8] and uses the identity relation ``id`` as
+a transition label in the automata of Section 3.
+
+A :class:`BinaryRelation` is an immutable set of pairs with the relational
+operations as methods.  Reflexivity is always taken over the *active domain*
+of the relation (its domain united with its range), matching the convention
+of the paper's ``p*`` rules (``p*(X, X) :-``) when the variables range over
+the constants actually present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+Pair = Tuple[object, object]
+
+
+class BinaryRelation:
+    """An immutable finite binary relation (a set of pairs)."""
+
+    __slots__ = ("pairs", "_by_first", "_by_second")
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self.pairs: FrozenSet[Pair] = frozenset((a, b) for a, b in pairs)
+        self._by_first: Optional[Dict[object, Set[object]]] = None
+        self._by_second: Optional[Dict[object, Set[object]]] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "BinaryRelation":
+        """The empty relation ∅."""
+        return _EMPTY
+
+    @classmethod
+    def identity(cls, values: Iterable[object]) -> "BinaryRelation":
+        """The identity relation over ``values``."""
+        return cls((v, v) for v in values)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Tuple[object, ...]]) -> "BinaryRelation":
+        """Build from database rows, which must all have length two."""
+        pairs = []
+        for row in rows:
+            if len(row) != 2:
+                raise ValueError(f"expected binary tuples, got {row!r}")
+            pairs.append((row[0], row[1]))
+        return cls(pairs)
+
+    # -- index helpers --------------------------------------------------------
+
+    def successors(self, value: object) -> Set[object]:
+        """All ``y`` with ``(value, y)`` in the relation."""
+        if self._by_first is None:
+            index: Dict[object, Set[object]] = {}
+            for a, b in self.pairs:
+                index.setdefault(a, set()).add(b)
+            self._by_first = index
+        return self._by_first.get(value, set())
+
+    def predecessors(self, value: object) -> Set[object]:
+        """All ``x`` with ``(x, value)`` in the relation."""
+        if self._by_second is None:
+            index: Dict[object, Set[object]] = {}
+            for a, b in self.pairs:
+                index.setdefault(b, set()).add(a)
+            self._by_second = index
+        return self._by_second.get(value, set())
+
+    # -- the paper's operations --------------------------------------------------
+
+    def union(self, other: "BinaryRelation") -> "BinaryRelation":
+        """p ∪ q."""
+        return BinaryRelation(self.pairs | other.pairs)
+
+    def compose(self, other: "BinaryRelation") -> "BinaryRelation":
+        """p · q  =  {(x, z) | ∃y: p(x, y) and q(y, z)}."""
+        result = set()
+        for x, y in self.pairs:
+            for z in other.successors(y):
+                result.add((x, z))
+        return BinaryRelation(result)
+
+    def transitive_closure(self) -> "BinaryRelation":
+        """p⁺: one or more composition steps."""
+        closure: Set[Pair] = set(self.pairs)
+        frontier: Set[Pair] = set(self.pairs)
+        while frontier:
+            new_pairs: Set[Pair] = set()
+            for x, y in frontier:
+                for z in self.successors(y):
+                    pair = (x, z)
+                    if pair not in closure:
+                        new_pairs.add(pair)
+            closure |= new_pairs
+            frontier = new_pairs
+        return BinaryRelation(closure)
+
+    def reflexive_transitive_closure(
+        self, universe: Optional[Iterable[object]] = None
+    ) -> "BinaryRelation":
+        """p*: zero or more composition steps.
+
+        The identity part ranges over ``universe`` when given, otherwise over
+        the active domain (domain ∪ range) of the relation.
+        """
+        if universe is None:
+            universe = self.active_domain()
+        closure = set(self.transitive_closure().pairs)
+        closure.update((v, v) for v in universe)
+        return BinaryRelation(closure)
+
+    def inverse(self) -> "BinaryRelation":
+        """p⁻¹  =  {(y, x) | p(x, y)}."""
+        return BinaryRelation((b, a) for a, b in self.pairs)
+
+    # -- domains --------------------------------------------------------------------
+
+    def domain(self) -> Set[object]:
+        """Values assumed by the first argument (the paper's *domain*)."""
+        return {a for a, _ in self.pairs}
+
+    def range(self) -> Set[object]:
+        """Values assumed by the second argument (the paper's *range*)."""
+        return {b for _, b in self.pairs}
+
+    def active_domain(self) -> Set[object]:
+        """domain ∪ range."""
+        return self.domain() | self.range()
+
+    # -- queries -----------------------------------------------------------------------
+
+    def image(self, values: Iterable[object]) -> Set[object]:
+        """The image of a set of values: ∪ successors(v)."""
+        result: Set[object] = set()
+        for value in values:
+            result |= self.successors(value)
+        return result
+
+    def restrict_domain(self, values: Iterable[object]) -> "BinaryRelation":
+        """The sub-relation whose first components lie in ``values``."""
+        allowed = set(values)
+        return BinaryRelation((a, b) for a, b in self.pairs if a in allowed)
+
+    def reachable_from(self, start: object) -> Set[object]:
+        """All values reachable from ``start`` by one or more steps."""
+        seen: Set[object] = set()
+        frontier = [start]
+        visited = {start}
+        while frontier:
+            node = frontier.pop()
+            for succ in self.successors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                if succ not in visited:
+                    visited.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def longest_path_length_from(self, start: object) -> int:
+        """Length of the longest simple path from ``start`` (∞-safe only on DAGs).
+
+        Used for the Theorem 4 bound: the number of iterations of the main
+        loop is at most the length of the longest path in ``e1|a``.  Raises
+        ``ValueError`` when a cycle is reachable from ``start``.
+        """
+        memo: Dict[object, int] = {}
+        in_progress: Set[object] = set()
+
+        def visit(node: object) -> int:
+            if node in memo:
+                return memo[node]
+            if node in in_progress:
+                raise ValueError("cycle reachable from start: longest path is unbounded")
+            in_progress.add(node)
+            best = 0
+            for succ in self.successors(node):
+                best = max(best, 1 + visit(succ))
+            in_progress.discard(node)
+            memo[node] = best
+            return best
+
+        return visit(start)
+
+    def is_acyclic(self) -> bool:
+        """True when the relation, viewed as a directed graph, has no cycle."""
+        colour: Dict[object, int] = {}
+        for start in self.domain():
+            if colour.get(start, 0) == 2:
+                continue
+            stack = [(start, iter(sorted(self.successors(start), key=repr)))]
+            colour[start] = 1
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = colour.get(child, 0)
+                    if state == 1:
+                        return False
+                    if state == 0:
+                        colour[child] = 1
+                        stack.append((child, iter(sorted(self.successors(child), key=repr))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = 2
+                    stack.pop()
+        return True
+
+    # -- dunder ---------------------------------------------------------------------------
+
+    def __contains__(self, pair: Pair) -> bool:
+        return tuple(pair) in self.pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BinaryRelation):
+            return self.pairs == other.pairs
+        if isinstance(other, (set, frozenset)):
+            return self.pairs == frozenset(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.pairs)
+
+    def __or__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.union(other)
+
+    def __mul__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.compose(other)
+
+    def __repr__(self) -> str:
+        sample = sorted(self.pairs, key=repr)[:4]
+        suffix = ", ..." if len(self.pairs) > 4 else ""
+        inner = ", ".join(repr(p) for p in sample)
+        return f"BinaryRelation({{{inner}{suffix}}})"
+
+
+_EMPTY = BinaryRelation()

@@ -1,0 +1,49 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`~repro.workloads.same_generation` -- the Figure 7 samples (a), (b),
+  (c), the Figure 8 cyclic sample, and random genealogies;
+* :mod:`~repro.workloads.flight` -- the Section 4 airline-connections
+  database (corridors and hub-and-spoke networks);
+* :mod:`~repro.workloads.graphs` -- chains, trees, cycles, DAGs and grids for
+  the transitive-closure (regular-case) experiments.
+
+Every generator returns ``(program, database, query)``.
+"""
+
+from .flight import corridor, flight_program, hub_and_spoke
+from .graphs import (
+    binary_tree,
+    chain,
+    closure_program,
+    cycle,
+    grid,
+    random_dag,
+    random_graph,
+)
+from .same_generation import (
+    random_genealogy,
+    same_generation_program,
+    sample_a,
+    sample_b,
+    sample_c,
+    sample_cyclic,
+)
+
+__all__ = [
+    "binary_tree",
+    "chain",
+    "closure_program",
+    "corridor",
+    "cycle",
+    "flight_program",
+    "grid",
+    "hub_and_spoke",
+    "random_dag",
+    "random_genealogy",
+    "random_graph",
+    "same_generation_program",
+    "sample_a",
+    "sample_b",
+    "sample_c",
+    "sample_cyclic",
+]

@@ -1,0 +1,94 @@
+"""The airline-connections workload of Section 4 (after Aho-Ullman [1]).
+
+The extensional database holds facts ``flight(source, dep_time, dest,
+arr_time)``; the query asks for all connections reachable from a given
+airport at a given departure time:
+
+    cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+    cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                         is_deptime(DT1), cnx(D1, DT1, D, AT).
+
+``is_deptime`` is the projection of ``flight`` onto its departure-time column
+(the paper: "we might define is-deptime as a projection onto dt of the base
+relation flight"); it restricts the otherwise unsafe built-in ``<``.
+
+The generators build either a simple corridor of connecting flights (useful
+for scaling experiments: the answer grows linearly with the corridor length)
+or a randomised hub-and-spoke network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.parser import parse_literal, parse_program
+from ..datalog.rules import Program
+
+FLIGHT_RULES = """
+    cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+    cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                         is_deptime(DT1), cnx(D1, DT1, D, AT).
+"""
+
+
+def flight_program() -> Program:
+    """The two-rule connections program (intensional part only)."""
+    return parse_program(FLIGHT_RULES)
+
+
+def _database_from_flights(flights: List[Tuple[str, int, str, int]]) -> Database:
+    deptimes = sorted({dt for (_, dt, _, _) in flights})
+    return Database.from_dict(
+        {"flight": flights, "is_deptime": [(dt,) for dt in deptimes]}
+    )
+
+
+def corridor(length: int, extra_noise: int = 0, seed: int = 0) -> Tuple[Program, Database, Literal]:
+    """A corridor of ``length`` connecting flights c0 -> c1 -> ... -> c_length.
+
+    Flight i leaves city ``c{i}`` at time ``10*i`` and arrives at ``c{i+1}``
+    at time ``10*i + 5``, so every leg connects to the next.  ``extra_noise``
+    adds unrelated flights between fresh cities (departing at times already
+    present in the corridor timetable, so the ``is_deptime`` projection does
+    not grow), which a binding-propagating strategy must never touch.  The
+    query starts at ``c0`` at time 0.
+    """
+    flights: List[Tuple[str, int, str, int]] = []
+    for i in range(length):
+        flights.append((f"c{i}", 10 * i, f"c{i + 1}", 10 * i + 5))
+    rng = random.Random(seed)
+    for j in range(extra_noise):
+        departure = 10 * rng.randint(0, max(0, length - 1))
+        flights.append((f"x{j}", departure, f"y{j}", departure + 3))
+    return (
+        flight_program(),
+        _database_from_flights(flights),
+        parse_literal("cnx(c0, 0, D, AT)"),
+    )
+
+
+def hub_and_spoke(
+    hubs: int, spokes_per_hub: int, seed: int = 0
+) -> Tuple[Program, Database, Literal]:
+    """A randomised hub network: hubs form a timetable-compatible chain.
+
+    Each hub ``h{i}`` has ``spokes_per_hub`` outbound regional flights, and
+    consecutive hubs are linked by a long-haul flight whose departure time
+    leaves room for the connection.  The query starts at the first hub.
+    """
+    rng = random.Random(seed)
+    flights: List[Tuple[str, int, str, int]] = []
+    for i in range(hubs - 1):
+        flights.append((f"h{i}", 100 * i, f"h{i + 1}", 100 * i + 50))
+    for i in range(hubs):
+        for s in range(spokes_per_hub):
+            departure = 100 * i + rng.choice([60, 70, 80])
+            flights.append((f"h{i}", departure, f"s{i}_{s}", departure + 15))
+    return (
+        flight_program(),
+        _database_from_flights(flights),
+        parse_literal("cnx(h0, 0, D, AT)"),
+    )

@@ -1,0 +1,94 @@
+"""Graph-shaped workloads for the transitive-closure experiments.
+
+Transitive closure (the reflexive/irreflexive ancestor query) is the
+archetypal *regular* binary-chain program (Theorem 3: evaluation in O(n·t)).
+These generators produce ``edge`` relations of various shapes -- chains,
+complete trees, cycles, random DAGs and random graphs -- together with the
+right-linear closure program and a bound-first-argument query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.parser import parse_literal, parse_program
+from ..datalog.rules import Program
+
+TRANSITIVE_CLOSURE_RULES = """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+Workload = Tuple[Program, Database, Literal]
+
+
+def closure_program() -> Program:
+    """The right-linear transitive-closure program."""
+    return parse_program(TRANSITIVE_CLOSURE_RULES)
+
+
+def _workload(edges: List[Tuple[object, object]], start: object) -> Workload:
+    return (
+        closure_program(),
+        Database.from_dict({"edge": edges}),
+        Literal("tc", [start, "Y"]),
+    )
+
+
+def chain(n: int) -> Workload:
+    """A simple path 0 -> 1 -> ... -> n; query tc(0, Y)."""
+    return _workload([(i, i + 1) for i in range(n)], 0)
+
+
+def cycle(n: int) -> Workload:
+    """A directed cycle of length n; query tc(0, Y)."""
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _workload(edges, 0)
+
+
+def binary_tree(depth: int) -> Workload:
+    """A complete binary tree of the given depth, edges parent -> child."""
+    edges: List[Tuple[object, object]] = []
+    nodes = 2 ** (depth + 1) - 1
+    for parent in range(1, nodes + 1):
+        for child in (2 * parent, 2 * parent + 1):
+            if child <= nodes:
+                edges.append((parent, child))
+    return _workload(edges, 1)
+
+
+def random_dag(n: int, edges_per_node: int = 2, seed: int = 0) -> Workload:
+    """A random DAG on n nodes (edges only go from smaller to larger ids)."""
+    rng = random.Random(seed)
+    edges: List[Tuple[object, object]] = []
+    for source in range(n - 1):
+        for _ in range(edges_per_node):
+            target = rng.randint(source + 1, n - 1)
+            edges.append((source, target))
+    return _workload(sorted(set(edges)), 0)
+
+
+def random_graph(n: int, edges_count: int, seed: int = 0) -> Workload:
+    """A random directed graph (cycles allowed) on n nodes."""
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < edges_count:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return _workload(sorted(edges), 0)
+
+
+def grid(width: int, height: int) -> Workload:
+    """A width x height grid with east and south edges; query from the corner."""
+    edges: List[Tuple[object, object]] = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append(((x, y), (x + 1, y)))
+            if y + 1 < height:
+                edges.append(((x, y), (x, y + 1)))
+    return _workload(edges, (0, 0))

@@ -1,0 +1,185 @@
+"""Tests for adorned programs and the chain condition (repro.core.adornment)."""
+
+import pytest
+
+from repro.core.adornment import (
+    AdornedPredicate,
+    adorn,
+    adornment_from_query,
+)
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.terms import Variable
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+FLIGHT = """
+    cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+    cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                         is_deptime(DT1), cnx(D1, DT1, D, AT).
+"""
+
+NAUGHTON = """
+    p(X, Y) :- b0(X, Y).
+    p(X, Y) :- b1(X, Z), p(Y, Z).
+"""
+
+NON_CHAIN = """
+    p(X, Y) :- b0(X, Y).
+    p(X, Y) :- b1(X, Y), p(Y, Z).
+"""
+
+
+class TestAdornedPredicate:
+    def test_positions(self):
+        adorned = AdornedPredicate("cnx", "bbff")
+        assert adorned.bound_positions == (0, 1)
+        assert adorned.free_positions == (2, 3)
+        assert adorned.arity == 4
+
+    def test_mangled_name_and_str(self):
+        adorned = AdornedPredicate("sg", "bf")
+        assert adorned.mangled_name() == "sg_bf"
+        assert str(adorned) == "sg^bf"
+
+    def test_invalid_adornment_rejected(self):
+        with pytest.raises(ValueError):
+            AdornedPredicate("p", "bx")
+
+    def test_adornment_from_query(self):
+        assert adornment_from_query(parse_literal("sg(john, Y)")) == AdornedPredicate("sg", "bf")
+        assert adornment_from_query(parse_literal("cnx(s0, dt0, D, AT)")) == AdornedPredicate(
+            "cnx", "bbff"
+        )
+        assert adornment_from_query(parse_literal("p(X, Y)")) == AdornedPredicate("p", "ff")
+
+
+class TestSameGenerationAdornment:
+    def test_bf_adornment_propagates_to_the_recursive_call(self):
+        adorned = adorn(parse_program(SG), parse_literal("sg(john, Y)"))
+        assert adorned.query_predicate == AdornedPredicate("sg", "bf")
+        recursive = [r for r in adorned.rules if r.derived is not None]
+        assert len(recursive) == 1
+        rule = recursive[0]
+        # The paper's adorned program: sg^bf(X,Y) :- up(X,X1), sg^bf(X1,Y1), down(Y1,Y).
+        assert rule.derived == AdornedPredicate("sg", "bf")
+        assert [lit.predicate for lit in rule.prefix] == ["up"]
+        assert [lit.predicate for lit in rule.suffix] == ["down"]
+
+    def test_only_reachable_adornments_generated(self):
+        adorned = adorn(parse_program(SG), parse_literal("sg(john, Y)"))
+        assert adorned.adorned_predicates() == {AdornedPredicate("sg", "bf")}
+        assert len(adorned.rules) == 2
+
+    def test_fb_adornment_swaps_prefix_and_suffix(self):
+        adorned = adorn(parse_program(SG), parse_literal("sg(X, mary)"))
+        recursive = [r for r in adorned.rules if r.derived is not None][0]
+        assert recursive.head == AdornedPredicate("sg", "fb")
+        assert recursive.derived == AdornedPredicate("sg", "fb")
+        assert [lit.predicate for lit in recursive.prefix] == ["down"]
+        assert [lit.predicate for lit in recursive.suffix] == ["up"]
+
+    def test_sg_is_a_chain_program(self):
+        adorned = adorn(parse_program(SG), parse_literal("sg(john, Y)"))
+        assert adorned.is_chain_program()
+        assert adorned.violations() == []
+
+
+class TestFlightAdornment:
+    def test_paper_flight_example(self):
+        adorned = adorn(parse_program(FLIGHT), parse_literal("cnx(s0, dt0, D, AT)"))
+        assert adorned.query_predicate == AdornedPredicate("cnx", "bbff")
+        recursive = [r for r in adorned.rules if r.derived is not None][0]
+        # cnx^bbff propagates the same adornment to the recursive call.
+        assert recursive.derived == AdornedPredicate("cnx", "bbff")
+        prefix_predicates = {lit.predicate for lit in recursive.prefix}
+        assert prefix_predicates == {"flight", "<", "is_deptime"}
+        assert recursive.suffix == ()
+
+    def test_flight_is_a_chain_program(self):
+        adorned = adorn(parse_program(FLIGHT), parse_literal("cnx(s0, dt0, D, AT)"))
+        assert adorned.is_chain_program()
+
+    def test_bound_and_free_vectors(self):
+        adorned = adorn(parse_program(FLIGHT), parse_literal("cnx(s0, dt0, D, AT)"))
+        recursive = [r for r in adorned.rules if r.derived is not None][0]
+        assert tuple(str(t) for t in recursive.bound_head_terms()) == ("S", "DT")
+        assert tuple(str(t) for t in recursive.free_head_terms()) == ("D", "AT")
+        assert tuple(str(t) for t in recursive.bound_derived_terms()) == ("D1", "DT1")
+        assert tuple(str(t) for t in recursive.free_derived_terms()) == ("D", "AT")
+
+
+class TestNaughtonExample:
+    def test_bf_and_fb_adornments_alternate(self):
+        adorned = adorn(parse_program(NAUGHTON), parse_literal("p(a, Y)"))
+        predicates = adorned.adorned_predicates()
+        assert AdornedPredicate("p", "bf") in predicates
+        assert AdornedPredicate("p", "fb") in predicates
+        assert len(adorned.rules) == 4  # r1..r4 of the paper
+
+    def test_rule_shapes_match_the_paper(self):
+        adorned = adorn(parse_program(NAUGHTON), parse_literal("p(a, Y)"))
+        bf_recursive = [
+            r for r in adorned.rules
+            if r.head == AdornedPredicate("p", "bf") and r.derived is not None
+        ][0]
+        # r2: p^bf(X,Y) :- b1(X,Z), p^fb(Y,Z)
+        assert bf_recursive.derived == AdornedPredicate("p", "fb")
+        assert [lit.predicate for lit in bf_recursive.prefix] == ["b1"]
+        assert bf_recursive.suffix == ()
+        fb_recursive = [
+            r for r in adorned.rules
+            if r.head == AdornedPredicate("p", "fb") and r.derived is not None
+        ][0]
+        # r4: p^fb(X,Y) :- p^bf(Y,Z), b1(X,Z)
+        assert fb_recursive.derived == AdornedPredicate("p", "bf")
+        assert fb_recursive.prefix == ()
+        assert [lit.predicate for lit in fb_recursive.suffix] == ["b1"]
+
+    def test_naughton_program_is_a_chain_program(self):
+        adorned = adorn(parse_program(NAUGHTON), parse_literal("p(a, Y)"))
+        assert adorned.is_chain_program()
+
+
+class TestChainConditionViolations:
+    def test_paper_counterexample_detected(self):
+        """p(X,Y) :- b1(X,Y), p(Y,Z): the prefix variable Y is free in the head."""
+        adorned = adorn(parse_program(NON_CHAIN), parse_literal("p(a, Y)"))
+        assert not adorned.is_chain_program()
+        violations = adorned.violations()
+        assert len(violations) == 1
+        assert violations[0].original.body[0].predicate == "b1"
+
+    def test_exit_rules_never_violate(self):
+        adorned = adorn(parse_program(NON_CHAIN), parse_literal("p(a, Y)"))
+        exit_rules = [r for r in adorned.rules if r.derived is None]
+        assert all(r.satisfies_chain_condition() for r in exit_rules)
+
+
+class TestApplicability:
+    def test_two_derived_literals_rejected(self):
+        program = parse_program(
+            """
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- anc(X, Z), anc(Z, Y).
+            """
+        )
+        with pytest.raises(NotApplicableError):
+            adorn(program, parse_literal("anc(a, Y)"))
+
+    def test_query_on_base_predicate_rejected(self):
+        with pytest.raises(NotApplicableError):
+            adorn(parse_program(SG), parse_literal("up(a, Y)"))
+
+    def test_grouping_conditions_hold_on_the_paper_examples(self):
+        for text, query in [
+            (SG, "sg(a, Y)"),
+            (FLIGHT, "cnx(s0, dt0, D, AT)"),
+            (NAUGHTON, "p(a, Y)"),
+        ]:
+            adorned = adorn(parse_program(text), parse_literal(query))
+            for rule in adorned.rules:
+                assert rule.satisfies_grouping_conditions(), str(rule)

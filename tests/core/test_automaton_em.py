@@ -1,0 +1,151 @@
+"""Tests for the EM(p, i) hierarchy (repro.core.automaton), Figures 1, 2 and 6."""
+
+import pytest
+
+from repro.core.automaton import EMHierarchy
+from repro.core.lemma1 import transform
+from repro.datalog.parser import parse_program
+from repro.relalg.automaton import ID, simulate
+from repro.relalg.equations import EquationSystem
+from repro.relalg.expressions import compose, pred, star, union
+
+
+def figure1_system():
+    """p = (b3 . b4* U b2 . p) . b1  with b1..b4 base relations (Figure 1)."""
+    e_p = compose(
+        union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p"))),
+        pred("b1"),
+    )
+    return EquationSystem({"p": e_p}, base_predicates={"b1", "b2", "b3", "b4"})
+
+
+def sg_system():
+    """sg = flat U up . sg . down (the same-generation equation)."""
+    return transform(
+        parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            """
+        )
+    ).system
+
+
+class TestTemplates:
+    def test_m_of_is_cached(self):
+        hierarchy = EMHierarchy(figure1_system())
+        assert hierarchy.m_of("p") is hierarchy.m_of("p")
+
+    def test_is_regular(self):
+        hierarchy = EMHierarchy(figure1_system())
+        assert not hierarchy.is_regular("p")
+        tc = transform(parse_program("tc(X,Y) :- e(X,Y). tc(X,Z) :- e(X,Y), tc(Y,Z)."))
+        assert EMHierarchy(tc.system).is_regular("tc")
+
+    def test_figure1_automaton_language(self):
+        hierarchy = EMHierarchy(figure1_system())
+        automaton = hierarchy.m_of("p")
+        assert simulate(automaton, ["b3", "b1"])
+        assert simulate(automaton, ["b3", "b4", "b1"])
+        assert simulate(automaton, ["b2", "p", "b1"])
+        assert not simulate(automaton, ["b2", "b1"])
+
+    def test_derived_transitions_identified(self):
+        hierarchy = EMHierarchy(figure1_system())
+        automaton = hierarchy.m_of("p").copy()
+        derived = hierarchy.derived_transitions(automaton)
+        assert [t.label for t in derived] == ["p"]
+
+
+class TestExpansion:
+    def test_em2_language_for_figure1(self):
+        """EM(p, 2) accepts the words of p_2 = (b3.b4* U b2.(b3.b4* U b2.p).b1).b1."""
+        hierarchy = EMHierarchy(figure1_system())
+        em2 = hierarchy.build_em("p", level=2)
+        # One level of unfolding of the recursion:
+        assert simulate(em2, ["b3", "b1"])
+        assert simulate(em2, ["b2", "b3", "b1", "b1"])
+        assert simulate(em2, ["b2", "b3", "b4", "b4", "b1", "b1"])
+        # Words that need two levels of unfolding still require the derived
+        # transition, which EM(p, 2) has only in its innermost copy.
+        assert simulate(em2, ["b2", "b2", "p", "b1", "b1"])
+        assert not simulate(em2, ["b2", "b2", "b3", "b1", "b1"])
+
+    def test_em3_language_for_sg(self):
+        """EM(sg, 3) accepts flat, up flat down, up up flat down down (Figure 6)."""
+        hierarchy = EMHierarchy(sg_system())
+        em3 = hierarchy.build_em("sg", level=3)
+        assert simulate(em3, ["flat"])
+        assert simulate(em3, ["up", "flat", "down"])
+        assert simulate(em3, ["up", "up", "flat", "down", "down"])
+        # Three levels of up need EM(sg, 4).
+        assert not simulate(em3, ["up", "up", "up", "flat", "down", "down", "down"])
+        assert not simulate(em3, ["up", "flat"])
+
+    def test_expansion_count_per_level(self):
+        hierarchy = EMHierarchy(sg_system())
+        em1 = hierarchy.build_em("sg", level=1)
+        em2 = hierarchy.build_em("sg", level=2)
+        em3 = hierarchy.build_em("sg", level=3)
+        # Each level adds exactly one fresh copy of M(e_sg) because e_sg has
+        # a single occurrence of a derived predicate.
+        assert len(hierarchy.derived_transitions(em1)) == 1
+        assert len(hierarchy.derived_transitions(em2)) == 1
+        assert len(hierarchy.derived_transitions(em3)) == 1
+        base_states = hierarchy.m_of("sg").state_count()
+        assert em2.state_count() == 2 * base_states
+        assert em3.state_count() == 3 * base_states
+
+    def test_expand_transition_wires_id_transitions(self):
+        hierarchy = EMHierarchy(sg_system())
+        automaton = hierarchy.m_of("sg").copy()
+        transition = hierarchy.derived_transitions(automaton)[0]
+        expansion = hierarchy.expand_transition(automaton, transition)
+        # The removed transition is gone and replaced by id transitions into
+        # and out of the spliced copy.
+        assert transition not in automaton.transitions
+        outgoing_labels = [t.label for t in automaton.outgoing(transition.source)]
+        assert ID in outgoing_labels
+        incoming_to_target = [
+            t for t in automaton.transitions if t.target == transition.target and t.label == ID
+        ]
+        assert any(t.source == expansion.exit for t in incoming_to_target)
+
+    def test_expand_transition_rejects_base_labels(self):
+        hierarchy = EMHierarchy(sg_system())
+        automaton = hierarchy.m_of("sg").copy()
+        base_transition = next(t for t in automaton.transitions if t.label == "flat")
+        with pytest.raises(ValueError):
+            hierarchy.expand_transition(automaton, base_transition)
+
+    def test_regular_equation_never_expands(self):
+        tc = transform(parse_program("tc(X,Y) :- e(X,Y). tc(X,Z) :- e(X,Y), tc(Y,Z)."))
+        hierarchy = EMHierarchy(tc.system)
+        automaton = hierarchy.build_em("tc", level=5)
+        assert hierarchy.derived_transitions(automaton) == []
+        assert automaton.state_count() == hierarchy.m_of("tc").state_count()
+
+    def test_build_em_rejects_level_zero(self):
+        hierarchy = EMHierarchy(sg_system())
+        with pytest.raises(ValueError):
+            hierarchy.build_em("sg", level=0)
+
+    def test_mutually_recursive_expansion(self):
+        system = transform(
+            parse_program(
+                """
+                p(X, Y) :- f(X, Y).
+                p(X, Z) :- a(X, X1), q(X1, Y1), b(Y1, Z).
+                q(X, Y) :- g(X, Y).
+                q(X, Z) :- c(X, X1), p(X1, Y1), d(Y1, Z).
+                """
+            )
+        ).system
+        hierarchy = EMHierarchy(system)
+        # At least one of the two equations still mentions a derived
+        # predicate; expanding it splices the other equation's automaton.
+        recursive = [p for p in system.derived_predicates if not hierarchy.is_regular(p)]
+        assert recursive
+        predicate = recursive[0]
+        em2 = hierarchy.build_em(predicate, level=2)
+        assert em2.state_count() > hierarchy.m_of(predicate).state_count()

@@ -1,0 +1,233 @@
+"""Tests for the Section 4 binary-chain transformation (repro.core.chain_transform)."""
+
+import pytest
+
+from repro.core.adornment import adorn
+from repro.core.chain_transform import (
+    ChainTransformProvider,
+    transform_to_binary_chain,
+)
+from repro.core.lemma1 import transform
+from repro.core.traversal import GraphTraversalEvaluator
+from repro.datalog.analysis import analyze
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+FLIGHT = """
+    cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+    cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                         is_deptime(DT1), cnx(D1, DT1, D, AT).
+"""
+
+NAUGHTON = """
+    p(X, Y) :- b0(X, Y).
+    p(X, Y) :- b1(X, Z), p(Y, Z).
+"""
+
+NON_CHAIN = """
+    p(X, Y) :- b0(X, Y).
+    p(X, Y) :- b1(X, Y), p(Y, Z).
+"""
+
+FLIGHT_FACTS = {
+    "flight": [
+        ("hel", 1, "par", 3),
+        ("par", 5, "nyc", 9),
+        ("par", 2, "rom", 4),
+        ("rom", 6, "ath", 8),
+        ("osl", 1, "hel", 2),
+    ],
+    "is_deptime": [(5,), (2,), (6,), (1,)],
+}
+
+
+def run_transformed_query(program_text, query_text, facts):
+    """Evaluate a query through the full Section 4 pipeline, returning raw answers."""
+    program = parse_program(program_text)
+    query = parse_literal(query_text)
+    result = transform_to_binary_chain(program, query)
+    database = Database.from_dict(facts)
+    system = transform(result.binary_program).system
+    evaluator = GraphTraversalEvaluator(
+        system,
+        ChainTransformProvider(result, database),
+        max_iterations=200,
+        on_iteration_limit="return",
+    )
+    traversal = evaluator.query_from(result.query_predicate, result.query_bound_tuple)
+    return result, traversal
+
+
+class TestTransformationStructure:
+    def test_flight_program_matches_the_paper(self):
+        """The flight example: in-r omitted never, out-r omitted (identity)."""
+        program = parse_program(FLIGHT)
+        query = parse_literal("cnx(s0, dt0, D, AT)")
+        result = transform_to_binary_chain(program, query)
+        assert result.query_predicate == "bin_cnx_bbff"
+        roles = {d.role for d in result.definitions.values()}
+        assert roles == {"base", "in"}          # no out-r: it degenerates to the identity
+        recursive_rules = [
+            r for r in result.binary_program.idb_rules()
+            if any(lit.predicate.startswith("bin_") for lit in r.body)
+        ]
+        assert len(recursive_rules) == 1
+        body_predicates = [lit.predicate for lit in recursive_rules[0].body]
+        assert body_predicates[0].startswith("in_r")
+        assert body_predicates[1] == "bin_cnx_bbff"
+        assert len(body_predicates) == 2
+
+    def test_naughton_program_matches_the_paper(self):
+        """bin-p^bf / bin-p^fb with in-r2 and out-r4 kept, the identities dropped."""
+        program = parse_program(NAUGHTON)
+        result = transform_to_binary_chain(program, parse_literal("p(a, Y)"))
+        derived = {r.head.predicate for r in result.binary_program.idb_rules()}
+        assert derived == {"bin_p_bf", "bin_p_fb"}
+        roles = sorted((d.role, d.rule_index) for d in result.definitions.values())
+        # Four adorned rules: two base rules, one in (for r2), one out (for r4).
+        assert [role for role, _ in roles].count("base") == 2
+        assert [role for role, _ in roles].count("in") == 1
+        assert [role for role, _ in roles].count("out") == 1
+
+    def test_transformed_program_is_a_linear_binary_chain_program(self):
+        for text, query in [(SG, "sg(a, Y)"), (FLIGHT, "cnx(s0, dt0, D, AT)"), (NAUGHTON, "p(a, Y)")]:
+            result = transform_to_binary_chain(parse_program(text), parse_literal(query))
+            analysis = analyze(result.binary_program)
+            assert analysis.is_binary_chain_program(), text
+            assert analysis.is_linear_program(), text
+
+    def test_non_chain_program_rejected_by_default(self):
+        with pytest.raises(NotApplicableError):
+            transform_to_binary_chain(parse_program(NON_CHAIN), parse_literal("p(a, Y)"))
+
+    def test_non_chain_program_can_be_forced(self):
+        result = transform_to_binary_chain(
+            parse_program(NON_CHAIN), parse_literal("p(a, Y)"), require_chain=False
+        )
+        assert result.binary_program.idb_rules()
+
+    def test_describe_lists_rules_and_definitions(self):
+        result = transform_to_binary_chain(parse_program(SG), parse_literal("sg(a, Y)"))
+        text = result.describe()
+        assert "bin_sg_bf" in text
+        assert "in_r" in text and "out_r" in text
+
+
+class TestEquivalence:
+    """Theorem 7: on chain programs the transformation preserves the answers."""
+
+    def test_flight_connections(self):
+        program = parse_program(FLIGHT)
+        query = parse_literal("cnx(hel, 1, D, AT)")
+        result, traversal = run_transformed_query(FLIGHT, "cnx(hel, 1, D, AT)", FLIGHT_FACTS)
+        expected = answer_query(program, query, Database.from_dict(FLIGHT_FACTS))
+        assert {tuple(v) for v in traversal.answers} == expected
+
+    def test_same_generation_through_the_transformation(self):
+        facts = {
+            "up": [("a", "b"), ("b", "c")],
+            "flat": [("c", "c"), ("b", "d")],
+            "down": [("c", "e"), ("e", "f"), ("d", "g")],
+        }
+        program = parse_program(SG)
+        query = parse_literal("sg(a, Y)")
+        _, traversal = run_transformed_query(SG, "sg(a, Y)", facts)
+        expected = {v[0] for v in answer_query(program, query, Database.from_dict(facts))}
+        assert {v[0] for v in traversal.answers} == expected
+
+    def test_naughton_example(self):
+        facts = {"b0": [(1, 2), (3, 2), (5, 6)], "b1": [(1, 2), (3, 2), (2, 6)]}
+        program = parse_program(NAUGHTON)
+        query = parse_literal("p(1, Y)")
+        _, traversal = run_transformed_query(NAUGHTON, "p(1, Y)", facts)
+        expected = {v[0] for v in answer_query(program, query, Database.from_dict(facts))}
+        assert {v[0] for v in traversal.answers} == expected
+
+    def test_counterexample_overapproximates_without_the_chain_condition(self):
+        """Lemma 5 holds but Lemma 6 fails: the transformed program returns extra answers."""
+        facts = {"b1": [("a", "b")], "b0": [("b", "c")]}
+        program = parse_program(NON_CHAIN)
+        query = parse_literal("p(a, Y)")
+        result = transform_to_binary_chain(program, query, require_chain=False)
+        database = Database.from_dict(facts)
+        system = transform(result.binary_program).system
+        evaluator = GraphTraversalEvaluator(
+            system,
+            ChainTransformProvider(result, database),
+            max_iterations=50,
+            on_iteration_limit="return",
+        )
+        traversal = evaluator.query_from(result.query_predicate, result.query_bound_tuple)
+        transformed_answers = {v[0] for v in traversal.answers}
+        true_answers = {v[0] for v in answer_query(program, query, database)}
+        # Lemma 5: no true answer is lost.
+        assert true_answers <= transformed_answers
+        # The converse fails: 'b' is correct, but the transformed program also
+        # derives spurious answers because the binding does not form a chain.
+        assert true_answers == {"b"}
+        assert transformed_answers != true_answers
+
+
+class TestProvider:
+    def test_successors_join_on_demand(self):
+        program = parse_program(FLIGHT)
+        query = parse_literal("cnx(hel, 1, D, AT)")
+        result = transform_to_binary_chain(program, query)
+        provider = ChainTransformProvider(result, Database.from_dict(FLIGHT_FACTS))
+        in_name = next(n for n, d in result.definitions.items() if d.role == "in")
+        successors = provider.successors(in_name, ("hel", 1))
+        # flight(hel,1,par,3) joined with the departure times later than 3.
+        assert set(successors) == {("par", 5), ("par", 6)}
+
+    def test_successors_of_unknown_value_are_empty(self):
+        program = parse_program(FLIGHT)
+        result = transform_to_binary_chain(program, parse_literal("cnx(hel, 1, D, AT)"))
+        provider = ChainTransformProvider(result, Database.from_dict(FLIGHT_FACTS))
+        in_name = next(n for n, d in result.definitions.items() if d.role == "in")
+        assert provider.successors(in_name, ("nowhere", 0)) == []
+        assert provider.successors(in_name, ("hel",)) == []   # wrong tuple width
+
+    def test_predecessors_reverse_the_join(self):
+        facts = {"b0": [(1, 2), (3, 4)], "b1": [(1, 5)]}
+        program = parse_program(NAUGHTON)
+        result = transform_to_binary_chain(program, parse_literal("p(1, Y)"))
+        provider = ChainTransformProvider(result, Database.from_dict(facts))
+        base_name = next(
+            n for n, d in result.definitions.items()
+            if d.role == "base" and "bf" in str(result.adorned.rules[d.rule_index].head)
+        )
+        assert set(provider.predecessors(base_name, (2,))) == {(1,)}
+
+    def test_unknown_auxiliary_predicate_rejected(self):
+        program = parse_program(SG)
+        result = transform_to_binary_chain(program, parse_literal("sg(a, Y)"))
+        provider = ChainTransformProvider(result, Database())
+        with pytest.raises(NotApplicableError):
+            provider.successors("not_a_relation", ("a",))
+
+    def test_binding_propagation_limits_facts_consulted(self):
+        """The demand-driven joins only touch flights reachable from the source."""
+        many_flights = {
+            "flight": [("hel", 1, "par", 3), ("par", 5, "nyc", 9)]
+            + [(f"x{i}", 1, f"y{i}", 2) for i in range(100)],
+            "is_deptime": [(5,)],
+        }
+        program = parse_program(FLIGHT)
+        query = parse_literal("cnx(hel, 1, D, AT)")
+        result = transform_to_binary_chain(program, query)
+        database = Database.from_dict(many_flights)
+        system = transform(result.binary_program).system
+        evaluator = GraphTraversalEvaluator(
+            system, ChainTransformProvider(result, database), max_iterations=50,
+            on_iteration_limit="return",
+        )
+        evaluator.query_from(result.query_predicate, result.query_bound_tuple)
+        # Only the hel/par flights are ever retrieved, not the 100 x->y ones.
+        assert database.counters.distinct_facts <= 10

@@ -1,0 +1,135 @@
+"""Tests for the five query binding patterns (repro.core.queries)."""
+
+import pytest
+
+from repro.core.lemma1 import transform
+from repro.core.queries import QueryEvaluator, invert_expression, invert_system, inverse_name
+from repro.core.traversal import DatabaseProvider
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.relalg.expressions import Inverse, Pred, compose, pred, star, union
+from repro.relalg.relation import BinaryRelation
+
+TC = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+"""
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+
+def evaluator(program_text, facts):
+    program = parse_program(program_text)
+    system = transform(program).system
+    database = Database.from_dict(facts)
+    return program, database, QueryEvaluator(system, DatabaseProvider(database))
+
+
+class TestExpressionInversion:
+    def test_base_predicates_become_inverse_leaves(self):
+        assert invert_expression(pred("e"), {"p"}) == Inverse(pred("e"))
+
+    def test_derived_predicates_are_renamed(self):
+        assert invert_expression(pred("p"), {"p"}) == Pred(inverse_name("p"))
+
+    def test_composition_is_reversed(self):
+        result = invert_expression(compose(pred("a"), pred("b")), set())
+        assert result == compose(Inverse(pred("b")), Inverse(pred("a")))
+
+    def test_star_and_union_handled_recursively(self):
+        result = invert_expression(star(union(pred("a"), pred("p"))), {"p"})
+        assert result == star(union(Inverse(pred("a")), Pred(inverse_name("p"))))
+
+    def test_inversion_preserves_semantics(self):
+        env = {
+            "a": BinaryRelation([(1, 2), (2, 3)]),
+            "b": BinaryRelation([(3, 4), (2, 5)]),
+        }
+        expression = compose(pred("a"), star(pred("b")))
+        inverted = invert_expression(expression, set())
+        assert inverted.evaluate(env) == expression.evaluate(env).inverse()
+
+    def test_invert_system_adds_twins(self):
+        system = transform(parse_program(TC)).system
+        inverted = invert_system(system)
+        assert inverse_name("tc") in inverted.derived_predicates
+        assert "tc" in inverted.derived_predicates
+
+
+class TestBindingPatterns:
+    FACTS = {"e": [(1, 2), (2, 3), (3, 4), (10, 11)]}
+
+    def test_bound_free(self):
+        _, _, qe = evaluator(TC, self.FACTS)
+        assert qe.bound_free("tc", 1).answers == {2, 3, 4}
+
+    def test_free_bound(self):
+        _, _, qe = evaluator(TC, self.FACTS)
+        assert qe.free_bound("tc", 4).answers == {1, 2, 3}
+        assert qe.free_bound("tc", 11).answers == {10}
+
+    def test_free_free(self):
+        program, database, qe = evaluator(TC, self.FACTS)
+        expected = answer_query(program, parse_literal("tc(X, Y)"), database)
+        assert qe.free_free("tc") == expected
+
+    def test_bound_bound(self):
+        _, _, qe = evaluator(TC, self.FACTS)
+        assert qe.bound_bound("tc", 1, 4)
+        assert not qe.bound_bound("tc", 4, 1)
+
+    def test_same_variable(self):
+        cyclic_facts = {"e": [(1, 2), (2, 1), (3, 4)]}
+        program, database, qe = evaluator(TC, cyclic_facts)
+        expected = {v[0] for v in answer_query(program, parse_literal("tc(X, X)"), database)}
+        assert qe.same_variable("tc") == expected == {1, 2}
+
+    def test_nonregular_predicate_free_bound(self):
+        facts = {
+            "up": [("a", "b"), ("b", "c")],
+            "flat": [("c", "c"), ("b", "d")],
+            "down": [("c", "e"), ("e", "f"), ("d", "g")],
+        }
+        program, database, qe = evaluator(SG, facts)
+        expected = {v[0] for v in answer_query(program, parse_literal("sg(X, f)"), database)}
+        assert qe.free_bound("sg", "f").answers == expected
+
+    def test_candidate_domain_covers_leading_relations(self):
+        _, _, qe = evaluator(SG, {
+            "up": [("a", "b")],
+            "flat": [("b", "b"), ("q", "q")],
+            "down": [("b", "c")],
+        })
+        domain = qe.candidate_domain("sg")
+        # sg = flat U up.sg.down: paths start with either flat or up.
+        assert domain == {"a", "b", "q"}
+
+
+class TestAnswerLiteral:
+    FACTS = {"e": [(1, 2), (2, 3)]}
+
+    def test_projection_conventions(self):
+        program, database, qe = evaluator(TC, self.FACTS)
+        assert qe.answer_literal(parse_literal("tc(1, Y)")) == {(2,), (3,)}
+        assert qe.answer_literal(parse_literal("tc(X, 3)")) == {(1,), (2,)}
+        assert qe.answer_literal(parse_literal("tc(1, 3)")) == {()}
+        assert qe.answer_literal(parse_literal("tc(3, 1)")) == set()
+        assert qe.answer_literal(parse_literal("tc(X, Y)")) == {(1, 2), (1, 3), (2, 3)}
+        assert qe.answer_literal(parse_literal("tc(X, X)")) == set()
+
+    def test_non_binary_query_rejected(self):
+        _, _, qe = evaluator(TC, self.FACTS)
+        with pytest.raises(NotApplicableError):
+            qe.answer_literal(parse_literal("tc(1, 2, 3)"))
+
+    def test_agreement_with_ground_truth_on_random_binding_patterns(self):
+        facts = {"e": [(1, 2), (2, 3), (3, 4), (4, 2), (5, 6)]}
+        program, database, qe = evaluator(TC, facts)
+        for text in ["tc(1, Y)", "tc(X, 2)", "tc(2, 2)", "tc(X, Y)", "tc(X, X)", "tc(6, Y)"]:
+            query = parse_literal(text)
+            assert qe.answer_literal(query) == answer_query(program, query, database), text

@@ -1,0 +1,186 @@
+"""Tests for the graph-traversal evaluator (Figures 3, 4, 5; Theorems 3, 4)."""
+
+import pytest
+
+from repro.core.lemma1 import transform
+from repro.core.traversal import (
+    DatabaseProvider,
+    GraphTraversalEvaluator,
+    evaluate_from_database,
+)
+from repro.datalog.database import Database
+from repro.datalog.errors import NonTerminationError, NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.instrumentation import Counters
+from repro.relalg.equations import EquationSystem
+from repro.relalg.expressions import compose, pred, star, union
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+TC = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+"""
+
+
+def traversal_answers(program_text, predicate, value, facts, **kwargs):
+    program = parse_program(program_text)
+    system = transform(program).system
+    database = Database.from_dict(facts)
+    return evaluate_from_database(system, database, predicate, value, **kwargs)
+
+
+class TestRegularCase:
+    def test_transitive_closure_chain(self):
+        result = traversal_answers(TC, "tc", 1, {"e": [(1, 2), (2, 3), (3, 4), (7, 8)]})
+        assert result.answers == {2, 3, 4}
+        assert result.iterations == 1         # regular: single iteration (Theorem 3)
+        assert result.terminated
+
+    def test_only_reachable_facts_consulted(self):
+        counters = Counters()
+        facts = {"e": [(1, 2), (2, 3)] + [(100 + i, 200 + i) for i in range(50)]}
+        result = traversal_answers(TC, "tc", 1, facts, counters=counters)
+        assert result.answers == {2, 3}
+        # The 50 disconnected tuples are never retrieved: demand-driven
+        # construction touches only the reachable portion.
+        assert counters.distinct_facts <= 4
+
+    def test_cyclic_data_is_fine_in_the_regular_case(self):
+        result = traversal_answers(TC, "tc", 1, {"e": [(1, 2), (2, 3), (3, 1)]})
+        assert result.answers == {1, 2, 3}
+        assert result.iterations == 1
+
+    def test_figure3_worked_example(self):
+        """The graph G(p, u, 2) of Figure 3 for e_p = (b3.b4* U b2.p).b1."""
+        e_p = compose(
+            union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p"))),
+            pred("b1"),
+        )
+        system = EquationSystem({"p": e_p}, base_predicates={"b1", "b2", "b3", "b4"})
+        database = Database.from_dict(
+            {
+                "b1": [("u4", "u5"), ("u5", "v"), ("u6", "w")],
+                "b2": [("u", "u1")],
+                "b3": [("u1", "u4"), ("u", "u5")],
+                "b4": [("u5", "u6")],
+            }
+        )
+        result = evaluate_from_database(system, database, "p", "u")
+        # From u: the non-recursive branch gives b3(u,u5).b4*.b1 -> {v, w};
+        # the recursive branch b2(u,u1).p(u1,u5).b1(u5,v) confirms v and needs
+        # one expansion of the transition on p, hence two iterations.
+        expected = {y for (x, y) in system.solve_database(database)["p"] if x == "u"}
+        assert result.answers == expected == {"v", "w"}
+        assert result.iterations == 2
+
+
+class TestLinearNonregularCase:
+    FACTS = {
+        "up": [("a", "b"), ("b", "c"), ("z", "c")],
+        "flat": [("c", "c"), ("b", "d")],
+        "down": [("c", "e"), ("e", "f"), ("d", "g")],
+    }
+
+    def test_same_generation_answers(self):
+        result = traversal_answers(SG, "sg", "a", self.FACTS)
+        program = parse_program(SG)
+        db = Database.from_dict(self.FACTS)
+        expected = {v[0] for v in answer_query(program, parse_literal("sg(a, Y)"), db)}
+        assert result.answers == expected
+
+    def test_iteration_count_is_generation_depth_plus_one(self):
+        # From `a` the longest up-path has length 2, so the algorithm stops
+        # after 3 iterations (the final iteration adds no continuation point).
+        result = traversal_answers(SG, "sg", "a", self.FACTS)
+        assert result.iterations == 3
+
+    def test_shallow_query_needs_fewer_iterations(self):
+        result = traversal_answers(SG, "sg", "b", self.FACTS)
+        assert result.iterations == 2
+
+    def test_answers_accumulate_monotonically_with_the_iteration_limit(self):
+        """Lemma 2: after i iterations the partial answer is the answer for p_i."""
+        partials = []
+        for limit in (1, 2, 3):
+            result = traversal_answers(
+                SG, "sg", "a", self.FACTS, max_iterations=limit, on_iteration_limit="return"
+            )
+            partials.append(result.answers)
+        assert partials[0] <= partials[1] <= partials[2]
+        # depth-0 (just flat from a): nothing; depth-1 adds g; depth-2 adds f.
+        assert partials[0] == set()
+        assert partials[1] == {"g"}
+        assert partials[2] == {"g", "f"}
+
+    def test_unknown_start_value_gives_empty_answer(self):
+        result = traversal_answers(SG, "sg", "nosuch", self.FACTS)
+        assert result.answers == set()
+        assert result.iterations == 1
+
+
+class TestCyclicBehaviour:
+    CYCLIC = {
+        "up": [("a1", "a2"), ("a2", "a1")],
+        "flat": [("a1", "b1")],
+        "down": [("b1", "b2"), ("b2", "b3"), ("b3", "b1")],
+    }
+
+    def test_iteration_limit_raises_by_default(self):
+        with pytest.raises(NonTerminationError) as excinfo:
+            traversal_answers(SG, "sg", "a1", self.CYCLIC, max_iterations=4)
+        assert excinfo.value.iterations == 4
+        assert excinfo.value.partial_answer is not None
+
+    def test_iteration_limit_can_return_partial_answer(self):
+        result = traversal_answers(
+            SG, "sg", "a1", self.CYCLIC, max_iterations=4, on_iteration_limit="return"
+        )
+        assert not result.terminated
+        assert result.answers  # some answers found within 4 iterations
+
+    def test_enough_iterations_produce_the_full_answer(self):
+        # Cycle lengths 2 (up) and 3 (down) are coprime: 6 iterations suffice.
+        result = traversal_answers(
+            SG, "sg", "a1", self.CYCLIC, max_iterations=7, on_iteration_limit="return"
+        )
+        program = parse_program(SG)
+        db = Database.from_dict(self.CYCLIC)
+        expected = {v[0] for v in answer_query(program, parse_literal("sg(a1, Y)"), db)}
+        assert result.answers == expected
+
+
+class TestInterfaceDetails:
+    def test_unknown_predicate_rejected(self):
+        system = transform(parse_program(TC)).system
+        database = Database.from_dict({"e": [(1, 2)]})
+        with pytest.raises(NotApplicableError):
+            evaluate_from_database(system, database, "nosuch", 1)
+
+    def test_bad_on_iteration_limit_rejected(self):
+        system = transform(parse_program(TC)).system
+        with pytest.raises(ValueError):
+            GraphTraversalEvaluator(
+                system, DatabaseProvider(Database()), on_iteration_limit="explode"
+            )
+
+    def test_counters_accumulate_nodes_and_iterations(self):
+        counters = Counters()
+        result = traversal_answers(TC, "tc", 1, {"e": [(1, 2), (2, 3)]}, counters=counters)
+        assert counters.nodes_generated == result.node_count
+        assert counters.iterations == result.iterations
+        assert counters.fact_retrievals > 0
+
+    def test_result_is_iterable(self):
+        result = traversal_answers(TC, "tc", 1, {"e": [(1, 2)]})
+        assert set(result) == {2}
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        n = 3000
+        facts = {"e": [(i, i + 1) for i in range(n)]}
+        result = traversal_answers(TC, "tc", 0, facts)
+        assert len(result.answers) == n

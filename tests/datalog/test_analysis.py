@@ -1,0 +1,202 @@
+"""Unit tests for repro.datalog.analysis (recursion structure, Section 2 classes)."""
+
+import pytest
+
+from repro.datalog.analysis import (
+    ProgramAnalysis,
+    analyze,
+    reachable_from,
+    strongly_connected_components,
+)
+from repro.datalog.parser import parse_program
+
+
+class TestSCC:
+    def test_acyclic_graph_gives_singletons(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        components = strongly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [["a"], ["b"], ["c"]]
+
+    def test_cycle_collapses(self):
+        graph = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        components = strongly_connected_components(graph)
+        assert sorted(components[0]) == ["a", "b", "c"]
+
+    def test_reverse_topological_order(self):
+        graph = {"a": ["b"], "b": ["c"], "c": ["b"], "d": ["a"]}
+        components = strongly_connected_components(graph)
+        order = {frozenset(c): i for i, c in enumerate(components)}
+        assert order[frozenset({"b", "c"})] < order[frozenset({"a"})] < order[frozenset({"d"})]
+
+    def test_nodes_only_in_successor_position_included(self):
+        components = strongly_connected_components({"a": ["b"]})
+        flattened = sorted(node for c in components for node in c)
+        assert flattened == ["a", "b"]
+
+    def test_large_chain_does_not_recurse(self):
+        # An iterative implementation must handle depth far beyond the
+        # default Python recursion limit.
+        n = 5000
+        graph = {i: [i + 1] for i in range(n)}
+        graph[n] = []
+        components = strongly_connected_components(graph)
+        assert len(components) == n + 1
+
+    def test_reachable_from(self):
+        graph = {"a": ["b"], "b": ["c"], "d": ["a"]}
+        assert reachable_from(graph, "a") == {"a", "b", "c"}
+        assert reachable_from(graph, "c") == {"c"}
+
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+MUTUAL = """
+    p(X, Y) :- q(X, Y).
+    q(X, Z) :- e(X, Y), p(Y, Z).
+    p(X, Y) :- e(X, Y).
+"""
+
+NONLINEAR = """
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), anc(Z, Y).
+"""
+
+PAPER_SECTION3 = """
+    p1(X, Z) :- b(X, Y), p2(Y, Z).
+    p1(X, Z) :- q1(X, Y), p3(Y, Z).
+    p2(X, Z) :- c(X, Y), p1(Y, Z).
+    p2(X, Z) :- d(X, Y), p3(Y, Z).
+    p3(X, Y) :- a(X, Y).
+    p3(X, Z) :- e(X, Y), p2(Y, Z).
+    q1(X, Z) :- a(X, Y), q2(Y, Z).
+    q2(X, Y) :- r2(X, Y).
+    q2(X, Z) :- q1(X, Y), r1(Y, Z).
+    r1(X, Y) :- b(X, Y).
+    r1(X, Y) :- r2(X, Y).
+    r2(X, Z) :- r1(X, Y), c(Y, Z).
+"""
+
+
+class TestRecursionStructure:
+    def test_sg_is_recursive(self):
+        a = analyze(parse_program(SG))
+        assert a.is_recursive_predicate("sg")
+        assert a.recursive_predicates == {"sg"}
+        assert not a.is_recursive_predicate("up")
+
+    def test_mutual_recursion_detected(self):
+        a = analyze(parse_program(MUTUAL))
+        assert a.are_mutually_recursive("p", "q")
+        assert a.mutually_recursive_set("p") == frozenset({"p", "q"})
+
+    def test_nonrecursive_predicate_has_empty_mutual_set(self):
+        a = analyze(parse_program(SG))
+        assert a.mutually_recursive_set("up") == frozenset()
+        assert not a.are_mutually_recursive("up", "sg")
+
+    def test_paper_example_components(self):
+        a = analyze(parse_program(PAPER_SECTION3))
+        components = {frozenset(c) for c in a.recursive_components()}
+        assert frozenset({"p1", "p2", "p3"}) in components
+        assert frozenset({"q1", "q2"}) in components
+        assert frozenset({"r1", "r2"}) in components
+
+    def test_evaluation_order_is_bottom_up(self):
+        a = analyze(parse_program(PAPER_SECTION3))
+        order = a.evaluation_order()
+        position = {pred: i for i, comp in enumerate(order) for pred in comp}
+        # r-group is used by the q-group which is used by the p-group.
+        assert position["r1"] < position["q1"] < position["p1"]
+
+
+class TestRuleClasses:
+    def test_linear_rule_detection(self):
+        program = parse_program(SG)
+        a = analyze(program)
+        for rule in program.idb_rules():
+            assert a.is_linear_rule(rule)
+        assert a.is_linear_program()
+        assert a.is_linearly_recursive_program()
+
+    def test_nonlinear_rule_detection(self):
+        program = parse_program(NONLINEAR)
+        a = analyze(program)
+        recursive_rule = program.rules_for("anc")[1]
+        assert not a.is_linear_rule(recursive_rule)
+        assert not a.is_linear_program()
+
+    def test_recursive_rule_detection(self):
+        program = parse_program(SG)
+        a = analyze(program)
+        base_rule, recursive_rule = program.rules_for("sg")
+        assert not a.is_recursive_rule(base_rule)
+        assert a.is_recursive_rule(recursive_rule)
+        assert a.is_recursive_program()
+
+    def test_right_and_left_linear_rules(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            lc(X, Y) :- e(X, Y).
+            lc(X, Z) :- lc(X, Y), e(Y, Z).
+            """
+        )
+        a = analyze(program)
+        tc_rec = program.rules_for("tc")[1]
+        lc_rec = program.rules_for("lc")[1]
+        assert a.is_right_linear_rule(tc_rec)
+        assert not a.is_left_linear_rule(tc_rec)
+        assert a.is_left_linear_rule(lc_rec)
+        assert not a.is_right_linear_rule(lc_rec)
+        assert a.is_regular_predicate("tc")
+        assert a.is_regular_predicate("lc")
+        assert a.is_regular_program()
+
+
+class TestProgramClasses:
+    def test_sg_is_binary_chain_but_not_regular(self):
+        a = analyze(parse_program(SG))
+        assert a.is_binary_chain_program()
+        # sg's recursive rule has recursion in the middle of the chain, so it
+        # is neither right- nor left-linear; sg is nonregular (Section 3
+        # treats it with the iterated automata EM(sg, i)).
+        assert not a.is_regular_predicate("sg")
+        assert not a.is_regular_program()
+
+    def test_nonbinary_program_is_not_binary_chain(self):
+        program = parse_program("p(X, Y, Z) :- q(X, Y, Z).")
+        assert not analyze(program).is_binary_chain_program()
+
+    def test_paper_example_regularity(self):
+        a = analyze(parse_program(PAPER_SECTION3))
+        # Section 3: "pl, p2, and p3 are right-linear, rl and r2 are
+        # left-linear, and ql and q2 are linear and nonregular."
+        for predicate in ("p1", "p2", "p3"):
+            assert a.is_right_linear_predicate(predicate), predicate
+        for predicate in ("r1", "r2"):
+            assert a.is_left_linear_predicate(predicate), predicate
+        for predicate in ("q1", "q2"):
+            assert not a.is_regular_predicate(predicate), predicate
+        assert a.is_linear_program()
+        assert a.is_binary_chain_program()
+        assert not a.is_regular_program()
+
+    def test_single_recursive_rule_condition(self):
+        a = analyze(parse_program(PAPER_SECTION3))
+        assert a.has_single_recursive_rule_per_nonregular_predicate()
+
+    def test_single_recursive_rule_condition_violated(self):
+        program = parse_program(
+            """
+            p(X, Z) :- a(X, Y), p(Y, W), b(W, Z).
+            p(X, Z) :- c(X, Y), p(Y, W), d(W, Z).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        a = analyze(program)
+        assert not a.is_regular_predicate("p")
+        assert not a.has_single_recursive_rule_per_nonregular_predicate()

@@ -1,0 +1,145 @@
+"""Unit tests for repro.datalog.database."""
+
+import pytest
+
+from repro.datalog.database import Database, Relation
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program
+from repro.instrumentation import Counters
+
+
+class TestRelation:
+    def test_add_and_len(self):
+        rel = Relation("up", 2)
+        assert rel.add(("a", "b"))
+        assert not rel.add(("a", "b"))
+        assert len(rel) == 1
+
+    def test_arity_mismatch_rejected(self):
+        rel = Relation("up", 2)
+        with pytest.raises(ValueError):
+            rel.add(("a",))
+
+    def test_lookup_by_position(self):
+        rel = Relation("up", 2)
+        rel.add(("a", "b"))
+        rel.add(("a", "c"))
+        rel.add(("b", "c"))
+        assert rel.lookup({0: "a"}) == {("a", "b"), ("a", "c")}
+        assert rel.lookup({1: "c"}) == {("a", "c"), ("b", "c")}
+        assert rel.lookup({0: "a", 1: "c"}) == {("a", "c")}
+        assert rel.lookup({}) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_index_maintained_after_insertion(self):
+        rel = Relation("up", 2)
+        rel.add(("a", "b"))
+        assert rel.lookup({0: "a"}) == {("a", "b")}
+        rel.add(("a", "c"))  # index already exists and must be updated
+        assert rel.lookup({0: "a"}) == {("a", "b"), ("a", "c")}
+
+    def test_contains(self):
+        rel = Relation("up", 2)
+        rel.add(("a", "b"))
+        assert ("a", "b") in rel
+        assert ("b", "a") not in rel
+
+
+class TestDatabase:
+    def test_add_fact_and_rows(self):
+        db = Database()
+        assert db.add_fact("up", ("a", "b"))
+        assert not db.add_fact("up", ("a", "b"))
+        assert db.rows("up") == {("a", "b")}
+        assert db.rows("nosuch") == set()
+
+    def test_add_facts_counts_new_only(self):
+        db = Database()
+        assert db.add_facts("up", [("a", "b"), ("a", "b"), ("b", "c")]) == 2
+
+    def test_from_dict(self):
+        db = Database.from_dict({"up": [("a", "b")], "flat": [("b", "b")]})
+        assert db.count("up") == 1
+        assert db.predicates() == {"up", "flat"}
+        assert db.total_facts() == 2
+
+    def test_from_program(self):
+        program = parse_program("p(X,Y) :- e(X,Y). e(1,2). e(2,3).")
+        db = Database.from_program(program)
+        assert db.rows("e") == {(1, 2), (2, 3)}
+
+    def test_match_with_bound_first_argument(self):
+        db = Database.from_dict({"up": [("a", "b"), ("a", "c"), ("b", "d")]})
+        rows = db.match(Literal("up", ["a", "Y"]))
+        assert set(rows) == {("a", "b"), ("a", "c")}
+
+    def test_match_repeated_variable(self):
+        db = Database.from_dict({"flat": [("a", "a"), ("a", "b")]})
+        rows = db.match(Literal("flat", ["X", "X"]))
+        assert set(rows) == {("a", "a")}
+
+    def test_match_unknown_predicate(self):
+        assert Database().match(Literal("p", ["X"])) == []
+
+    def test_arity_query(self):
+        db = Database.from_dict({"up": [("a", "b")]})
+        assert db.arity("up") == 2
+        assert db.arity("nosuch") is None
+
+    def test_copy_is_independent(self):
+        db = Database.from_dict({"up": [("a", "b")]})
+        clone = db.copy()
+        clone.add_fact("up", ("x", "y"))
+        assert db.count("up") == 1
+        assert clone.count("up") == 2
+
+    def test_equality_compares_contents(self):
+        db1 = Database.from_dict({"up": [("a", "b")]})
+        db2 = Database.from_dict({"up": [("a", "b")]})
+        db3 = Database.from_dict({"up": [("a", "c")]})
+        assert db1 == db2
+        assert db1 != db3
+
+    def test_to_facts(self):
+        db = Database.from_dict({"up": [("a", "b")]})
+        facts = db.to_facts()
+        assert len(facts) == 1
+        assert facts[0].is_fact
+
+
+class TestInstrumentation:
+    def test_match_charges_retrievals(self):
+        counters = Counters()
+        db = Database.from_dict({"up": [("a", "b"), ("a", "c")]}, counters=counters)
+        db.match(Literal("up", ["a", "Y"]))
+        assert counters.fact_retrievals == 2
+        assert counters.distinct_facts == 2
+
+    def test_distinct_facts_not_double_counted(self):
+        counters = Counters()
+        db = Database.from_dict({"up": [("a", "b")]}, counters=counters)
+        db.match(Literal("up", ["a", "Y"]))
+        db.match(Literal("up", ["a", "Y"]))
+        assert counters.fact_retrievals == 2
+        assert counters.distinct_facts == 1
+
+    def test_contains_charges_only_hits(self):
+        counters = Counters()
+        db = Database.from_dict({"up": [("a", "b")]}, counters=counters)
+        assert db.contains("up", ("a", "b"))
+        assert not db.contains("up", ("b", "a"))
+        assert counters.fact_retrievals == 1
+
+    def test_charge_can_be_disabled(self):
+        counters = Counters()
+        db = Database.from_dict({"up": [("a", "b")]}, counters=counters)
+        db.match(Literal("up", ["X", "Y"]), charge=False)
+        assert counters.fact_retrievals == 0
+
+    def test_reset_instrumentation(self):
+        counters = Counters()
+        db = Database.from_dict({"up": [("a", "b")]}, counters=counters)
+        db.match(Literal("up", ["X", "Y"]))
+        db.reset_instrumentation()
+        assert counters.fact_retrievals == 0
+        db.match(Literal("up", ["X", "Y"]))
+        assert counters.distinct_facts == 1

@@ -1,0 +1,105 @@
+"""Unit tests for repro.datalog.literals."""
+
+import pytest
+
+from repro.datalog.literals import Literal, ground_atom
+from repro.datalog.terms import Constant, Variable
+
+
+class TestConstruction:
+    def test_string_args_coerced_by_case(self):
+        lit = Literal("up", ["X", "a"])
+        assert lit.args == (Variable("X"), Constant("a"))
+
+    def test_arity(self):
+        assert Literal("p", ["X", "Y", "Z"]).arity == 3
+        assert Literal("halt", []).arity == 0
+
+    def test_equality_and_hash(self):
+        assert Literal("p", ["X", "a"]) == Literal("p", ["X", "a"])
+        assert Literal("p", ["X"]) != Literal("q", ["X"])
+        assert len({Literal("p", ["X"]), Literal("p", ["X"])}) == 1
+
+    def test_rejects_empty_predicate(self):
+        with pytest.raises(ValueError):
+            Literal("", ["X"])
+
+
+class TestProperties:
+    def test_is_ground(self):
+        assert Literal("p", ["a", 1]).is_ground
+        assert not Literal("p", ["a", "X"]).is_ground
+
+    def test_is_binary(self):
+        assert Literal("p", ["X", "Y"]).is_binary
+        assert not Literal("p", ["X"]).is_binary
+
+    def test_variables_preserve_duplicates(self):
+        lit = Literal("p", ["X", "Y", "X"])
+        assert lit.variables() == (Variable("X"), Variable("Y"), Variable("X"))
+
+    def test_constants(self):
+        lit = Literal("p", ["a", "X", 3])
+        assert lit.constants() == (Constant("a"), Constant(3))
+
+    def test_constant_values_requires_ground(self):
+        assert Literal("p", ["a", 2]).constant_values() == ("a", 2)
+        with pytest.raises(ValueError):
+            Literal("p", ["X"]).constant_values()
+
+    def test_with_args_and_with_predicate(self):
+        lit = Literal("p", ["X"])
+        assert lit.with_args(["a"]) == Literal("p", ["a"])
+        assert lit.with_predicate("q") == Literal("q", ["X"])
+
+
+class TestBuiltins:
+    def test_comparison_is_builtin(self):
+        assert Literal("<", [1, 2]).is_builtin
+        assert not Literal("p", [1, 2]).is_builtin
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 1, False),
+            ("<=", 2, 2, True),
+            (">", 3, 1, True),
+            (">=", 1, 3, False),
+            ("=", "a", "a", True),
+            ("!=", "a", "a", False),
+        ],
+    )
+    def test_evaluate_builtin(self, op, left, right, expected):
+        assert Literal(op, [left, right]).evaluate_builtin() is expected
+
+    def test_evaluate_builtin_requires_ground(self):
+        with pytest.raises(ValueError):
+            Literal("<", ["X", 2]).evaluate_builtin()
+
+    def test_evaluate_builtin_rejects_non_builtin(self):
+        with pytest.raises(ValueError):
+            Literal("p", [1, 2]).evaluate_builtin()
+
+
+class TestConnectivity:
+    def test_shares_variable_with(self):
+        a = Literal("p", ["X", "Y"])
+        b = Literal("q", ["Y", "Z"])
+        c = Literal("r", ["W"])
+        assert a.shares_variable_with(b)
+        assert not a.shares_variable_with(c)
+
+    def test_ground_literals_share_nothing(self):
+        assert not Literal("p", ["a"]).shares_variable_with(Literal("q", ["a"]))
+
+
+class TestGroundAtom:
+    def test_capitalised_strings_stay_constants(self):
+        atom = ground_atom("city", ["Helsinki", "FI"])
+        assert atom.is_ground
+        assert atom.constant_values() == ("Helsinki", "FI")
+
+    def test_str_rendering(self):
+        assert str(Literal("up", ["X", "a"])) == "up(X, a)"
+        assert str(Literal("<", ["X", 3])) == "X < 3"

@@ -1,0 +1,170 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.errors import ProgramValidationError, UnsafeRuleError
+from repro.datalog.literals import Literal
+from repro.datalog.rules import Program, Rule, program_from_rules, rule
+from repro.datalog.terms import Variable
+
+
+def lit(pred, *args):
+    return Literal(pred, list(args))
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert Rule(lit("up", "a", "b")).is_fact
+        assert not Rule(lit("up", "X", "b")).is_fact
+        assert not Rule(lit("p", "X"), [lit("q", "X")]).is_fact
+
+    def test_builtin_head_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Rule(lit("<", "X", "Y"), [lit("p", "X", "Y")])
+
+    def test_variables_collects_head_and_body(self):
+        r = Rule(lit("p", "X", "Y"), [lit("q", "X", "Z"), lit("r", "Z", "Y")])
+        assert r.variables() == {Variable("X"), Variable("Y"), Variable("Z")}
+
+    def test_positive_and_builtin_body_split(self):
+        r = Rule(lit("p", "X"), [lit("q", "X", "Y"), lit("<", "X", "Y")])
+        assert r.positive_body() == (lit("q", "X", "Y"),)
+        assert r.builtin_body() == (lit("<", "X", "Y"),)
+
+    def test_safety(self):
+        safe = Rule(lit("p", "X"), [lit("q", "X")])
+        unsafe_head = Rule(lit("p", "X", "Y"), [lit("q", "X")])
+        unsafe_builtin = Rule(lit("p", "X"), [lit("q", "X"), lit("<", "X", "Z")])
+        assert safe.is_safe()
+        assert not unsafe_head.is_safe()
+        assert not unsafe_builtin.is_safe()
+
+    def test_str_round_trips_shape(self):
+        r = Rule(lit("p", "X", "Y"), [lit("q", "X", "Z"), lit("r", "Z", "Y")])
+        assert str(r) == "p(X, Y) :- q(X, Z), r(Z, Y)."
+        assert str(Rule(lit("up", "a", "b"))) == "up(a, b)."
+
+
+class TestBinaryChainRule:
+    def test_simple_chain(self):
+        r = Rule(lit("p", "X", "Z"), [lit("a", "X", "Y"), lit("b", "Y", "Z")])
+        assert r.is_binary_chain_rule()
+
+    def test_long_chain(self):
+        r = Rule(
+            lit("p", "X1", "X4"),
+            [lit("a", "X1", "X2"), lit("b", "X2", "X3"), lit("c", "X3", "X4")],
+        )
+        assert r.is_binary_chain_rule()
+
+    def test_unit_chain(self):
+        assert Rule(lit("p", "X", "Y"), [lit("q", "X", "Y")]).is_binary_chain_rule()
+
+    def test_reflexive_closure_base(self):
+        # p*(X, X) :-   is the degenerate chain of length zero.
+        assert Rule(lit("pstar", "X", "X"), []).is_binary_chain_rule()
+
+    def test_broken_chain_rejected(self):
+        r = Rule(lit("p", "X", "Z"), [lit("a", "X", "Y"), lit("b", "W", "Z")])
+        assert not r.is_binary_chain_rule()
+
+    def test_repeated_variable_rejected(self):
+        r = Rule(lit("p", "X", "X"), [lit("a", "X", "Y"), lit("b", "Y", "X")])
+        assert not r.is_binary_chain_rule()
+
+    def test_nonbinary_head_rejected(self):
+        r = Rule(lit("p", "X", "Y", "Z"), [lit("a", "X", "Y"), lit("b", "Y", "Z")])
+        assert not r.is_binary_chain_rule()
+
+    def test_constant_in_head_rejected(self):
+        r = Rule(lit("p", "a", "Z"), [lit("b", "a", "Z")])
+        assert not r.is_binary_chain_rule()
+
+    def test_same_generation_recursive_rule_is_a_chain(self):
+        r = Rule(
+            lit("sg", "X", "Y"),
+            [lit("up", "X", "X1"), lit("sg", "X1", "Y1"), lit("down", "Y1", "Y")],
+        )
+        assert r.is_binary_chain_rule()
+
+
+class TestProgram:
+    def sg_program(self):
+        return Program(
+            [
+                Rule(lit("sg", "X", "Y"), [lit("flat", "X", "Y")]),
+                Rule(
+                    lit("sg", "X", "Y"),
+                    [lit("up", "X", "X1"), lit("sg", "X1", "Y1"), lit("down", "Y1", "Y")],
+                ),
+                Rule(lit("up", "a", "b")),
+                Rule(lit("flat", "b", "b")),
+                Rule(lit("down", "b", "c")),
+            ]
+        )
+
+    def test_base_and_derived_split(self):
+        program = self.sg_program()
+        assert program.derived_predicates == {"sg"}
+        assert program.base_predicates == {"up", "flat", "down"}
+
+    def test_body_only_predicates_are_base(self):
+        program = Program([Rule(lit("p", "X"), [lit("q", "X")])])
+        assert program.base_predicates == {"q"}
+
+    def test_rules_for(self):
+        program = self.sg_program()
+        assert len(program.rules_for("sg")) == 2
+        assert len(program.rules_for("up")) == 1
+        assert program.rules_for("nosuch") == ()
+
+    def test_edb_idb_split(self):
+        program = self.sg_program()
+        assert len(program.edb_facts()) == 3
+        assert len(program.idb_rules()) == 2
+
+    def test_arity_table(self):
+        program = self.sg_program()
+        assert program.arity("sg") == 2
+        with pytest.raises(KeyError):
+            program.arity("nosuch")
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Program([Rule(lit("p", "X"), [lit("q", "X")]), Rule(lit("q", "a", "b"))])
+
+    def test_base_predicate_in_head_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Program(
+                [
+                    Rule(lit("up", "a", "b")),
+                    Rule(lit("up", "X", "Y"), [lit("edge", "X", "Y")]),
+                ]
+            )
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            Program([Rule(lit("p", "X", "Y"), [lit("q", "X")])])
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Program([Rule(lit("p", "X"))])
+
+    def test_program_equality_ignores_order(self):
+        r1 = Rule(lit("p", "a"))
+        r2 = Rule(lit("q", "b"))
+        assert Program([r1, r2]) == Program([r2, r1])
+
+    def test_extended(self):
+        program = self.sg_program()
+        larger = program.extended([Rule(lit("up", "b", "c"))])
+        assert len(larger) == len(program) + 1
+
+    def test_without_facts(self):
+        assert len(self.sg_program().without_facts()) == 2
+
+    def test_terse_constructors(self):
+        r = rule(lit("p", "X"), lit("q", "X"))
+        program = program_from_rules(r)
+        assert len(program) == 1
+        assert program.rules[0].body == (lit("q", "X"),)

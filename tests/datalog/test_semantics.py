@@ -1,0 +1,131 @@
+"""Unit tests for repro.datalog.semantics (the least-model ground truth)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import (
+    answer_against_relation,
+    answer_query,
+    derived_relation,
+    is_true,
+    least_model,
+)
+
+
+class TestLeastModel:
+    def test_transitive_closure_of_a_chain(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            e(1, 2). e(2, 3). e(3, 4).
+            """
+        )
+        tc = least_model(program).rows("tc")
+        assert tc == {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+
+    def test_transitive_closure_of_a_cycle_terminates(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            e(1, 2). e(2, 1).
+            """
+        )
+        tc = least_model(program).rows("tc")
+        assert tc == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_external_database_is_used(self):
+        program = parse_program("tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z).")
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        tc = least_model(program, db).rows("tc")
+        assert tc == {(1, 2), (2, 3), (1, 3)}
+
+    def test_facts_in_program_and_database_are_merged(self):
+        program = parse_program("p(X) :- a(X). p(X) :- b(X). a(1).")
+        db = Database.from_dict({"b": [(2,)]})
+        assert least_model(program, db).rows("p") == {(1,), (2,)}
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            even(X) :- zero(X).
+            even(Y) :- odd(X), succ(X, Y).
+            odd(Y) :- even(X), succ(X, Y).
+            zero(0). succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4).
+            """
+        )
+        model = least_model(program)
+        assert model.rows("even") == {(0,), (2,), (4,)}
+        assert model.rows("odd") == {(1,), (3,)}
+
+    def test_same_generation(self):
+        program = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+            up(a, b). up(b, c).
+            flat(c, c). flat(b, d).
+            down(c, e). down(e, f). down(d, g).
+            """
+        )
+        sg = least_model(program).rows("sg")
+        # flat pairs are at the same generation, and so is anything reachable
+        # by matching numbers of up and down steps around a flat pair.
+        assert ("c", "c") in sg
+        assert ("b", "e") in sg      # up(b,c), flat(c,c), down(c,e)
+        assert ("a", "f") in sg      # two levels up from a, two levels down to f
+        assert ("a", "g") in sg      # up(a,b), flat(b,d), down(d,g)
+        assert ("a", "e") not in sg  # mismatched number of levels
+
+
+class TestQueries:
+    PROGRAM = parse_program(
+        """
+        tc(X, Y) :- e(X, Y).
+        tc(X, Z) :- e(X, Y), tc(Y, Z).
+        e(1, 2). e(2, 3).
+        """
+    )
+
+    def test_answer_query_free_second_argument(self):
+        answers = answer_query(self.PROGRAM, parse_literal("tc(1, Y)"))
+        assert answers == {(2,), (3,)}
+
+    def test_answer_query_free_first_argument(self):
+        answers = answer_query(self.PROGRAM, parse_literal("tc(X, 3)"))
+        assert answers == {(1,), (2,)}
+
+    def test_answer_query_both_free(self):
+        answers = answer_query(self.PROGRAM, parse_literal("tc(X, Y)"))
+        assert answers == {(1, 2), (1, 3), (2, 3)}
+
+    def test_answer_ground_query(self):
+        assert answer_query(self.PROGRAM, parse_literal("tc(1, 3)")) == {()}
+        assert answer_query(self.PROGRAM, parse_literal("tc(3, 1)")) == set()
+
+    def test_answer_repeated_variable_query(self):
+        cyclic = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            e(1, 2). e(2, 1). e(3, 4).
+            """
+        )
+        answers = answer_query(cyclic, parse_literal("tc(X, X)"))
+        assert answers == {(1,), (2,)}
+
+    def test_derived_relation(self):
+        assert derived_relation(self.PROGRAM, "tc") == {(1, 2), (1, 3), (2, 3)}
+
+    def test_is_true(self):
+        assert is_true(self.PROGRAM, parse_literal("tc(1, 3)"))
+        assert not is_true(self.PROGRAM, parse_literal("tc(2, 1)"))
+        with pytest.raises(ValueError):
+            is_true(self.PROGRAM, parse_literal("tc(X, 1)"))
+
+    def test_answer_against_relation_projection_order(self):
+        rows = {(1, 2, 3), (1, 5, 6)}
+        answers = answer_against_relation(rows, parse_literal("r(1, Y, Z)"))
+        assert answers == {(2, 3), (5, 6)}

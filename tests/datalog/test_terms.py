@@ -1,0 +1,95 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    format_constant_value,
+    make_constant,
+    make_term,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_is_variable_flags(self):
+        v = Variable("X")
+        assert v.is_variable
+        assert not v.is_constant
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ValueError):
+            Variable(3)  # type: ignore[arg-type]
+
+    def test_str_is_name(self):
+        assert str(Variable("Foo")) == "Foo"
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_variable_and_constant_never_equal(self):
+        assert Constant("X") != Variable("X")
+
+    def test_tuple_payloads_allowed(self):
+        c = Constant(("a", 3))
+        assert c.value == ("a", 3)
+        assert c == Constant(("a", 3))
+
+    def test_unhashable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(["a", "b"])
+
+    def test_is_constant_flags(self):
+        c = Constant(5)
+        assert c.is_constant
+        assert not c.is_variable
+
+
+class TestMakeTerm:
+    def test_uppercase_string_becomes_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("_anon") == Variable("_anon")
+
+    def test_lowercase_string_becomes_constant(self):
+        assert make_term("john") == Constant("john")
+
+    def test_numbers_become_constants(self):
+        assert make_term(42) == Constant(42)
+
+    def test_terms_pass_through(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_make_constant_rejects_variable(self):
+        with pytest.raises(ValueError):
+            make_constant(Variable("X"))
+
+    def test_make_constant_wraps_values(self):
+        assert make_constant("X") == Constant("X")
+        assert make_constant(Constant(3)) == Constant(3)
+
+
+class TestFormatting:
+    def test_simple_symbol(self):
+        assert format_constant_value("john") == "john"
+
+    def test_tuple_renders_as_t(self):
+        assert format_constant_value(("a", 1)) == "t(a, 1)"
+
+    def test_odd_string_quoted(self):
+        assert format_constant_value("New York") == repr("New York")

@@ -1,0 +1,175 @@
+"""Engine-specific behaviour: binding propagation, duplication, rewritings."""
+
+import pytest
+
+from repro.core.adornment import adorn
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.engines import rewrite_magic, run_engine
+from repro.instrumentation import Counters
+
+SG_RULES = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+
+def sg_with_island(island_size=50):
+    """Same-generation data plus a large component unreachable from 'a'."""
+    facts = {
+        "up": [("a", "b"), ("b", "c")],
+        "flat": [("c", "c"), ("b", "d")],
+        "down": [("c", "e"), ("e", "f"), ("d", "g")],
+    }
+    facts["up"] += [(f"i{k}", f"i{k + 1}") for k in range(island_size)]
+    facts["flat"] += [(f"i{k}", f"i{k}") for k in range(island_size)]
+    facts["down"] += [(f"i{k + 1}", f"i{k}") for k in range(island_size)]
+    return parse_program(SG_RULES), Database.from_dict(facts)
+
+
+class TestBindingPropagation:
+    """Methods that use the query binding touch far fewer facts than naive ones."""
+
+    def test_naive_consults_the_whole_database(self):
+        program, database = sg_with_island()
+        counters = Counters()
+        run_engine("naive", program, parse_literal("sg(a, Y)"), database, counters)
+        assert counters.distinct_facts > 100
+
+    def test_graph_traversal_ignores_the_island(self):
+        program, database = sg_with_island()
+        counters = Counters()
+        result = run_engine("graph", program, parse_literal("sg(a, Y)"), database, counters)
+        assert result.answers == {("f",), ("g",)}
+        assert counters.distinct_facts < 20
+
+    def test_magic_sets_ignore_the_island(self):
+        program, database = sg_with_island()
+        counters = Counters()
+        result = run_engine("magic", program, parse_literal("sg(a, Y)"), database, counters)
+        assert result.answers == {("f",), ("g",)}
+        assert counters.distinct_facts < 30
+
+    def test_counting_ignores_the_island(self):
+        program, database = sg_with_island()
+        counters = Counters()
+        result = run_engine("counting", program, parse_literal("sg(a, Y)"), database, counters)
+        assert result.answers == {("f",), ("g",)}
+        assert counters.distinct_facts < 20
+
+
+class TestDuplicationOfWork:
+    def test_seminaive_fires_fewer_rules_than_naive(self):
+        chain = parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)."
+            + " ".join(f"e({i}, {i + 1})." for i in range(15))
+        )
+        query = parse_literal("tc(0, Y)")
+        naive_counters, semi_counters = Counters(), Counters()
+        run_engine("naive", chain, query, counters=naive_counters)
+        run_engine("seminaive", chain, query, counters=semi_counters)
+        assert semi_counters.rule_firings < naive_counters.rule_firings
+
+    def test_naive_and_seminaive_agree_on_the_derived_relation(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Y).
+            p(X, Z) :- e(X, Y), q(Y, Z).
+            q(X, Z) :- f(X, Y), p(Y, Z).
+            e(1, 2). e(2, 3). f(3, 1). f(2, 2).
+            """
+        )
+        query = parse_literal("p(X, Y)")
+        naive = run_engine("naive", program, query)
+        semi = run_engine("seminaive", program, query)
+        assert naive.answers == semi.answers == answer_query(program, query)
+
+
+class TestMagicRewriting:
+    def test_rewritten_program_structure_for_sg(self):
+        program = parse_program(SG_RULES)
+        adorned = adorn(program, parse_literal("sg(john, Y)"))
+        magic_program, rewritten_query, seed = rewrite_magic(adorned)
+        heads = {rule.head.predicate for rule in magic_program.idb_rules()}
+        assert heads == {"sg_bf", "magic_sg_bf"}
+        assert rewritten_query.predicate == "sg_bf"
+        assert seed.head.predicate == "magic_sg_bf"
+        assert seed.head.constant_values() == ("john",)
+
+    def test_magic_rule_bodies_are_guarded(self):
+        program = parse_program(SG_RULES)
+        adorned = adorn(program, parse_literal("sg(john, Y)"))
+        magic_program, _, _ = rewrite_magic(adorned)
+        for rule in magic_program.idb_rules():
+            if rule.head.predicate == "sg_bf":
+                assert rule.body[0].predicate == "magic_sg_bf"
+
+    def test_magic_fact_count_reported(self):
+        program, database = sg_with_island()
+        result = run_engine("magic", program, parse_literal("sg(a, Y)"), database)
+        assert result.details["magic_fact_count"] >= 1
+
+
+class TestRestrictedEngines:
+    def test_henschen_naqvi_requires_bound_first_argument(self):
+        program = parse_program(SG_RULES + "up(a, b). flat(b, b). down(b, c).")
+        with pytest.raises(NotApplicableError):
+            run_engine("henschen-naqvi", program, parse_literal("sg(X, c)"))
+
+    def test_counting_requires_bound_first_argument(self):
+        program = parse_program(SG_RULES + "up(a, b). flat(b, b). down(b, c).")
+        with pytest.raises(NotApplicableError):
+            run_engine("counting", program, parse_literal("sg(X, Y)"))
+
+    def test_counting_handles_cyclic_data_with_the_level_bound(self):
+        cyclic = parse_program(
+            SG_RULES
+            + """
+            up(a1, a2). up(a2, a1).
+            flat(a1, b1).
+            down(b1, b2). down(b2, b3). down(b3, b1).
+            """
+        )
+        query = parse_literal("sg(a1, Y)")
+        result = run_engine("counting", cyclic, query)
+        assert result.answers == answer_query(cyclic, query)
+
+    def test_henschen_naqvi_handles_cyclic_data_with_the_bound(self):
+        cyclic = parse_program(
+            SG_RULES
+            + """
+            up(a1, a2). up(a2, a1).
+            flat(a1, b1).
+            down(b1, b2). down(b2, b3). down(b3, b1).
+            """
+        )
+        query = parse_literal("sg(a1, Y)")
+        result = run_engine("henschen-naqvi", cyclic, query)
+        assert result.answers == answer_query(cyclic, query)
+
+    def test_applicability_probes(self):
+        from repro.engines import get_engine
+
+        program = parse_program(SG_RULES + "up(a, b). flat(b, b). down(b, c).")
+        query = parse_literal("sg(a, Y)")
+        for name in ("henschen-naqvi", "counting", "reverse-counting", "magic"):
+            assert get_engine(name).applicable(program, query), name
+
+
+class TestTopDown:
+    def test_memoisation_terminates_on_cycles(self):
+        cyclic = parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z). e(1, 2). e(2, 1)."
+        )
+        query = parse_literal("tc(1, Y)")
+        result = run_engine("topdown", cyclic, query)
+        assert result.answers == {(1,), (2,)}
+
+    def test_table_size_reported(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z). e(1, 2). e(2, 3)."
+        )
+        result = run_engine("topdown", program, parse_literal("tc(1, Y)"))
+        assert result.details["table_size"] >= 2

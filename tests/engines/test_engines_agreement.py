@@ -1,0 +1,154 @@
+"""Cross-engine agreement tests: every engine must match the least model."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.engines import available_engines, get_engine, run_engine
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    up(a, b). up(b, c). up(z, c).
+    flat(c, c). flat(b, d).
+    down(c, e). down(e, f). down(d, g).
+"""
+
+TC = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+    e(1, 2). e(2, 3). e(3, 4). e(7, 8).
+"""
+
+TC_CYCLIC = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+    e(1, 2). e(2, 3). e(3, 1). e(3, 4).
+"""
+
+ALL_ENGINES = sorted(available_engines())
+GENERAL_ENGINES = ["naive", "seminaive", "topdown", "magic", "graph"]
+BINARY_BOUND_ENGINES = ALL_ENGINES  # every engine handles sg(a, Y)-style queries
+
+
+class TestAgreementOnBinaryChainQueries:
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    @pytest.mark.parametrize(
+        "program_text,query_text",
+        [
+            (SG, "sg(a, Y)"),
+            (SG, "sg(b, Y)"),
+            (SG, "sg(zzz, Y)"),
+            (TC, "tc(1, Y)"),
+            (TC, "tc(7, Y)"),
+            (TC_CYCLIC, "tc(1, Y)"),
+        ],
+        ids=["sg-a", "sg-b", "sg-missing", "tc-chain", "tc-island", "tc-cyclic"],
+    )
+    def test_bound_free_queries(self, engine_name, program_text, query_text):
+        program = parse_program(program_text)
+        query = parse_literal(query_text)
+        expected = answer_query(program, query)
+        result = run_engine(engine_name, program, query)
+        assert result.answers == expected, engine_name
+
+    @pytest.mark.parametrize("engine_name", GENERAL_ENGINES)
+    @pytest.mark.parametrize(
+        "query_text", ["sg(a, g)", "sg(a, e)"],
+        ids=["ground-true", "ground-false"],
+    )
+    def test_ground_queries(self, engine_name, query_text):
+        program = parse_program(SG)
+        query = parse_literal(query_text)
+        expected = answer_query(program, query)
+        result = run_engine(engine_name, program, query)
+        assert result.answers == expected, engine_name
+
+
+class TestAgreementOnNaryQueries:
+    FLIGHT = """
+        cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+        cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                             is_deptime(DT1), cnx(D1, DT1, D, AT).
+        flight(hel, 1, par, 3). flight(par, 5, nyc, 9). flight(par, 2, rom, 4).
+        flight(rom, 6, ath, 8). flight(osl, 1, hel, 2).
+        is_deptime(5). is_deptime(2). is_deptime(6). is_deptime(1).
+    """
+
+    @pytest.mark.parametrize("engine_name", GENERAL_ENGINES)
+    @pytest.mark.parametrize(
+        "query_text",
+        ["cnx(hel, 1, D, AT)", "cnx(osl, 1, D, AT)", "cnx(par, 2, D, AT)"],
+    )
+    def test_flight_connections(self, engine_name, query_text):
+        program = parse_program(self.FLIGHT)
+        query = parse_literal(query_text)
+        expected = answer_query(program, query)
+        result = run_engine(engine_name, program, query)
+        assert result.answers == expected, engine_name
+
+
+class TestAgreementOnNonlinearPrograms:
+    NONLINEAR = """
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), anc(Z, Y).
+        par(1, 2). par(2, 3). par(3, 4). par(2, 5).
+    """
+
+    @pytest.mark.parametrize("engine_name", ["naive", "seminaive", "topdown", "graph"])
+    def test_ancestor(self, engine_name):
+        program = parse_program(self.NONLINEAR)
+        query = parse_literal("anc(1, Y)")
+        expected = answer_query(program, query)
+        result = run_engine(engine_name, program, query)
+        assert result.answers == expected, engine_name
+
+    def test_restricted_engines_report_inapplicability(self):
+        program = parse_program(self.NONLINEAR)
+        query = parse_literal("anc(1, Y)")
+        for name in ("henschen-naqvi", "counting", "reverse-counting", "magic"):
+            assert not get_engine(name).applicable(program, query), name
+
+    def test_restricted_engines_raise_when_forced(self):
+        program = parse_program(self.NONLINEAR)
+        query = parse_literal("anc(1, Y)")
+        for name in ("henschen-naqvi", "counting", "reverse-counting"):
+            with pytest.raises(NotApplicableError):
+                run_engine(name, program, query)
+
+
+class TestExternalDatabase:
+    @pytest.mark.parametrize("engine_name", GENERAL_ENGINES)
+    def test_program_and_database_facts_are_merged(self, engine_name):
+        program = parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z). e(1, 2)."
+        )
+        database = Database.from_dict({"e": [(2, 3)]})
+        result = run_engine(engine_name, program, parse_literal("tc(1, Y)"), database=database)
+        assert result.answers == {(2,), (3,)}
+
+
+class TestRegistry:
+    def test_all_expected_engines_registered(self):
+        assert set(available_engines()) == {
+            "naive",
+            "seminaive",
+            "topdown",
+            "henschen-naqvi",
+            "magic",
+            "counting",
+            "reverse-counting",
+            "graph",
+        }
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(NotApplicableError):
+            get_engine("quantum")
+
+    def test_result_helpers(self):
+        result = run_engine("naive", parse_program(TC), parse_literal("tc(1, Y)"))
+        assert result.values() == {2, 3, 4}
+        assert result.engine == "naive"
+        assert result.counters.total_work() > 0

@@ -1,0 +1,192 @@
+"""Integration tests: every worked example of the paper, end to end."""
+
+import pytest
+
+from repro import evaluate_query, parse_program, parse_query
+from repro.core.adornment import AdornedPredicate, adorn
+from repro.core.chain_transform import transform_to_binary_chain
+from repro.core.lemma1 import transform
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_literal
+from repro.datalog.semantics import answer_query
+from repro.relalg.expressions import compose, pred, star, union
+
+
+class TestSection2Definitions:
+    """The operator-defining programs of Section 2 are binary-chain programs."""
+
+    def test_union_composition_programs(self):
+        program = parse_program(
+            """
+            p_or_q(X, Y) :- p(X, Y).
+            p_or_q(X, Y) :- q(X, Y).
+            p_then_q(X, Z) :- p(X, Y), q(Y, Z).
+            p(1, 2). q(2, 3). q(1, 5).
+            """
+        )
+        from repro.datalog.analysis import analyze
+
+        assert analyze(program).is_binary_chain_program()
+        assert evaluate_query(program, parse_query("p_or_q(1, Y)")).values() == {2, 5}
+        assert evaluate_query(program, parse_query("p_then_q(1, Y)")).values() == {3}
+
+
+class TestSection3WorkedExample:
+    """The twelve-rule program whose transformation Section 3 traces in detail."""
+
+    PROGRAM = parse_program(
+        """
+        p1(X, Z) :- b(X, Y), p2(Y, Z).
+        p1(X, Z) :- q1(X, Y), p3(Y, Z).
+        p2(X, Z) :- c(X, Y), p1(Y, Z).
+        p2(X, Z) :- d(X, Y), p3(Y, Z).
+        p3(X, Y) :- a(X, Y).
+        p3(X, Z) :- e(X, Y), p2(Y, Z).
+        q1(X, Z) :- a(X, Y), q2(Y, Z).
+        q2(X, Y) :- r2(X, Y).
+        q2(X, Z) :- q1(X, Y), r1(Y, Z).
+        r1(X, Y) :- b(X, Y).
+        r1(X, Y) :- r2(X, Y).
+        r2(X, Z) :- r1(X, Y), c(Y, Z).
+        """
+    )
+    DATABASE = Database.from_dict(
+        {
+            "a": [(1, 2), (2, 6), (6, 3), (4, 2)],
+            "b": [(2, 4), (3, 4), (6, 1)],
+            "c": [(4, 1), (4, 5), (5, 6)],
+            "d": [(5, 2), (1, 6)],
+            "e": [(1, 5), (5, 3), (3, 2)],
+        }
+    )
+
+    @pytest.mark.parametrize("predicate", ["p1", "p2", "p3", "q1", "q2", "r1", "r2"])
+    def test_every_predicate_evaluates_correctly_for_every_start(self, predicate):
+        for start in range(1, 7):
+            query = parse_literal(f"{predicate}({start}, Y)")
+            answer = evaluate_query(self.PROGRAM, query, database=self.DATABASE)
+            assert answer.answers == answer_query(self.PROGRAM, query, self.DATABASE), (
+                predicate,
+                start,
+            )
+
+    def test_final_equation_for_r_group_is_regular(self):
+        result = transform(self.PROGRAM)
+        # r1 and r2 are left-linear; their final equations use only base
+        # predicates (statement (5) restricted to the regular subgroup).
+        for predicate in ("r1", "r2"):
+            assert result.is_regular_equation(predicate)
+
+
+class TestSameGenerationExample:
+    """The sg program with the paper's genealogy reading of up/down/flat."""
+
+    PROGRAM_TEXT = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+        % john's family: up = child-parent, down = parent-child,
+        % flat = identity on people of the oldest generation.
+        up(john, mary).   up(mary, ruth).
+        up(ann, mary).    up(paul, sam).   up(sam, ruth).
+        down(ruth, mary). down(ruth, sam). down(mary, john).
+        down(mary, ann).  down(sam, paul).
+        flat(ruth, ruth). flat(mary, mary). flat(sam, sam).
+    """
+
+    def test_cousins_at_the_same_generation(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        answer = evaluate_query(program, parse_query("sg(john, Y)"))
+        # john himself (via flat on mary), his sibling ann, and his
+        # same-generation cousin paul.
+        assert answer.values() == {"john", "ann", "paul"}
+
+    def test_equation_is_flat_union_up_sg_down(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        result = transform(program)
+        assert result.system.rhs("sg") == union(
+            pred("flat"), compose(pred("up"), pred("sg"), pred("down"))
+        )
+
+    def test_iterations_equal_generations_to_remotest_ancestor(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        answer = evaluate_query(program, parse_query("sg(john, Y)"))
+        # john -> mary -> ruth: two generations, plus the final iteration
+        # that finds no continuation points.
+        assert answer.iterations == 3
+
+
+class TestSection4FlightExample:
+    PROGRAM_TEXT = """
+        cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+        cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                             is_deptime(DT1), cnx(D1, DT1, D, AT).
+        flight(hel, 480, sto, 540). flight(sto, 600, osl, 660).
+        flight(osl, 700, trd, 760). flight(hel, 490, rix, 560).
+        is_deptime(480). is_deptime(600). is_deptime(700). is_deptime(490).
+    """
+
+    def test_adornment_is_bbff(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        adorned = adorn(program, parse_query("cnx(hel, 480, D, AT)"))
+        assert adorned.query_predicate == AdornedPredicate("cnx", "bbff")
+        assert adorned.is_chain_program()
+
+    def test_transformed_program_is_regular(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        result = transform_to_binary_chain(program, parse_query("cnx(hel, 480, D, AT)"))
+        lemma1 = transform(result.binary_program)
+        assert lemma1.is_regular_equation(result.query_predicate)
+        # The paper: bin-cnx^bbff = in-r2* . base-r1.
+        equation = lemma1.system.rhs(result.query_predicate)
+        assert isinstance(equation, type(compose(pred("x"), pred("y"))))
+
+    def test_connections_from_helsinki(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        answer = evaluate_query(program, parse_query("cnx(hel, 480, D, AT)"))
+        assert answer.strategy == "chain-transform"
+        assert answer.answers == {("sto", 540), ("osl", 660), ("trd", 760)}
+
+
+class TestSection4NaughtonExample:
+    PROGRAM_TEXT = """
+        p(X, Y) :- b0(X, Y).
+        p(X, Y) :- b1(X, Z), p(Y, Z).
+        b0(1, 2). b0(3, 2). b1(1, 2). b1(3, 2). b0(5, 6). b1(2, 6).
+    """
+
+    def test_query_through_the_full_pipeline(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        query = parse_query("p(1, Y)")
+        answer = evaluate_query(program, query)
+        assert answer.strategy == "chain-transform"
+        assert answer.answers == answer_query(program, query)
+
+    def test_equation_after_eliminating_one_bin_predicate(self):
+        program = parse_program(self.PROGRAM_TEXT)
+        result = transform_to_binary_chain(program, parse_query("p(1, Y)"))
+        lemma1 = transform(result.binary_program)
+        # One of bin-p^bf / bin-p^fb is eliminated from the recursion; at most
+        # one equation still mentions its own predicate (the paper derives
+        # bin-pfb = base-r3 U base-r1.out-r4 U in-r2.bin-pfb.out-r4).
+        self_recursive = [
+            p for p in lemma1.system.derived_predicates
+            if lemma1.system.rhs(p).contains(p)
+        ]
+        assert len(self_recursive) <= 1
+
+
+class TestSection4CounterExample:
+    def test_non_chain_program_is_rejected_and_answered_by_fallback(self):
+        program = parse_program(
+            """
+            p(X, Y) :- b0(X, Y).
+            p(X, Y) :- b1(X, Y), p(Y, Z).
+            b1(a, b). b0(b, c).
+            """
+        )
+        query = parse_query("p(a, Y)")
+        adorned = adorn(program, query)
+        assert not adorned.is_chain_program()
+        answer = evaluate_query(program, query)
+        assert answer.strategy == "bottom-up"
+        assert answer.answers == {("b",)}

@@ -1,0 +1,91 @@
+"""Property-based tests for relational expressions and their automata."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg.automaton import thompson
+from repro.relalg.expressions import (
+    Compose,
+    Pred,
+    Star,
+    Union,
+    distribute,
+    simplify,
+)
+from repro.relalg.hunt import evaluate_via_graph
+from repro.relalg.relation import BinaryRelation
+
+PREDICATES = ["r0", "r1", "r2"]
+
+values = st.integers(min_value=0, max_value=6)
+pairs = st.tuples(values, values)
+relations = st.frozensets(pairs, max_size=10).map(BinaryRelation)
+environments = st.fixed_dictionaries({name: relations for name in PREDICATES})
+
+
+def expression_strategy():
+    leaves = st.sampled_from([Pred(name) for name in PREDICATES])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(Union),
+            st.lists(children, min_size=2, max_size=3).map(Compose),
+            children.map(Star),
+        ),
+        max_leaves=6,
+    )
+
+
+expressions = expression_strategy()
+
+
+def universe_of(env):
+    result = set()
+    for relation in env.values():
+        result |= relation.active_domain()
+    return result
+
+
+class TestSimplification:
+    @given(expressions, environments)
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_preserves_the_denoted_relation(self, expression, env):
+        universe = universe_of(env)
+        assert simplify(expression).evaluate(env, universe) == expression.evaluate(env, universe)
+
+    @given(expressions)
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_is_idempotent(self, expression):
+        once = simplify(expression)
+        assert simplify(once) == once
+
+    @given(expressions, environments)
+    @settings(max_examples=40, deadline=None)
+    def test_distribute_preserves_the_denoted_relation(self, expression, env):
+        universe = universe_of(env)
+        for target in PREDICATES:
+            rewritten = distribute(expression, {target})
+            assert rewritten.evaluate(env, universe) == expression.evaluate(env, universe)
+
+    @given(expressions)
+    @settings(max_examples=60, deadline=None)
+    def test_substitution_of_a_fresh_name_is_identity(self, expression):
+        assert expression.substitute("not_there", Pred("r0")) == expression
+
+
+class TestAutomatonAgreement:
+    @given(expressions, environments)
+    @settings(max_examples=40, deadline=None)
+    def test_graph_evaluation_agrees_with_structural_evaluation(self, expression, env):
+        """The Hunt-style interpretation of M(e) denotes exactly e."""
+        universe = universe_of(env)
+        direct = expression.evaluate(env, universe)
+        via_graph = evaluate_via_graph(expression, env, universe)
+        assert via_graph == direct
+
+    @given(expressions)
+    @settings(max_examples=60, deadline=None)
+    def test_every_predicate_occurrence_becomes_one_transition(self, expression):
+        automaton = thompson(expression)
+        non_id = [t for t in automaton.transitions if t.label != "id"]
+        assert len(non_id) == expression.occurrence_count(set(PREDICATES))

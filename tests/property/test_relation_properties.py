@@ -1,0 +1,87 @@
+"""Property-based tests for the binary-relation algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg.relation import BinaryRelation
+
+values = st.integers(min_value=0, max_value=12)
+pairs = st.tuples(values, values)
+relations = st.frozensets(pairs, max_size=25).map(BinaryRelation)
+
+
+class TestAlgebraicLaws:
+    @given(relations, relations)
+    def test_union_is_commutative(self, r, s):
+        assert r.union(s) == s.union(r)
+
+    @given(relations, relations, relations)
+    def test_union_is_associative(self, r, s, t):
+        assert r.union(s).union(t) == r.union(s.union(t))
+
+    @given(relations, relations, relations)
+    def test_composition_is_associative(self, r, s, t):
+        assert r.compose(s).compose(t) == r.compose(s.compose(t))
+
+    @given(relations, relations, relations)
+    def test_composition_distributes_over_union(self, r, s, t):
+        assert r.compose(s.union(t)) == r.compose(s).union(r.compose(t))
+
+    @given(relations)
+    def test_empty_is_absorbing_for_composition(self, r):
+        assert r.compose(BinaryRelation.empty()) == BinaryRelation.empty()
+        assert BinaryRelation.empty().compose(r) == BinaryRelation.empty()
+
+    @given(relations)
+    def test_identity_is_neutral_for_composition(self, r):
+        identity = BinaryRelation.identity(r.active_domain())
+        assert r.compose(identity) == r
+        assert identity.compose(r) == r
+
+    @given(relations)
+    def test_inverse_is_an_involution(self, r):
+        assert r.inverse().inverse() == r
+
+    @given(relations, relations)
+    def test_inverse_antidistributes_over_composition(self, r, s):
+        assert r.compose(s).inverse() == s.inverse().compose(r.inverse())
+
+
+class TestClosureProperties:
+    @given(relations)
+    def test_transitive_closure_is_transitive(self, r):
+        closure = r.transitive_closure()
+        assert closure.compose(closure).pairs <= closure.pairs
+
+    @given(relations)
+    def test_transitive_closure_contains_the_relation(self, r):
+        assert r.pairs <= r.transitive_closure().pairs
+
+    @given(relations)
+    def test_transitive_closure_is_idempotent(self, r):
+        once = r.transitive_closure()
+        assert once.transitive_closure() == once
+
+    @given(relations)
+    def test_star_equals_identity_union_plus(self, r):
+        domain = r.active_domain()
+        star = r.reflexive_transitive_closure()
+        expected = r.transitive_closure().union(BinaryRelation.identity(domain))
+        assert star == expected
+
+    @given(relations)
+    def test_star_absorbs_composition_with_itself(self, r):
+        star = r.reflexive_transitive_closure()
+        assert star.compose(star) == star
+
+    @given(relations, values)
+    def test_reachability_matches_closure(self, r, start):
+        reachable = r.reachable_from(start)
+        closure = r.transitive_closure()
+        assert reachable == {y for (x, y) in closure if x == start}
+
+    @given(relations)
+    def test_successors_and_predecessors_are_consistent(self, r):
+        for a, b in r:
+            assert b in r.successors(a)
+            assert a in r.predecessors(b)

@@ -1,0 +1,147 @@
+"""Unit tests for repro.relalg.equations (step 1 of Lemma 1 + reference solver)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_program
+from repro.datalog.semantics import least_model
+from repro.relalg.equations import EquationSystem
+from repro.relalg.expressions import compose, pred, star, union
+from repro.relalg.relation import BinaryRelation
+
+B = BinaryRelation
+
+PAPER_SECTION3 = """
+    p1(X, Z) :- b(X, Y), p2(Y, Z).
+    p1(X, Z) :- q1(X, Y), p3(Y, Z).
+    p2(X, Z) :- c(X, Y), p1(Y, Z).
+    p2(X, Z) :- d(X, Y), p3(Y, Z).
+    p3(X, Y) :- a(X, Y).
+    p3(X, Z) :- e(X, Y), p2(Y, Z).
+    q1(X, Z) :- a(X, Y), q2(Y, Z).
+    q2(X, Y) :- r2(X, Y).
+    q2(X, Z) :- q1(X, Y), r1(Y, Z).
+    r1(X, Y) :- b(X, Y).
+    r1(X, Y) :- r2(X, Y).
+    r2(X, Z) :- r1(X, Y), c(Y, Z).
+"""
+
+
+class TestFromProgram:
+    def test_paper_initial_system(self):
+        """Step 1 must produce exactly the system printed in Section 3."""
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        assert system.rhs("p1") == union(
+            compose(pred("b"), pred("p2")), compose(pred("q1"), pred("p3"))
+        )
+        assert system.rhs("p2") == union(
+            compose(pred("c"), pred("p1")), compose(pred("d"), pred("p3"))
+        )
+        assert system.rhs("p3") == union(pred("a"), compose(pred("e"), pred("p2")))
+        assert system.rhs("q1") == compose(pred("a"), pred("q2"))
+        assert system.rhs("q2") == union(pred("r2"), compose(pred("q1"), pred("r1")))
+        assert system.rhs("r1") == union(pred("b"), pred("r2"))
+        assert system.rhs("r2") == compose(pred("r1"), pred("c"))
+
+    def test_base_predicates_recorded(self):
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        assert system.base_predicates == {"a", "b", "c", "d", "e"}
+        assert system.derived_predicates == {"p1", "p2", "p3", "q1", "q2", "r1", "r2"}
+
+    def test_non_binary_chain_program_rejected(self):
+        program = parse_program("p(X, Y) :- q(Y, X).")  # not a chain (arguments swapped)
+        with pytest.raises(NotApplicableError):
+            EquationSystem.from_program(program)
+
+    def test_nonbinary_program_rejected(self):
+        program = parse_program("p(X, Y, Z) :- q(X, Y, Z).")
+        with pytest.raises(NotApplicableError):
+            EquationSystem.from_program(program)
+
+    def test_unit_body_rule_gives_bare_predicate(self):
+        program = parse_program("p(X, Y) :- e(X, Y).")
+        system = EquationSystem.from_program(program)
+        assert system.rhs("p") == pred("e")
+
+
+class TestBookkeeping:
+    def test_dependency_graph(self):
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        graph = system.dependency_graph()
+        assert graph["p1"] == {"p2", "q1", "p3"}
+        assert graph["r2"] == {"r1"}
+
+    def test_derived_occurrences(self):
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        assert system.derived_occurrences("p1") == 3
+        assert system.derived_occurrences("r1") == 1
+
+    def test_with_equation_and_substitute(self):
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        updated = system.with_equation("r1", compose(pred("b"), star(pred("c"))))
+        assert updated.rhs("r1") == compose(pred("b"), star(pred("c")))
+        substituted = updated.substitute_everywhere("r1", updated.rhs("r1"))
+        assert substituted.rhs("r2") == compose(pred("b"), star(pred("c")), pred("c"))
+        # the original is untouched
+        assert system.rhs("r2") == compose(pred("r1"), pred("c"))
+
+    def test_base_and_derived_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            EquationSystem({"p": pred("q")}, base_predicates={"p"})
+
+
+class TestSolver:
+    def test_transitive_closure_solution(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            """
+        )
+        system = EquationSystem.from_program(program)
+        solution = system.solve({"e": B([(1, 2), (2, 3), (3, 4)])})
+        assert solution["tc"] == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_solution_matches_least_model_on_paper_program(self):
+        """Statement (7) of Lemma 1 for the *initial* equation system."""
+        program = parse_program(PAPER_SECTION3)
+        db = Database.from_dict(
+            {
+                "a": [(1, 2), (2, 3)],
+                "b": [(2, 4), (3, 4)],
+                "c": [(4, 1), (4, 5)],
+                "d": [(5, 2)],
+                "e": [(1, 5), (5, 3)],
+            }
+        )
+        system = EquationSystem.from_program(program)
+        solution = system.solve_database(db)
+        model = least_model(program, db)
+        for predicate in system.derived_predicates:
+            assert solution[predicate].pairs == frozenset(model.rows(predicate)), predicate
+
+    def test_solution_on_cyclic_data_terminates(self):
+        program = parse_program("tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z).")
+        system = EquationSystem.from_program(program)
+        solution = system.solve({"e": B([(1, 2), (2, 1)])})
+        assert solution["tc"] == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_mutually_recursive_system(self):
+        program = parse_program(
+            """
+            p(X, Y) :- q(X, Y).
+            q(X, Z) :- e(X, Y), p(Y, Z).
+            q(X, Y) :- f(X, Y).
+            """
+        )
+        system = EquationSystem.from_program(program)
+        solution = system.solve({"e": B([(1, 2)]), "f": B([(2, 3)])})
+        model = least_model(program, Database.from_dict({"e": [(1, 2)], "f": [(2, 3)]}))
+        assert solution["p"].pairs == frozenset(model.rows("p"))
+        assert solution["q"].pairs == frozenset(model.rows("q"))
+
+    def test_str_rendering(self):
+        system = EquationSystem.from_program(parse_program(PAPER_SECTION3))
+        text = str(system)
+        assert "p3 = a U e.p2" in text

@@ -1,0 +1,195 @@
+"""Unit tests for repro.relalg.expressions."""
+
+import pytest
+
+from repro.relalg.expressions import (
+    Compose,
+    Empty,
+    Identity,
+    Inverse,
+    Pred,
+    Star,
+    Union,
+    compose,
+    composition_factors,
+    distribute,
+    empty,
+    identity,
+    inverse,
+    pred,
+    simplify,
+    star,
+    union,
+    union_terms,
+)
+from repro.relalg.relation import BinaryRelation
+
+B = BinaryRelation
+
+
+class TestConstructionAndStructure:
+    def test_constructors_collapse_trivial_cases(self):
+        assert union() == Empty()
+        assert union(pred("a")) == pred("a")
+        assert compose() == Identity()
+        assert compose(pred("a")) == pred("a")
+        assert isinstance(union(pred("a"), pred("b")), Union)
+        assert isinstance(compose(pred("a"), pred("b")), Compose)
+
+    def test_equality_and_hash(self):
+        e1 = compose(pred("a"), star(pred("b")))
+        e2 = compose(pred("a"), star(pred("b")))
+        assert e1 == e2
+        assert len({e1, e2}) == 1
+        assert e1 != compose(pred("a"), pred("b"))
+
+    def test_predicates(self):
+        e = union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p")))
+        assert e.predicates() == {"b3", "b4", "b2", "p"}
+
+    def test_contains_and_occurrence_count(self):
+        e = union(compose(pred("a"), pred("p")), compose(pred("p"), pred("b")))
+        assert e.contains("p")
+        assert not e.contains("zzz")
+        assert e.occurrence_count({"p"}) == 2
+        assert e.occurrence_count({"a", "b"}) == 2
+
+    def test_substitute(self):
+        e = compose(pred("a"), pred("p"))
+        substituted = e.substitute("p", star(pred("b")))
+        assert substituted == compose(pred("a"), star(pred("b")))
+        # the original is unchanged (expressions are immutable values)
+        assert e == compose(pred("a"), pred("p"))
+
+    def test_size_counts_occurrences_separately(self):
+        # The paper: "different occurrences of the same relation are
+        # considered different relations".
+        e = union(pred("a"), compose(pred("a"), pred("b")))
+        assert e.size({"a": 10, "b": 3}) == 23
+
+    def test_str_rendering(self):
+        e = compose(union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p"))), pred("b1"))
+        assert str(e) == "(b3.b4* U b2.p).b1"
+
+    def test_children(self):
+        e = union(pred("a"), pred("b"))
+        assert e.children() == (pred("a"), pred("b"))
+        assert pred("a").children() == ()
+
+
+class TestEvaluation:
+    ENV = {
+        "a": B([(1, 2), (2, 3)]),
+        "b": B([(3, 4)]),
+        "c": B([(2, 2), (4, 5)]),
+    }
+
+    def test_pred(self):
+        assert pred("a").evaluate(self.ENV) == self.ENV["a"]
+        assert pred("missing").evaluate(self.ENV) == set()
+
+    def test_union(self):
+        assert union(pred("a"), pred("b")).evaluate(self.ENV) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_compose(self):
+        assert compose(pred("a"), pred("b")).evaluate(self.ENV) == {(2, 4)}
+
+    def test_star(self):
+        result = star(pred("a")).evaluate(self.ENV)
+        assert (1, 3) in result
+        assert (1, 1) in result and (3, 3) in result
+
+    def test_star_with_universe(self):
+        result = star(pred("a")).evaluate(self.ENV, universe={1, 2, 3, 99})
+        assert (99, 99) in result
+
+    def test_inverse(self):
+        assert inverse(pred("b")).evaluate(self.ENV) == {(4, 3)}
+
+    def test_identity_over_env(self):
+        result = identity().evaluate(self.ENV)
+        assert (5, 5) in result and (1, 1) in result
+
+    def test_empty(self):
+        assert empty().evaluate(self.ENV) == set()
+
+    def test_nested_expression(self):
+        # (a . b*) U c over the environment
+        e = union(compose(pred("a"), star(pred("b"))), pred("c"))
+        result = e.evaluate(self.ENV)
+        assert (2, 3) in result       # a, then zero b-steps
+        assert (2, 4) in result       # a to 3, then b to 4
+        assert (4, 5) in result       # from c
+        assert (1, 2) in result
+
+
+class TestSimplify:
+    def test_empty_removed_from_union(self):
+        assert simplify(union(pred("a"), empty())) == pred("a")
+
+    def test_empty_absorbs_composition(self):
+        assert simplify(compose(pred("a"), empty(), pred("b"))) == Empty()
+
+    def test_identity_removed_from_composition(self):
+        assert simplify(compose(identity(), pred("a"), identity())) == pred("a")
+
+    def test_nested_unions_flattened(self):
+        e = union(pred("a"), union(pred("b"), pred("c")))
+        assert simplify(e) == union(pred("a"), pred("b"), pred("c"))
+
+    def test_nested_compositions_flattened(self):
+        e = compose(pred("a"), compose(pred("b"), pred("c")))
+        assert simplify(e) == compose(pred("a"), pred("b"), pred("c"))
+
+    def test_union_deduplicated(self):
+        assert simplify(union(pred("a"), pred("a"))) == pred("a")
+
+    def test_star_of_empty_and_identity(self):
+        assert simplify(star(empty())) == Identity()
+        assert simplify(star(identity())) == Identity()
+
+    def test_star_of_star_collapsed(self):
+        assert simplify(star(star(pred("a")))) == star(pred("a"))
+
+    def test_inverse_of_inverse(self):
+        assert simplify(inverse(inverse(pred("a")))) == pred("a")
+
+    def test_simplification_preserves_value(self):
+        env = {"a": B([(1, 2)]), "b": B([(2, 3)])}
+        e = union(compose(identity(), pred("a"), compose(pred("b"), identity())), empty())
+        assert simplify(e).evaluate(env) == e.evaluate(env)
+
+
+class TestNormalForms:
+    def test_union_terms(self):
+        e = union(pred("a"), compose(pred("b"), pred("c")))
+        assert union_terms(e) == [pred("a"), compose(pred("b"), pred("c"))]
+        assert union_terms(pred("a")) == [pred("a")]
+        assert union_terms(empty()) == []
+
+    def test_composition_factors(self):
+        assert composition_factors(compose(pred("a"), pred("b"))) == [pred("a"), pred("b")]
+        assert composition_factors(pred("a")) == [pred("a")]
+
+    def test_distribute_right(self):
+        # e . (e1 U e2) distributes when the union mentions the target predicate.
+        e = compose(pred("q1"), union(pred("a"), compose(pred("e"), pred("p2"))))
+        result = distribute(e, {"p2"})
+        assert result == union(
+            compose(pred("q1"), pred("a")),
+            compose(pred("q1"), pred("e"), pred("p2")),
+        )
+
+    def test_distribute_left(self):
+        e = compose(union(pred("a"), pred("p")), pred("b"))
+        result = distribute(e, {"p"})
+        assert result == union(compose(pred("a"), pred("b")), compose(pred("p"), pred("b")))
+
+    def test_distribute_leaves_unrelated_unions_factored(self):
+        e = compose(pred("q"), union(pred("a"), pred("b")))
+        assert distribute(e, {"p"}) == e
+
+    def test_distribute_preserves_value(self):
+        env = {"a": B([(1, 2)]), "b": B([(2, 3)]), "p": B([(2, 9)]), "q": B([(0, 1)])}
+        e = compose(pred("q"), union(pred("a"), pred("p")), pred("b"))
+        assert distribute(e, {"p"}).evaluate(env) == e.evaluate(env)

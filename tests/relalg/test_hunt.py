@@ -1,0 +1,99 @@
+"""Unit tests for repro.relalg.hunt (the preconstructed expression graph)."""
+
+import pytest
+
+from repro.instrumentation import Counters
+from repro.relalg.expressions import compose, inverse, pred, star, union
+from repro.relalg.hunt import ExpressionGraph, evaluate_via_graph, query_via_graph
+from repro.relalg.relation import BinaryRelation
+
+B = BinaryRelation
+
+
+class TestAgreementWithStructuralEvaluation:
+    """The graph evaluation must denote the same relation as direct evaluation."""
+
+    ENV = {
+        "a": B([(1, 2), (2, 3), (3, 1), (4, 5)]),
+        "b": B([(2, 6), (3, 6), (5, 6)]),
+        "c": B([(6, 7), (7, 8)]),
+    }
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            pred("a"),
+            union(pred("a"), pred("b")),
+            compose(pred("a"), pred("b")),
+            compose(pred("a"), star(pred("a"))),
+            star(pred("a")),
+            compose(star(pred("a")), pred("b"), star(pred("c"))),
+            compose(union(pred("a"), pred("b")), pred("c")),
+            inverse(pred("a")),
+            compose(inverse(pred("b")), pred("a")),
+        ],
+        ids=lambda e: str(e),
+    )
+    def test_same_relation(self, expression):
+        universe = set()
+        for relation in self.ENV.values():
+            universe |= relation.active_domain()
+        direct = expression.evaluate(self.ENV, universe)
+        via_graph = evaluate_via_graph(expression, self.ENV, universe)
+        assert via_graph == direct
+
+    def test_query_from_matches_relation_restriction(self):
+        expression = compose(star(pred("a")), pred("b"))
+        answers = query_via_graph(expression, self.ENV, 1)
+        full = expression.evaluate(self.ENV)
+        assert answers == {y for (x, y) in full if x == 1}
+
+
+class TestPreconstructionCost:
+    """The whole graph is built regardless of the query constant."""
+
+    def test_node_count_scales_with_universe_not_with_query(self):
+        env = {"e": B([(i, i + 1) for i in range(50)])}
+        graph = ExpressionGraph(star(pred("e")), env)
+        # Every (state, value) pair is materialised: states x (51 values).
+        assert graph.node_count() == graph.automaton.state_count() * 51
+
+    def test_counters_record_nodes_and_facts(self):
+        counters = Counters()
+        env = {"e": B([(1, 2), (2, 3)])}
+        ExpressionGraph(pred("e"), env, counters=counters)
+        assert counters.nodes_generated >= 6   # 2 states x 3 values
+        assert counters.fact_retrievals == 2
+
+    def test_irrelevant_portions_are_still_built(self):
+        # A query from the isolated node 100 reaches nothing, yet the graph
+        # contains nodes for every value -- the inefficiency the paper's
+        # demand-driven algorithm removes.
+        env = {"e": B([(1, 2), (2, 3)])}
+        graph = ExpressionGraph(pred("e"), env, universe={1, 2, 3, 100})
+        assert graph.answers_from(100) == set()
+        assert (graph.automaton.initial, 100) in graph.nodes
+
+
+class TestFigure1Example:
+    """The expression of Figure 1: e_p = (b3 . b4* U b2 . p) . b1.
+
+    In the regular case (no derived predicates) the graph answers queries
+    directly; here we replace p by a base relation to stay regular.
+    """
+
+    def test_regular_instance(self):
+        e = compose(
+            union(compose(pred("b3"), star(pred("b4"))), compose(pred("b2"), pred("p"))),
+            pred("b1"),
+        )
+        env = {
+            "b3": B([("u", "u5")]),
+            "b4": B([("u5", "u5")]),
+            "b2": B([("u", "u1")]),
+            "p": B([("u1", "u4")]),
+            "b1": B([("u5", "v"), ("u4", "v")]),
+        }
+        result = evaluate_via_graph(e, env)
+        assert ("u", "v") in result
+        assert query_via_graph(e, env, "u") == {"v"}

@@ -1,0 +1,123 @@
+"""Unit tests for repro.relalg.relation."""
+
+import pytest
+
+from repro.relalg.relation import BinaryRelation
+
+
+class TestConstruction:
+    def test_from_pairs_deduplicates(self):
+        rel = BinaryRelation([(1, 2), (1, 2), (2, 3)])
+        assert len(rel) == 2
+
+    def test_empty(self):
+        assert len(BinaryRelation.empty()) == 0
+        assert not BinaryRelation.empty()
+
+    def test_identity(self):
+        rel = BinaryRelation.identity(["a", "b"])
+        assert rel == {("a", "a"), ("b", "b")}
+
+    def test_from_rows_requires_binary(self):
+        with pytest.raises(ValueError):
+            BinaryRelation.from_rows([(1, 2, 3)])
+
+    def test_equality_with_sets(self):
+        assert BinaryRelation([(1, 2)]) == {(1, 2)}
+        assert BinaryRelation([(1, 2)]) == BinaryRelation([(1, 2)])
+
+
+class TestOperations:
+    R = BinaryRelation([(1, 2), (2, 3)])
+    S = BinaryRelation([(2, 5), (3, 6)])
+
+    def test_union(self):
+        assert self.R.union(self.S) == {(1, 2), (2, 3), (2, 5), (3, 6)}
+        assert (self.R | self.S) == self.R.union(self.S)
+
+    def test_compose(self):
+        assert self.R.compose(self.S) == {(1, 5), (2, 6)}
+        assert (self.R * self.S) == self.R.compose(self.S)
+
+    def test_compose_with_empty(self):
+        assert self.R.compose(BinaryRelation.empty()) == set()
+
+    def test_transitive_closure_chain(self):
+        chain = BinaryRelation([(1, 2), (2, 3), (3, 4)])
+        assert chain.transitive_closure() == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_transitive_closure_cycle(self):
+        cycle = BinaryRelation([(1, 2), (2, 1)])
+        assert cycle.transitive_closure() == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_reflexive_transitive_closure_uses_active_domain(self):
+        rel = BinaryRelation([(1, 2)])
+        assert rel.reflexive_transitive_closure() == {(1, 2), (1, 1), (2, 2)}
+
+    def test_reflexive_transitive_closure_with_universe(self):
+        rel = BinaryRelation([(1, 2)])
+        closed = rel.reflexive_transitive_closure(universe={1, 2, 9})
+        assert (9, 9) in closed
+
+    def test_inverse(self):
+        assert self.R.inverse() == {(2, 1), (3, 2)}
+
+    def test_domain_and_range(self):
+        assert self.R.domain() == {1, 2}
+        assert self.R.range() == {2, 3}
+        assert self.R.active_domain() == {1, 2, 3}
+
+    def test_star_composition_identity(self):
+        # r* . r == r+   on the active domain.
+        chain = BinaryRelation([(1, 2), (2, 3)])
+        left = chain.reflexive_transitive_closure().compose(chain)
+        assert left == chain.transitive_closure()
+
+
+class TestNavigation:
+    R = BinaryRelation([("a", "b"), ("a", "c"), ("b", "c")])
+
+    def test_successors_and_predecessors(self):
+        assert self.R.successors("a") == {"b", "c"}
+        assert self.R.predecessors("c") == {"a", "b"}
+        assert self.R.successors("zzz") == set()
+
+    def test_image(self):
+        assert self.R.image({"a", "b"}) == {"b", "c"}
+
+    def test_restrict_domain(self):
+        assert self.R.restrict_domain({"b"}) == {("b", "c")}
+
+    def test_reachable_from(self):
+        chain = BinaryRelation([(1, 2), (2, 3), (3, 4)])
+        assert chain.reachable_from(1) == {2, 3, 4}
+        assert chain.reachable_from(4) == set()
+
+    def test_reachable_from_includes_start_on_cycle(self):
+        cycle = BinaryRelation([(1, 2), (2, 1)])
+        assert cycle.reachable_from(1) == {1, 2}
+
+    def test_longest_path_length(self):
+        chain = BinaryRelation([(1, 2), (2, 3), (3, 4)])
+        assert chain.longest_path_length_from(1) == 3
+        assert chain.longest_path_length_from(4) == 0
+
+    def test_longest_path_rejects_cycles(self):
+        cycle = BinaryRelation([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            cycle.longest_path_length_from(1)
+
+    def test_is_acyclic(self):
+        assert BinaryRelation([(1, 2), (2, 3)]).is_acyclic()
+        assert not BinaryRelation([(1, 2), (2, 1)]).is_acyclic()
+        assert not BinaryRelation([(1, 1)]).is_acyclic()
+        assert BinaryRelation.empty().is_acyclic()
+
+
+class TestHashing:
+    def test_relations_usable_in_sets(self):
+        a = BinaryRelation([(1, 2)])
+        b = BinaryRelation([(1, 2)])
+        assert len({a, b}) == 1

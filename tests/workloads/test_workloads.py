@@ -1,0 +1,180 @@
+"""Tests for the workload generators (Figure 7/8 samples, flights, graphs)."""
+
+import pytest
+
+from repro.datalog.semantics import answer_query
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import (
+    binary_tree,
+    chain,
+    corridor,
+    cycle,
+    grid,
+    hub_and_spoke,
+    random_dag,
+    random_genealogy,
+    random_graph,
+    sample_a,
+    sample_b,
+    sample_c,
+    sample_cyclic,
+)
+
+
+def graph_run(workload):
+    program, database, query = workload
+    counters = Counters()
+    result = run_engine("graph", program, query, database, counters)
+    return result, counters
+
+
+class TestSampleA:
+    def test_answer_is_the_single_descendant(self):
+        program, database, query = sample_a(10)
+        assert answer_query(program, query, database) == {("d",)}
+
+    def test_two_iterations_and_linear_nodes(self):
+        result_small, counters_small = graph_run(sample_a(20))
+        result_large, counters_large = graph_run(sample_a(40))
+        assert result_small.iterations == result_large.iterations == 2
+        ratio = counters_large.nodes_generated / counters_small.nodes_generated
+        assert ratio < 2.5   # linear growth, not quadratic
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            sample_a(0)
+
+
+class TestSampleB:
+    def test_graph_answers_match_ground_truth(self):
+        program, database, query = sample_b(8)
+        result, _ = graph_run(sample_b(8))
+        assert result.answers == answer_query(program, query, database)
+
+    def test_n_iterations_and_quadratic_nodes(self):
+        result_small, counters_small = graph_run(sample_b(10))
+        result_large, counters_large = graph_run(sample_b(20))
+        assert result_small.iterations == 10
+        assert result_large.iterations == 20
+        ratio = counters_large.nodes_generated / counters_small.nodes_generated
+        assert ratio > 3.0   # quadratic growth: doubling n roughly quadruples nodes
+
+
+class TestSampleC:
+    def test_answer_is_b1_at_every_level(self):
+        program, database, query = sample_c(6)
+        assert answer_query(program, query, database) == {("b1",)}
+
+    def test_n_iterations_and_linear_nodes(self):
+        result_small, counters_small = graph_run(sample_c(20))
+        result_large, counters_large = graph_run(sample_c(40))
+        assert result_small.iterations == 20
+        assert result_large.iterations == 40
+        ratio = counters_large.nodes_generated / counters_small.nodes_generated
+        assert ratio < 2.5
+
+    def test_each_value_generates_one_node(self):
+        n = 15
+        _, counters = graph_run(sample_c(n))
+        # a1..an, b1..bn each appear once, times a constant number of
+        # automaton states per value.
+        assert counters.nodes_generated <= 12 * n
+
+    def test_henschen_naqvi_does_quadratic_work_here(self):
+        program, database, query = sample_c(30)
+        ours, hn = Counters(), Counters()
+        run_engine("graph", program, query, database, ours)
+        run_engine("henschen-naqvi", program, query, database, hn)
+        assert hn.total_work() > 2 * ours.total_work()
+
+
+class TestCyclicSample:
+    def test_cycles_have_the_requested_lengths(self):
+        _, database, _ = sample_cyclic(3, 4)
+        assert database.count("up") == 3
+        assert database.count("down") == 4
+        assert database.count("flat") == 1
+
+    def test_full_answer_via_the_planner(self):
+        program, database, query = sample_cyclic(2, 3)
+        result, _ = graph_run(sample_cyclic(2, 3))
+        assert result.answers == answer_query(program, query, database)
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError):
+            sample_cyclic(0, 3)
+
+
+class TestRandomGenealogy:
+    def test_reproducible_and_correct(self):
+        first = random_genealogy(30, 5, seed=7)
+        second = random_genealogy(30, 5, seed=7)
+        assert first[1].rows("up") == second[1].rows("up")
+        program, database, query = first
+        result, _ = graph_run(first)
+        assert result.answers == answer_query(program, query, database)
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            random_genealogy(2, 5)
+
+
+class TestFlightWorkloads:
+    def test_corridor_answer_length(self):
+        program, database, query = corridor(5)
+        answers = answer_query(program, query, database)
+        # One connection per leg of the corridor.
+        assert len(answers) == 5
+
+    def test_corridor_noise_is_unreachable(self):
+        program, database, query = corridor(4, extra_noise=10)
+        answers = answer_query(program, query, database)
+        assert all(not str(dest).startswith("y") or True for dest, _ in answers)
+        assert len(answers) == 4
+
+    def test_chain_transform_matches_ground_truth_on_corridor(self):
+        program, database, query = corridor(6, extra_noise=5)
+        result, _ = graph_run(corridor(6, extra_noise=5))
+        assert result.answers == answer_query(program, query, database)
+
+    def test_hub_and_spoke_reaches_every_hub(self):
+        program, database, query = hub_and_spoke(3, 2, seed=1)
+        answers = answer_query(program, query, database)
+        destinations = {d for (d, _) in answers}
+        assert {"h1", "h2"} <= destinations
+
+
+class TestGraphWorkloads:
+    def test_chain_closure(self):
+        program, database, query = chain(10)
+        assert len(answer_query(program, query, database)) == 10
+
+    def test_cycle_closure_includes_start(self):
+        program, database, query = cycle(5)
+        answers = {v[0] for v in answer_query(program, query, database)}
+        assert answers == {0, 1, 2, 3, 4}
+
+    def test_binary_tree_closure(self):
+        program, database, query = binary_tree(3)
+        answers = answer_query(program, query, database)
+        assert len(answers) == 2 ** 4 - 2   # every node except the root
+
+    def test_random_dag_is_acyclic(self):
+        _, database, _ = random_dag(30, seed=3)
+        assert all(a < b for (a, b) in database.rows("edge"))
+
+    def test_random_graph_edge_count(self):
+        _, database, _ = random_graph(20, 35, seed=2)
+        assert database.count("edge") == 35
+
+    def test_grid_reaches_all_cells(self):
+        program, database, query = grid(3, 3)
+        answers = answer_query(program, query, database)
+        assert len(answers) == 8
+
+    @pytest.mark.parametrize("workload", [chain(15), cycle(7), binary_tree(3), random_dag(25)])
+    def test_graph_engine_matches_ground_truth(self, workload):
+        program, database, query = workload
+        result, _ = graph_run(workload)
+        assert result.answers == answer_query(program, query, database)
