@@ -7,8 +7,21 @@ This subpackage is the foundation everything else builds on:
   exactly as defined in Section 2 of the paper;
 * :mod:`~repro.datalog.parser` -- a small concrete syntax;
 * :mod:`~repro.datalog.database` -- indexed storage for extensional (and
-  derived) relations with retrieval instrumentation;
+  derived) relations with retrieval instrumentation, plus copy-on-write
+  overlays so engines can evaluate over a caller's database without copying
+  it;
 * :mod:`~repro.datalog.unify` -- substitutions and rule instantiation;
+* :mod:`~repro.datalog.plans` -- compiled join plans: every rule body is
+  analysed **once** (non-builtin literals greedily reordered by
+  bound-argument count, each built-in comparison placed at the earliest
+  point its variables are bound, never-ground built-ins rejected at plan
+  time) and executed by a flat iterative joiner that drives the relation
+  hash indexes with positional binding slots.  All bottom-up engines share
+  this layer through a delta-aware plan cache (one variant per recursive
+  occurrence for seminaive evaluation), and a reference interpreted executor
+  can be selected with :func:`repro.datalog.plans.set_execution_mode` for
+  differential testing -- both executors must produce identical answers and
+  identical work counters;
 * :mod:`~repro.datalog.analysis` -- dependency graph, SCCs and the program
   classes of Section 2 (linear, binary-chain, regular, ...);
 * :mod:`~repro.datalog.semantics` -- the least model, used as ground truth in
@@ -27,6 +40,18 @@ from .errors import (
 )
 from .literals import Literal, ground_atom
 from .parser import parse_literal, parse_program, parse_query, parse_rules
+from .plans import (
+    JoinPlan,
+    body_plan,
+    compile_image,
+    compile_plan,
+    delta_plan,
+    delta_plans,
+    execution_mode,
+    get_execution_mode,
+    rule_plan,
+    set_execution_mode,
+)
 from .rules import Program, Rule, program_from_rules, rule
 from .semantics import answer_query, derived_relation, is_true, least_model
 from .terms import Constant, Term, Variable, make_constant, make_term
@@ -37,6 +62,7 @@ __all__ = [
     "Database",
     "DatalogSyntaxError",
     "EvaluationError",
+    "JoinPlan",
     "Literal",
     "NonTerminationError",
     "NotApplicableError",
@@ -51,12 +77,21 @@ __all__ = [
     "Variable",
     "analyze",
     "answer_query",
+    "body_plan",
+    "compile_image",
+    "compile_plan",
+    "delta_plan",
+    "delta_plans",
     "derived_relation",
+    "execution_mode",
+    "get_execution_mode",
     "ground_atom",
     "is_true",
     "least_model",
     "make_constant",
     "make_term",
+    "rule_plan",
+    "set_execution_mode",
     "parse_literal",
     "parse_program",
     "parse_query",

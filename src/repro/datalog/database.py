@@ -59,18 +59,35 @@ class Relation:
             self._indexes[positions] = index
         return index
 
-    def lookup(self, bindings: Dict[int, object]) -> Set[Row]:
+    def lookup(self, bindings: Dict[int, object]) -> FrozenSet[Row]:
         """All rows whose value at each position in ``bindings`` matches.
 
         ``bindings`` maps argument positions (0-based) to required constants.
-        An empty ``bindings`` returns every row.
+        An empty ``bindings`` returns every row.  The result is an immutable
+        snapshot: mutating it is impossible, so callers can never corrupt the
+        relation's row set or its index buckets through the return value.
+        """
+        return frozenset(self._lookup_live(bindings))
+
+    def _lookup_live(self, bindings: Dict[int, object]) -> Set[Row]:
+        """Like :meth:`lookup` but returns the *live* internal set.
+
+        Internal fast path for the join-plan executor, which snapshots rows
+        while charging retrievals anyway.  Callers must not mutate the result
+        and must not hold it across an :meth:`add`.
         """
         if not bindings:
             return self.rows
         positions = frozenset(bindings)
         index = self._index_for(positions)
         key = tuple(bindings[i] for i in sorted(positions))
-        return index.get(key, set())
+        return index.get(key, _EMPTY_ROWS)
+
+    def clone(self) -> "Relation":
+        """An independent copy of the rows (indexes are rebuilt lazily)."""
+        dup = Relation(self.name, self.arity)
+        dup.rows = set(self.rows)
+        return dup
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -80,6 +97,9 @@ class Relation:
 
     def __contains__(self, row: Row) -> bool:
         return row in self.rows
+
+
+_EMPTY_ROWS: Set[Row] = set()
 
 
 class Database:
@@ -93,8 +113,27 @@ class Database:
         self.relations: Dict[str, Relation] = {}
         self.counters = counters if counters is not None else Counters()
         self._touched: Set[Tuple[str, Row]] = set()
+        # Predicates whose Relation object is shared with a base database
+        # (copy-on-write overlays); cloned on the first mutation.
+        self._shared: Set[str] = set()
 
     # -- construction -------------------------------------------------------
+
+    @classmethod
+    def overlay(cls, base: "Database", counters: Optional[Counters] = None) -> "Database":
+        """A copy-on-write view over ``base``.
+
+        The overlay shares the base's :class:`Relation` objects (and hence
+        their already-built hash indexes) until a fact is added to one of
+        them, at which point that single relation is cloned.  Reads never
+        mutate the base beyond populating its lazy index caches, so repeated
+        queries against one extensional database do not pay a per-query
+        row-by-row copy of the whole database.
+        """
+        db = cls(counters=counters)
+        db.relations = dict(base.relations)
+        db._shared = set(base.relations)
+        return db
 
     def add_fact(self, predicate: str, values: Iterable[object]) -> bool:
         """Add a single fact; returns True when it is new."""
@@ -103,6 +142,12 @@ class Database:
         if relation is None:
             relation = Relation(predicate, len(row))
             self.relations[predicate] = relation
+        elif predicate in self._shared:
+            if row in relation.rows:
+                return False  # duplicate: no mutation needed, keep sharing
+            relation = relation.clone()
+            self.relations[predicate] = relation
+            self._shared.discard(predicate)
         return relation.add(row)
 
     def add_facts(self, predicate: str, rows: Iterable[Iterable[object]]) -> int:
@@ -173,30 +218,48 @@ class Database:
         honoured (``p(X, X)`` only matches rows with equal components).
         Retrievals are charged to :attr:`counters` unless ``charge`` is false.
         """
-        relation = self.relations.get(literal.predicate)
-        if relation is None:
-            return []
         bindings: Dict[int, object] = {}
+        first_position: Dict[Variable, int] = {}
+        intra_eq: List[Tuple[int, int]] = []
         for position, term in enumerate(literal.args):
             if isinstance(term, Constant):
                 bindings[position] = term.value
-        candidates = relation.lookup(bindings)
-        # Enforce repeated-variable equality constraints.
-        var_positions: Dict[Variable, List[int]] = {}
-        for position, term in enumerate(literal.args):
-            if isinstance(term, Variable):
-                var_positions.setdefault(term, []).append(position)
-        repeated = [positions for positions in var_positions.values() if len(positions) > 1]
-        if repeated:
+            else:
+                first = first_position.setdefault(term, position)
+                if first != position:
+                    intra_eq.append((position, first))
+        return self.scan(literal.predicate, bindings, tuple(intra_eq), charge=charge)
+
+    def scan(
+        self,
+        predicate: str,
+        bindings: Optional[Dict[int, object]] = None,
+        intra_eq: Tuple[Tuple[int, int], ...] = (),
+        charge: bool = True,
+    ) -> List[Row]:
+        """Indexed retrieval by raw positional bindings (no :class:`Literal`).
+
+        ``bindings`` maps argument positions to required values; ``intra_eq``
+        lists ``(position, other_position)`` pairs whose components must be
+        equal (the repeated-variable constraint).  Rows passing both filters
+        are charged to :attr:`counters` exactly as :meth:`match` charges them,
+        and the returned list is a snapshot safe to iterate while inserting.
+        This is the primitive the compiled join plans drive directly.
+        """
+        relation = self.relations.get(predicate)
+        if relation is None:
+            return []
+        candidates = relation._lookup_live(bindings) if bindings else relation.rows
+        if intra_eq:
             result = [
                 row
                 for row in candidates
-                if all(len({row[i] for i in positions}) == 1 for positions in repeated)
+                if all(row[position] == row[other] for position, other in intra_eq)
             ]
         else:
             result = list(candidates)
         if charge:
-            self._charge(literal.predicate, result)
+            self._charge(predicate, result)
         return result
 
     def count(self, predicate: str) -> int:
@@ -211,12 +274,16 @@ class Database:
     # -- instrumentation -----------------------------------------------------------
 
     def _charge(self, predicate: str, rows: Iterable[Row]) -> None:
+        counters = self.counters
+        touched = self._touched
+        retrieved = 0
         for row in rows:
-            self.counters.fact_retrievals += 1
+            retrieved += 1
             key = (predicate, row)
-            if key not in self._touched:
-                self._touched.add(key)
-                self.counters.distinct_facts += 1
+            if key not in touched:
+                touched.add(key)
+                counters.distinct_facts += 1
+        counters.fact_retrievals += retrieved
 
     def reset_instrumentation(self, counters: Optional[Counters] = None) -> None:
         """Start a fresh measurement (optionally swapping the counter object)."""

@@ -1,0 +1,752 @@
+"""Compiled join plans: rule bodies analysed once, executed many times.
+
+Every bottom-up engine in this package repeatedly instantiates the same rule
+bodies against a growing database.  Instead of re-interpreting the body tuple
+by tuple with substitution dictionaries (the historical
+:func:`repro.datalog.unify.satisfy_body` nested-loop), this module compiles
+each body **once** into a :class:`JoinPlan`:
+
+* non-builtin literals are reordered greedily by bound-argument count
+  (sideways information passing): at every step the literal with the most
+  arguments already bound -- by constants, by the caller's initial bindings,
+  or by earlier literals -- is scanned next, ties broken by textual order so
+  that bodies already written in SIP order keep their order (and hence their
+  work counters) exactly;
+* each built-in comparison is attached to the earliest point at which all of
+  its variables are bound; a built-in that can *never* become ground is
+  rejected at plan time with :class:`~repro.datalog.errors.EvaluationError`
+  instead of diverging or being silently dropped mid-iteration (this is the
+  single code path replacing the historical deferral logic of ``unify.py``
+  and ``seminaive.py``, which had drifted apart);
+* the executor is a flat iterative backtracking loop that drives
+  :meth:`repro.datalog.database.Database.scan` (and through it the
+  per-position hash indexes of :class:`~repro.datalog.database.Relation`)
+  with a positional slot array, never materialising substitution
+  dictionaries or re-wrapped literals on the hot path.
+
+Plans are cached (:func:`body_plan` / :func:`rule_plan` / :func:`delta_plan`)
+keyed by the body, the set of initially-bound variables and the delta
+configuration, so seminaive evaluation gets **one plan variant per recursive
+occurrence index** -- the variant whose chosen occurrence reads the delta
+relation while every other literal reads the full database.
+
+Counter semantics are preserved exactly: a plan charges ``fact_retrievals``
+and ``distinct_facts`` for precisely the rows the interpreted nested-loop
+join would have charged for the same literal order, which
+:func:`set_execution_mode` makes checkable -- in ``"interpreted"`` mode every
+plan runs through a reference substitution-dictionary executor over the same
+ordered body, and the differential tests assert both executors produce
+identical answers *and* identical counters on every workload.
+
+:func:`compile_image` is the analogous once-per-expression compiler for the
+relational-algebra node images used by the Henschen-Naqvi and counting
+engines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .database import Database, Row
+from .errors import EvaluationError
+from .literals import BUILTIN_PREDICATES, Literal
+from .rules import Rule
+from .terms import Constant, Variable
+
+Substitution = Dict[Variable, object]
+
+#: Where a scan step reads its rows from.
+SOURCE_MAIN = 0      # the primary database only
+SOURCE_DERIVED = 1   # the secondary (delta) database only
+SOURCE_BOTH = 2      # primary first, then secondary
+
+_MODE_COMPILED = "compiled"
+_MODE_INTERPRETED = "interpreted"
+_mode = _MODE_COMPILED
+
+
+def set_execution_mode(mode: str) -> None:
+    """Select how plans execute: ``"compiled"`` (default) or ``"interpreted"``.
+
+    The interpreted mode runs the reference substitution-dictionary
+    nested-loop join over the *same* plan (same literal order, same builtin
+    placement, same delta sources) and exists so the differential tests can
+    assert the two executors agree on answers and counters.
+    """
+    global _mode
+    if mode not in (_MODE_COMPILED, _MODE_INTERPRETED):
+        raise ValueError(f"unknown execution mode {mode!r}")
+    _mode = mode
+
+
+def get_execution_mode() -> str:
+    """The currently selected execution mode."""
+    return _mode
+
+
+@contextmanager
+def execution_mode(mode: str):
+    """Context manager temporarily switching the execution mode."""
+    previous = _mode
+    set_execution_mode(mode)
+    try:
+        yield
+    finally:
+        set_execution_mode(previous)
+
+
+class BuiltinCheck:
+    """A built-in comparison compiled against slot positions."""
+
+    __slots__ = ("literal", "evaluate")
+
+    def __init__(self, literal: Literal, slot_of: Dict[Variable, int]):
+        self.literal = literal
+        op = BUILTIN_PREDICATES[literal.predicate]
+        left, right = literal.args
+        lslot = slot_of[left] if isinstance(left, Variable) else None
+        rslot = slot_of[right] if isinstance(right, Variable) else None
+        lval = left.value if isinstance(left, Constant) else None
+        rval = right.value if isinstance(right, Constant) else None
+        if lslot is not None and rslot is not None:
+            self.evaluate = lambda slots: op(slots[lslot], slots[rslot])
+        elif lslot is not None:
+            self.evaluate = lambda slots: op(slots[lslot], rval)
+        elif rslot is not None:
+            self.evaluate = lambda slots: op(lval, slots[rslot])
+        else:
+            constant = op(lval, rval)
+            self.evaluate = lambda slots: constant
+
+
+class ScanStep:
+    """One non-builtin body literal compiled against slot positions."""
+
+    __slots__ = (
+        "literal",
+        "predicate",
+        "source",
+        "const_bindings",
+        "slot_bindings",
+        "outputs",
+        "intra_eq",
+        "checks",
+    )
+
+    def __init__(
+        self,
+        literal: Literal,
+        source: int,
+        slot_of: Dict[Variable, int],
+        bound_before: Set[Variable],
+    ):
+        self.literal = literal
+        self.predicate = literal.predicate
+        self.source = source
+        const_bindings: List[Tuple[int, object]] = []
+        slot_bindings: List[Tuple[int, int]] = []
+        outputs: List[Tuple[int, int]] = []
+        intra_eq: List[Tuple[int, int]] = []
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Constant):
+                const_bindings.append((position, term.value))
+            elif term in bound_before:
+                slot_bindings.append((position, slot_of[term]))
+            else:
+                first = first_position.setdefault(term, position)
+                if first == position:
+                    outputs.append((position, slot_of[term]))
+                else:
+                    intra_eq.append((position, first))
+        self.const_bindings = tuple(const_bindings)
+        self.slot_bindings = tuple(slot_bindings)
+        self.outputs = tuple(outputs)
+        self.intra_eq = tuple(intra_eq)
+        self.checks: Tuple[BuiltinCheck, ...] = ()
+
+
+class JoinPlan:
+    """A compiled body: ordered scan steps, placed builtins, head template."""
+
+    __slots__ = (
+        "body",
+        "head",
+        "bound_vars",
+        "slot_of",
+        "nslots",
+        "pre_checks",
+        "steps",
+        "head_template",
+        "head_unbound",
+        "out_vars",
+    )
+
+    def __init__(
+        self,
+        body: Tuple[Literal, ...],
+        head: Optional[Literal],
+        bound_vars: FrozenSet[Variable],
+        slot_of: Dict[Variable, int],
+        pre_checks: Tuple[BuiltinCheck, ...],
+        steps: Tuple[ScanStep, ...],
+    ):
+        self.body = body
+        self.head = head
+        self.bound_vars = bound_vars
+        self.slot_of = slot_of
+        self.nslots = len(slot_of)
+        self.pre_checks = pre_checks
+        self.steps = steps
+        # Every variable the historical substitution dictionaries contained:
+        # the caller's initial bindings plus all scan-bound variables.
+        out: List[Tuple[Variable, int]] = []
+        bound_by_body: Set[Variable] = set(bound_vars)
+        for step in steps:
+            bound_by_body.update(step.literal.variables())
+        for var, slot in slot_of.items():
+            if var in bound_by_body:
+                out.append((var, slot))
+        self.out_vars = tuple(out)
+        self.head_template: Tuple[Tuple[Optional[int], object], ...] = ()
+        self.head_unbound = False
+        if head is not None:
+            template: List[Tuple[Optional[int], object]] = []
+            for term in head.args:
+                if isinstance(term, Constant):
+                    template.append((None, term.value))
+                elif term in bound_by_body:
+                    template.append((slot_of[term], None))
+                else:
+                    self.head_unbound = True
+            self.head_template = tuple(template)
+
+    # -- public views ------------------------------------------------------
+
+    @property
+    def scan_literals(self) -> Tuple[Literal, ...]:
+        """The non-builtin body literals in the order the plan scans them."""
+        return tuple(step.literal for step in self.steps)
+
+    @property
+    def ordered_body(self) -> Tuple[Literal, ...]:
+        """The full body in execution order (builtins at their placed point)."""
+        ordered: List[Literal] = [check.literal for check in self.pre_checks]
+        for step in self.steps:
+            ordered.append(step.literal)
+            ordered.extend(check.literal for check in step.checks)
+        return tuple(ordered)
+
+    # -- execution ---------------------------------------------------------
+
+    def substitutions(
+        self,
+        database: Database,
+        derived: Optional[Database] = None,
+        initial: Optional[Substitution] = None,
+    ) -> Iterator[Substitution]:
+        """Enumerate the substitutions satisfying the body (legacy contract)."""
+        if _mode == _MODE_INTERPRETED:
+            yield from self._execute_interpreted(database, derived, initial)
+            return
+        out_vars = self.out_vars
+        for slots in self._execute(database, derived, initial):
+            yield {var: slots[slot] for var, slot in out_vars}
+
+    def heads(
+        self,
+        database: Database,
+        derived: Optional[Database] = None,
+        initial: Optional[Substitution] = None,
+    ) -> Iterator[Row]:
+        """Enumerate head rows, one per satisfying body instantiation."""
+        template = self.head_template
+        if _mode == _MODE_INTERPRETED:
+            for substitution in self._execute_interpreted(database, derived, initial):
+                self._check_head_ground()
+                yield tuple(
+                    substitution[self.head.args[i]] if slot is not None else value
+                    for i, (slot, value) in enumerate(template)
+                )
+            return
+        for slots in self._execute(database, derived, initial):
+            self._check_head_ground()
+            yield tuple(
+                slots[slot] if slot is not None else value for slot, value in template
+            )
+
+    def pairs(
+        self,
+        database: Database,
+        derived: Optional[Database] = None,
+        initial: Optional[Substitution] = None,
+    ) -> Iterator[Tuple[Row, Substitution]]:
+        """Enumerate ``(head_row, substitution)`` pairs (legacy contract)."""
+        template = self.head_template
+        if _mode == _MODE_INTERPRETED:
+            for substitution in self._execute_interpreted(database, derived, initial):
+                self._check_head_ground()
+                row = tuple(
+                    substitution[self.head.args[i]] if slot is not None else value
+                    for i, (slot, value) in enumerate(template)
+                )
+                yield row, substitution
+            return
+        out_vars = self.out_vars
+        for slots in self._execute(database, derived, initial):
+            self._check_head_ground()
+            row = tuple(
+                slots[slot] if slot is not None else value for slot, value in template
+            )
+            yield row, {var: slots[slot] for var, slot in out_vars}
+
+    def _check_head_ground(self) -> None:
+        if self.head_unbound:
+            raise EvaluationError(
+                f"rule {Rule(self.head, list(self.body))} produced a non-ground head"
+            )
+
+    def _execute(
+        self,
+        database: Database,
+        derived: Optional[Database],
+        initial: Optional[Substitution],
+    ) -> Iterator[List[object]]:
+        """The flat iterative executor over positional binding slots."""
+        slots: List[object] = [None] * self.nslots
+        if initial:
+            slot_of = self.slot_of
+            for var, value in initial.items():
+                slot = slot_of.get(var)
+                if slot is not None:
+                    slots[slot] = value
+        for check in self.pre_checks:
+            if not check.evaluate(slots):
+                return
+        steps = self.steps
+        if not steps:
+            yield slots
+            return
+        last = len(steps) - 1
+        iterators: List[Optional[Iterator[Row]]] = [None] * len(steps)
+        iterators[0] = self._candidates(steps[0], slots, database, derived)
+        depth = 0
+        while depth >= 0:
+            row = next(iterators[depth], None)
+            if row is None:
+                depth -= 1
+                continue
+            step = steps[depth]
+            for position, slot in step.outputs:
+                slots[slot] = row[position]
+            ok = True
+            for check in step.checks:
+                if not check.evaluate(slots):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if depth == last:
+                yield slots
+            else:
+                depth += 1
+                iterators[depth] = self._candidates(steps[depth], slots, database, derived)
+
+    def _candidates(
+        self,
+        step: ScanStep,
+        slots: List[object],
+        database: Database,
+        derived: Optional[Database],
+    ) -> Iterator[Row]:
+        source = step.source
+        if source == SOURCE_MAIN:
+            sources: Tuple[Database, ...] = (database,)
+        elif source == SOURCE_DERIVED:
+            sources = (derived,) if derived is not None else ()
+        else:
+            sources = (database,) if derived is None else (database, derived)
+        if step.slot_bindings or step.const_bindings:
+            bindings = dict(step.const_bindings)
+            for position, slot in step.slot_bindings:
+                bindings[position] = slots[slot]
+        else:
+            bindings = None
+        if len(sources) == 1:
+            return iter(sources[0].scan(step.predicate, bindings, step.intra_eq))
+        rows: List[Row] = []
+        for db in sources:
+            rows.extend(db.scan(step.predicate, bindings, step.intra_eq))
+        return iter(rows)
+
+    # -- reference executor (interpreted mode) -----------------------------
+
+    def _execute_interpreted(
+        self,
+        database: Database,
+        derived: Optional[Database],
+        initial: Optional[Substitution],
+    ) -> Iterator[Substitution]:
+        """Substitution-dictionary nested-loop join over the same plan.
+
+        This is the historical ``unify.py`` evaluation style -- build a bound
+        literal per step, :meth:`Database.match` it, extend the substitution
+        per row -- kept as an independently-implemented referee for the
+        compiled executor.  Answers *and* charged counters must agree.
+        """
+        from .unify import apply_to_literal, match_literal
+
+        substitution: Substitution = dict(initial) if initial else {}
+        for check in self.pre_checks:
+            grounded = apply_to_literal(check.literal, substitution)
+            if not grounded.evaluate_builtin():
+                return
+        steps = self.steps
+
+        def satisfy(index: int, substitution: Substitution) -> Iterator[Substitution]:
+            if index >= len(steps):
+                yield substitution
+                return
+            step = steps[index]
+            bound_literal = apply_to_literal(step.literal, substitution)
+            if step.source == SOURCE_MAIN:
+                rows = database.match(bound_literal)
+            elif step.source == SOURCE_DERIVED:
+                rows = derived.match(bound_literal) if derived is not None else []
+            else:
+                rows = list(database.match(bound_literal))
+                if derived is not None:
+                    rows.extend(derived.match(bound_literal))
+            for row in rows:
+                extended = match_literal(step.literal, row, substitution)
+                if extended is None:
+                    continue
+                ok = True
+                for check in step.checks:
+                    if not apply_to_literal(check.literal, extended).evaluate_builtin():
+                        ok = False
+                        break
+                if ok:
+                    yield from satisfy(index + 1, extended)
+
+        for result in satisfy(0, substitution):
+            yield dict(result)
+
+
+# -- compilation -----------------------------------------------------------
+
+
+def compile_plan(
+    body: Sequence[Literal],
+    head: Optional[Literal] = None,
+    bound_vars: FrozenSet[Variable] = frozenset(),
+    derived_only_for: FrozenSet[str] = frozenset(),
+    has_derived: bool = False,
+    delta_predicates: FrozenSet[str] = frozenset(),
+    delta_occurrence: Optional[int] = None,
+) -> JoinPlan:
+    """Analyse ``body`` once and build an executable :class:`JoinPlan`.
+
+    ``bound_vars`` are the variables the caller will bind through ``initial``
+    at execution time (their *identity* shapes the plan; their values do
+    not).  ``delta_predicates``/``delta_occurrence`` select the seminaive
+    variant: the ``delta_occurrence``-th occurrence (in textual body order)
+    of a literal over ``delta_predicates`` reads the secondary database only,
+    every other literal reads the primary one.
+    """
+    body = tuple(body)
+    scans: List[Tuple[int, Literal]] = []
+    builtins: List[Tuple[int, Literal]] = []
+    for index, literal in enumerate(body):
+        if literal.is_builtin:
+            if literal.arity != 2:
+                raise EvaluationError(
+                    f"built-in literal {literal} must have exactly two arguments"
+                )
+            builtins.append((index, literal))
+        else:
+            scans.append((index, literal))
+
+    # Greedy sideways-information-passing order: repeatedly pick the literal
+    # with the most bound argument positions; ties fall back to textual order.
+    bound: Set[Variable] = set(bound_vars)
+    ordered: List[Tuple[int, Literal]] = []
+    remaining = list(scans)
+    while remaining:
+        def bound_count(entry: Tuple[int, Literal]) -> Tuple[int, int]:
+            _, literal = entry
+            count = 0
+            for term in literal.args:
+                if isinstance(term, Constant) or term in bound:
+                    count += 1
+            return (count, -entry[0])
+
+        best = max(remaining, key=bound_count)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best[1].variables())
+
+    # Slot assignment: caller-bound variables first (sorted for determinism
+    # across call sites sharing the cached plan), then first occurrence order.
+    slot_of: Dict[Variable, int] = {}
+    for var in sorted(bound_vars, key=lambda v: v.name):
+        slot_of[var] = len(slot_of)
+    for _, literal in ordered:
+        for var in literal.variables():
+            if var not in slot_of:
+                slot_of[var] = len(slot_of)
+    if head is not None:
+        for var in head.variables():
+            if var not in slot_of:
+                slot_of[var] = len(slot_of)
+
+    # Built-in placement: the earliest step after which all variables are
+    # bound.  Position 0 means "before any scan" (ground under bound_vars).
+    available: List[Set[Variable]] = [set(bound_vars)]
+    for _, literal in ordered:
+        available.append(available[-1] | set(literal.variables()))
+    placement: Dict[int, List[Tuple[int, Literal]]] = {}
+    for index, literal in builtins:
+        variables = set(literal.variables())
+        for position, known in enumerate(available):
+            if variables <= known:
+                placement.setdefault(position, []).append((index, literal))
+                break
+        else:
+            raise EvaluationError(f"built-in literal {literal} never becomes ground")
+
+    # Delta occurrence indexes count non-builtin delta-predicate literals in
+    # textual body order, matching the historical seminaive convention.
+    occurrence_of: Dict[int, int] = {}
+    seen = 0
+    for index, literal in scans:
+        if literal.predicate in delta_predicates:
+            occurrence_of[index] = seen
+            seen += 1
+    if delta_occurrence is not None and delta_occurrence >= seen:
+        raise EvaluationError(
+            f"body has {seen} delta occurrences, cannot build variant {delta_occurrence}"
+        )
+
+    pre_checks = tuple(
+        BuiltinCheck(literal, slot_of)
+        for _, literal in sorted(placement.get(0, []), key=lambda e: e[0])
+    )
+    steps: List[ScanStep] = []
+    bound_so_far: Set[Variable] = set(bound_vars)
+    for position, (index, literal) in enumerate(ordered):
+        if delta_occurrence is not None and occurrence_of.get(index) == delta_occurrence:
+            source = SOURCE_DERIVED
+        elif literal.predicate in derived_only_for:
+            source = SOURCE_DERIVED
+        elif has_derived:
+            source = SOURCE_BOTH
+        else:
+            source = SOURCE_MAIN
+        step = ScanStep(literal, source, slot_of, bound_so_far)
+        step.checks = tuple(
+            BuiltinCheck(check_literal, slot_of)
+            for _, check_literal in sorted(
+                placement.get(position + 1, []), key=lambda e: e[0]
+            )
+        )
+        steps.append(step)
+        bound_so_far.update(literal.variables())
+
+    return JoinPlan(body, head, frozenset(bound_vars), slot_of, pre_checks, tuple(steps))
+
+
+# -- plan cache ------------------------------------------------------------
+
+_PLAN_CACHE: Dict[tuple, JoinPlan] = {}
+_PLAN_CACHE_LIMIT = 8192
+
+
+def _cached_plan(key: tuple, build: Callable[[], JoinPlan]) -> JoinPlan:
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.clear()
+        plan = build()
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (test isolation helper)."""
+    _PLAN_CACHE.clear()
+    _IMAGE_CACHE.clear()
+
+
+def body_plan(
+    body: Sequence[Literal],
+    bound_vars: FrozenSet[Variable] = frozenset(),
+    derived_only_for: FrozenSet[str] = frozenset(),
+    has_derived: bool = False,
+) -> JoinPlan:
+    """Cached plan for a bare body (the :func:`satisfy_body` entry point)."""
+    body = tuple(body)
+    key = ("body", body, bound_vars, derived_only_for, has_derived)
+    return _cached_plan(
+        key,
+        lambda: compile_plan(
+            body,
+            bound_vars=bound_vars,
+            derived_only_for=derived_only_for,
+            has_derived=has_derived,
+        ),
+    )
+
+
+def rule_plan(
+    rule: Rule,
+    bound_vars: FrozenSet[Variable] = frozenset(),
+    derived_only_for: FrozenSet[str] = frozenset(),
+    has_derived: bool = False,
+) -> JoinPlan:
+    """Cached plan for a full rule (the :func:`instantiate_rule` entry point)."""
+    key = ("rule", rule, bound_vars, derived_only_for, has_derived)
+    return _cached_plan(
+        key,
+        lambda: compile_plan(
+            rule.body,
+            head=rule.head,
+            bound_vars=bound_vars,
+            derived_only_for=derived_only_for,
+            has_derived=has_derived,
+        ),
+    )
+
+
+def delta_plan(
+    rule: Rule, delta_predicates: FrozenSet[str], delta_occurrence: int
+) -> JoinPlan:
+    """Cached seminaive variant: one plan per recursive-occurrence index."""
+    key = ("delta", rule, delta_predicates, delta_occurrence)
+    return _cached_plan(
+        key,
+        lambda: compile_plan(
+            rule.body,
+            head=rule.head,
+            delta_predicates=delta_predicates,
+            delta_occurrence=delta_occurrence,
+        ),
+    )
+
+
+def delta_plans(rule: Rule, delta_predicates: FrozenSet[str]) -> List[JoinPlan]:
+    """All delta variants of ``rule``: one per recursive body occurrence."""
+    occurrences = sum(
+        1
+        for literal in rule.body
+        if not literal.is_builtin and literal.predicate in delta_predicates
+    )
+    return [delta_plan(rule, delta_predicates, k) for k in range(occurrences)]
+
+
+# -- compiled relational-algebra images ------------------------------------
+
+ImageFunction = Callable[[Set[object], Database, "object"], Set[object]]
+
+_IMAGE_CACHE: Dict[object, ImageFunction] = {}
+
+
+def compile_image(expression) -> ImageFunction:
+    """Compile a relalg expression into a reusable node-set image function.
+
+    The returned callable has the signature ``(values, database, counters) ->
+    set`` and reproduces the historical per-application expression walker of
+    the Henschen-Naqvi engine exactly -- including its per-application
+    ``nodes_generated`` charging -- but the expression structure is walked
+    once at compile time instead of once per application, and base-predicate
+    images drive :meth:`~repro.datalog.database.Database.scan` directly.
+    """
+    from ..relalg.expressions import Compose, Empty, Identity, Inverse, Pred, Star, Union
+    from .errors import NotApplicableError
+
+    if expression is None:
+        return lambda values, database, counters: set(values)
+    cached = _IMAGE_CACHE.get(expression)
+    if cached is not None:
+        return cached
+    if len(_IMAGE_CACHE) >= _PLAN_CACHE_LIMIT:
+        _IMAGE_CACHE.clear()
+
+    if isinstance(expression, Identity):
+        compiled: ImageFunction = lambda values, database, counters: set(values)
+    elif isinstance(expression, Empty):
+        compiled = lambda values, database, counters: set()
+    elif isinstance(expression, Pred):
+        name = expression.name
+
+        def compiled(values, database, counters, _name=name):
+            result: Set[object] = set()
+            for value in values:
+                for row in database.scan(_name, {0: value}):
+                    result.add(row[1])
+            counters.nodes_generated += len(result)
+            return result
+
+    elif isinstance(expression, Inverse):
+        inner = expression.inner
+        if not isinstance(inner, Pred):
+            raise NotApplicableError(
+                "image compilation supports inverses of base predicates only"
+            )
+        name = inner.name
+
+        def compiled(values, database, counters, _name=name):
+            result: Set[object] = set()
+            for value in values:
+                for row in database.scan(_name, {1: value}):
+                    result.add(row[0])
+            counters.nodes_generated += len(result)
+            return result
+
+    elif isinstance(expression, Union):
+        items = tuple(compile_image(item) for item in expression.items)
+
+        def compiled(values, database, counters, _items=items):
+            result: Set[object] = set()
+            for item in _items:
+                result |= item(values, database, counters)
+            return result
+
+    elif isinstance(expression, Compose):
+        items = tuple(compile_image(item) for item in expression.items)
+
+        def compiled(values, database, counters, _items=items):
+            current = set(values)
+            for item in _items:
+                current = item(current, database, counters)
+                if not current:
+                    break
+            return current
+
+    elif isinstance(expression, Star):
+        inner_fn = compile_image(expression.inner)
+
+        def compiled(values, database, counters, _inner=inner_fn):
+            current = set(values)
+            reached = set(values)
+            while current:
+                current = _inner(current, database, counters) - reached
+                reached |= current
+            return reached
+
+    else:
+        raise NotApplicableError(f"unsupported expression node {expression!r}")
+
+    _IMAGE_CACHE[expression] = compiled
+    return compiled

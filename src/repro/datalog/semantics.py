@@ -15,9 +15,10 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .database import Database, Row
 from .literals import Literal
+from .plans import rule_plan
 from .rules import Program, Rule
 from .terms import Constant, Variable
-from .unify import instantiate_rule, match_literal
+from .unify import match_literal
 
 
 def least_model(program: Program, database: Optional[Database] = None) -> Database:
@@ -43,13 +44,13 @@ def least_model(program: Program, database: Optional[Database] = None) -> Databa
             model.add_facts(predicate, database.rows(predicate))
     model.load_program_facts(program)
 
-    idb_rules = program.idb_rules()
+    plans = [(rule.head.predicate, rule_plan(rule)) for rule in program.idb_rules()]
     changed = True
     while changed:
         changed = False
-        for rule in idb_rules:
-            for head_row, _ in instantiate_rule(rule, model):
-                if model.add_fact(rule.head.predicate, head_row):
+        for head_predicate, plan in plans:
+            for head_row in plan.heads(model):
+                if model.add_fact(head_predicate, head_row):
                     changed = True
     return model
 

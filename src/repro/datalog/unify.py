@@ -2,20 +2,24 @@
 
 The bottom-up engines repeatedly need the set of instantiations ``sigma`` of
 a rule's variables such that every body literal, instantiated by ``sigma``,
-is a fact of the (extensional or derived) database.  This module implements
-that as a left-to-right nested-loop join that uses the per-position indexes
-of :class:`~repro.datalog.database.Database` to only enumerate matching rows.
-Built-in comparison literals are evaluated as filters once their arguments
-are bound.
+is a fact of the (extensional or derived) database.  Historically this module
+interpreted the body per tuple with a recursive nested-loop join; the public
+entry points (:func:`satisfy_body`, :func:`instantiate_rule`) are now thin
+wrappers over the compiled join plans of :mod:`repro.datalog.plans`, which
+analyse each body once -- literal reordering, built-in placement, positional
+binding slots -- and are shared (and cached) across every engine.  Built-in
+comparisons that can never become ground are rejected at plan-compilation
+time with :class:`~repro.datalog.errors.EvaluationError` rather than cycling
+forever through a deferral queue.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from .database import Database, Row
-from .errors import EvaluationError
 from .literals import Literal
+from .plans import body_plan, rule_plan
 from .rules import Rule
 from .terms import Constant, Term, Variable
 
@@ -103,58 +107,13 @@ def satisfy_body(
         ``derived`` (used by seminaive evaluation to force one occurrence to
         range over the delta relation).
     """
-    pending: List[Literal] = list(body)
-    substitution: Substitution = dict(initial) if initial else {}
-    only_for = set(derived_only_for) if derived_only_for else set()
-    yield from _satisfy(pending, 0, substitution, database, derived, only_for)
-
-
-def _satisfy(
-    body: List[Literal],
-    index: int,
-    substitution: Substitution,
-    database: Database,
-    derived: Optional[Database],
-    derived_only_for: set,
-) -> Iterator[Substitution]:
-    # Greedily evaluate any built-in literal whose arguments are fully bound.
-    position = index
-    while position < len(body):
-        literal = body[position]
-        if literal.is_builtin:
-            grounded = apply_to_literal(literal, substitution)
-            if grounded.is_ground:
-                if not grounded.evaluate_builtin():
-                    return
-                body = body[:position] + body[position + 1 :]
-                continue
-        position += 1
-
-    if index >= len(body):
-        yield dict(substitution)
-        return
-
-    literal = body[index]
-    if literal.is_builtin:
-        # Still unbound at its turn: defer it to the end; if nothing binds it
-        # later the rule is unsafe, which Program validation already rejects.
-        deferred = body[:index] + body[index + 1 :] + [literal]
-        if deferred == body:
-            raise EvaluationError(f"built-in literal {literal} never becomes ground")
-        yield from _satisfy(deferred, index, substitution, database, derived, derived_only_for)
-        return
-
-    bound_literal = apply_to_literal(literal, substitution)
-    candidate_rows: List[Row] = []
-    if literal.predicate not in derived_only_for:
-        candidate_rows.extend(database.match(bound_literal))
-    if derived is not None:
-        candidate_rows.extend(derived.match(bound_literal))
-    for row in candidate_rows:
-        extended = match_literal(literal, row, substitution)
-        if extended is None:
-            continue
-        yield from _satisfy(body, index + 1, extended, database, derived, derived_only_for)
+    plan = body_plan(
+        tuple(body),
+        bound_vars=frozenset(initial) if initial else frozenset(),
+        derived_only_for=frozenset(derived_only_for) if derived_only_for else frozenset(),
+        has_derived=derived is not None,
+    )
+    return plan.substitutions(database, derived=derived, initial=initial)
 
 
 def instantiate_rule(
@@ -169,13 +128,13 @@ def instantiate_rule(
     Yields ``(head_row, substitution)`` pairs.  The head row contains raw
     constant values (not :class:`Constant` wrappers).
     """
-    for substitution in satisfy_body(
-        rule.body, database, initial=initial, derived=derived, derived_only_for=derived_only_for
-    ):
-        head = apply_to_literal(rule.head, substitution)
-        if not head.is_ground:
-            raise EvaluationError(f"rule {rule} produced a non-ground head {head}")
-        yield head.constant_values(), substitution
+    plan = rule_plan(
+        rule,
+        bound_vars=frozenset(initial) if initial else frozenset(),
+        derived_only_for=frozenset(derived_only_for) if derived_only_for else frozenset(),
+        has_derived=derived is not None,
+    )
+    return plan.pairs(database, derived=derived, initial=initial)
 
 
 def rename_apart(rule: Rule, suffix: str) -> Rule:

@@ -69,13 +69,19 @@ class Engine:
         """Answer ``query`` against ``program`` (+ optional external database).
 
         Subclasses implement :meth:`_run`; this wrapper merges the program's
-        own facts with the external database and wires up the counters.
+        own facts with the external database and wires up the counters.  The
+        merge is a copy-on-write overlay (:meth:`Database.overlay`): the
+        caller's relations -- and their already-built hash indexes -- are
+        shared read-only, and only a relation the engine actually writes to
+        is cloned, so repeated queries against one extensional database do
+        not pay a per-query row-by-row rebuild of the whole database.  The
+        caller's database is never mutated.
         """
         counters = counters if counters is not None else Counters()
-        combined = Database(counters=counters)
         if database is not None:
-            for predicate in database.predicates():
-                combined.add_facts(predicate, database.rows(predicate))
+            combined = Database.overlay(database, counters=counters)
+        else:
+            combined = Database(counters=counters)
         combined.load_program_facts(program)
         return self._run(program, query, combined, counters)
 

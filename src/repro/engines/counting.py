@@ -36,12 +36,13 @@ from ..core.queries import invert_expression
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
+from ..datalog.plans import compile_image
 from ..datalog.rules import Program
 from ..datalog.terms import Constant, Variable
 from ..instrumentation import Counters
 from ..relalg.expressions import Expression
 from .base import Engine, EngineResult, register
-from .henschen_naqvi import _active_domain_size, _image
+from .henschen_naqvi import _active_domain_size
 
 
 def _require_bound_first_argument(query: Literal) -> object:
@@ -74,11 +75,12 @@ def counting_levels(
 ) -> List[Set[object]]:
     """The level sets U_0 = {start}, U_{i+1} = e1(U_i), up to ``bound`` levels."""
     levels: List[Set[object]] = [{start}]
+    if e1 is None:
+        return levels
+    image_e1 = compile_image(e1)
     while levels[-1] and len(levels) <= bound:
-        if e1 is None:
-            break
         counters.iterations += 1
-        levels.append(_image(e1, levels[-1], database, counters))
+        levels.append(image_e1(levels[-1], database, counters))
     return levels
 
 
@@ -89,17 +91,23 @@ def counting_answer(
     counters: Counters,
     bound: int,
 ) -> Set[object]:
-    """The counting method proper: up with counts, flat per level, down with counts."""
+    """The counting method proper: up with counts, flat per level, down with counts.
+
+    The three expressions of the decomposition are compiled once
+    (:func:`repro.datalog.plans.compile_image`) and the level loops drive the
+    compiled closures -- the inner loop of both counting engines.
+    """
     e0, e1, e2 = decomposition.base, decomposition.left, decomposition.right
+    image_e0 = compile_image(e0)
     levels = counting_levels(e1, start, database, counters, bound)
     per_level_generation = [
-        _image(e0, level, database, counters) if level else set() for level in levels
+        image_e0(level, database, counters) if level else set() for level in levels
     ]
-    answers: Set[object] = set()
+    image_e2 = compile_image(e2) if e2 is not None else None
     accumulated: Set[object] = set()
     for index in range(len(levels) - 1, -1, -1):
-        if e2 is not None:
-            accumulated = _image(e2, accumulated, database, counters)
+        if image_e2 is not None:
+            accumulated = image_e2(accumulated, database, counters)
         accumulated |= per_level_generation[index]
     return accumulated
 

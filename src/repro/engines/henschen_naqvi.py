@@ -25,10 +25,10 @@ from typing import Dict, Optional, Set
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
+from ..datalog.plans import compile_image
 from ..datalog.rules import Program
 from ..datalog.terms import Constant, Variable
 from ..instrumentation import Counters
-from ..relalg.expressions import Expression
 from ..core.cyclic import decompose_linear
 from ..core.lemma1 import transform
 from .base import Engine, EngineResult, register
@@ -70,6 +70,9 @@ class HenschenNaqviEngine(Engine):
         system = transform(program).system
         decomposition = decompose_linear(system, query.predicate)
         e0, e1, e2 = decomposition.base, decomposition.left, decomposition.right
+        image_e0 = compile_image(e0)
+        image_e1 = compile_image(e1) if e1 is not None else None
+        image_e2 = compile_image(e2) if e2 is not None else None
 
         bound = self.max_iterations
         if bound is None:
@@ -84,19 +87,19 @@ class HenschenNaqviEngine(Engine):
         while frontier and iterations <= bound:
             counters.iterations += 1
             # e0 image of the current node set ...
-            generation = _image(e0, frontier, database, counters)
+            generation = image_e0(frontier, database, counters)
             # ... pushed down through e2 exactly `iterations` times, recomputed
             # from scratch (no memory of earlier walks).
             descend = generation
             for _ in range(iterations):
-                descend = _image(e2, descend, database, counters) if e2 is not None else descend
+                descend = image_e2(descend, database, counters) if image_e2 is not None else descend
                 if not descend:
                     break
             answers |= descend
             iterations += 1
-            if e1 is None:
+            if image_e1 is None:
                 break
-            frontier = _image(e1, frontier, database, counters)
+            frontier = image_e1(frontier, database, counters)
             key = frozenset(frontier)
             if key in seen_frontiers:
                 # Cyclic e1 data: the frontier repeats; with no new nodes the
@@ -122,63 +125,6 @@ class HenschenNaqviEngine(Engine):
             iterations=iterations,
             details={"decomposition": decomposition},
         )
-
-
-def _image(
-    expression: Optional[Expression],
-    values: Set[object],
-    database: Database,
-    counters: Counters,
-) -> Set[object]:
-    """The image of a node set under the relation denoted by ``expression``.
-
-    Evaluated set-at-a-time by following the expression structure with unary
-    relations, charging one node generation per element produced (this is the
-    unary-relation representation the paper credits Henschen-Naqvi for).
-    """
-    from ..relalg.expressions import Compose, Empty, Identity, Inverse, Pred, Star, Union
-
-    if expression is None or isinstance(expression, Identity):
-        return set(values)
-    if isinstance(expression, Empty):
-        return set()
-    if isinstance(expression, Pred):
-        result: Set[object] = set()
-        for value in values:
-            for row in database.match(Literal(expression.name, [Constant(value), Variable("V")])):
-                result.add(row[1])
-        counters.nodes_generated += len(result)
-        return result
-    if isinstance(expression, Inverse):
-        inner = expression.inner
-        if isinstance(inner, Pred):
-            result = set()
-            for value in values:
-                for row in database.match(Literal(inner.name, [Variable("V"), Constant(value)])):
-                    result.add(row[0])
-            counters.nodes_generated += len(result)
-            return result
-        raise NotApplicableError("Henschen-Naqvi supports inverses of base predicates only")
-    if isinstance(expression, Union):
-        result = set()
-        for item in expression.items:
-            result |= _image(item, values, database, counters)
-        return result
-    if isinstance(expression, Compose):
-        current = set(values)
-        for item in expression.items:
-            current = _image(item, current, database, counters)
-            if not current:
-                break
-        return current
-    if isinstance(expression, Star):
-        current = set(values)
-        reached = set(values)
-        while current:
-            current = _image(expression.inner, current, database, counters) - reached
-            reached |= current
-        return reached
-    raise NotApplicableError(f"unsupported expression node {expression!r}")
 
 
 def _active_domain_size(database: Database) -> int:

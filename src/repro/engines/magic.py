@@ -20,6 +20,13 @@ seeded with the fact ``magic_q0^a0(c)`` for the query's bound constants.
 This is the generalized-magic-sets construction restricted to linear
 programs with at most one derived literal per body -- the same class the
 paper's Section 4 handles, which makes the comparison fair.
+
+The rewritten rules are evaluated through the shared seminaive fixpoint,
+whose inner loops run on the compiled join plans of
+:mod:`repro.datalog.plans`; because the plan cache is keyed by rule, the
+magic and guarded rules produced for one query are compiled once and reused
+across the fixpoint rounds (and across repeated queries with the same
+binding pattern, whose rewritten rules are structurally identical).
 """
 
 from __future__ import annotations

@@ -18,9 +18,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.database import Database, Row
 from ..datalog.literals import Literal
+from ..datalog.plans import delta_plans, rule_plan
 from ..datalog.rules import Program, Rule
 from ..datalog.semantics import answer_against_relation
-from ..datalog.unify import instantiate_rule
 from ..instrumentation import Counters
 from .base import Engine, EngineResult, register
 
@@ -85,87 +85,43 @@ def _evaluate_component(
     database: Database,
     counters: Counters,
 ) -> None:
-    """Seminaive iteration for one group of mutually recursive predicates."""
+    """Seminaive iteration for one group of mutually recursive predicates.
+
+    Both the round-0 full evaluation and the delta-restricted rounds run on
+    compiled join plans (:mod:`repro.datalog.plans`); the delta rounds use
+    one cached plan variant per recursive body occurrence, whose chosen
+    occurrence reads the delta relation while every other literal reads the
+    full database (including earlier deltas already merged into it).  Plan
+    compilation rejects built-ins that can never become ground, so the
+    deferral semantics cannot diverge from :func:`~repro.datalog.unify
+    .satisfy_body` -- they are the same code path.
+    """
+    recursive_key = frozenset(recursive_predicates)
     # Round 0: fire every rule once over the current database.
     delta = Database()
-    for rule in rules:
-        for head_row, _ in instantiate_rule(rule, database):
+    round0 = [(rule, rule_plan(rule)) for rule in rules]
+    for rule, plan in round0:
+        head_predicate = rule.head.predicate
+        for head_row in plan.heads(database):
             counters.rule_firings += 1
-            if database.add_fact(rule.head.predicate, head_row):
+            if database.add_fact(head_predicate, head_row):
                 counters.derived_tuples += 1
-                delta.add_fact(rule.head.predicate, head_row)
+                delta.add_fact(head_predicate, head_row)
     counters.iterations += 1
 
+    # One plan variant per occurrence of a recursive predicate, with that
+    # occurrence restricted to the delta.  Non-recursive rules have no
+    # variants and cannot produce anything new after round 0.
+    variants = [(rule, delta_plans(rule, recursive_key)) for rule in rules]
     while delta.total_facts():
         new_delta = Database()
-        for rule in rules:
-            recursive_body = [
-                lit for lit in rule.body
-                if not lit.is_builtin and lit.predicate in recursive_predicates
-            ]
-            if not recursive_body:
-                continue  # non-recursive rules cannot produce anything new
-            # One evaluation pass per occurrence of a recursive predicate,
-            # with that occurrence restricted to the delta.
-            for occurrence_index, occurrence in enumerate(recursive_body):
-                for head_row, _ in _instantiate_with_delta(
-                    rule, occurrence_index, recursive_predicates, database, delta
-                ):
+        for rule, plans in variants:
+            head_predicate = rule.head.predicate
+            for plan in plans:
+                for head_row in plan.heads(database, derived=delta):
                     counters.rule_firings += 1
-                    if database.add_fact(rule.head.predicate, head_row):
+                    if database.add_fact(head_predicate, head_row):
                         counters.derived_tuples += 1
-                        new_delta.add_fact(rule.head.predicate, head_row)
+                        new_delta.add_fact(head_predicate, head_row)
         counters.iterations += 1
         delta = new_delta
-
-
-def _instantiate_with_delta(
-    rule: Rule,
-    occurrence_index: int,
-    recursive_predicates: Set[str],
-    database: Database,
-    delta: Database,
-):
-    """Instantiate ``rule`` with the given recursive occurrence bound to the delta.
-
-    Implemented by reordering nothing: we walk the body as usual, but the
-    chosen occurrence is matched against the delta relation only, while all
-    other literals are matched against the full database (including earlier
-    deltas already merged into it).
-    """
-    from ..datalog.unify import apply_to_literal, match_literal
-    from ..datalog.errors import EvaluationError
-
-    def satisfy(index: int, recursive_seen: int, substitution):
-        if index >= len(rule.body):
-            head = apply_to_literal(rule.head, substitution)
-            if not head.is_ground:
-                raise EvaluationError(f"rule {rule} produced a non-ground head")
-            yield head.constant_values(), substitution
-            return
-        literal = rule.body[index]
-        if literal.is_builtin:
-            grounded = apply_to_literal(literal, substitution)
-            if grounded.is_ground:
-                if grounded.evaluate_builtin():
-                    yield from satisfy(index + 1, recursive_seen, substitution)
-                return
-            # Defer: builtins are re-checked once more bindings exist.
-            for result in satisfy(index + 1, recursive_seen, substitution):
-                final_literal = apply_to_literal(literal, result[1])
-                if final_literal.is_ground and final_literal.evaluate_builtin():
-                    yield result
-            return
-        is_recursive = literal.predicate in recursive_predicates
-        use_delta = is_recursive and recursive_seen == occurrence_index
-        source = delta if use_delta else database
-        bound = apply_to_literal(literal, substitution)
-        for row in source.match(bound):
-            extended = match_literal(literal, row, substitution)
-            if extended is None:
-                continue
-            yield from satisfy(
-                index + 1, recursive_seen + (1 if is_recursive else 0), extended
-            )
-
-    yield from satisfy(0, 0, {})

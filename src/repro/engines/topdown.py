@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..datalog.database import Database
+from ..datalog.errors import EvaluationError
 from ..datalog.literals import Literal
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Variable
@@ -153,7 +154,18 @@ class _TopDown:
                 if grounded.evaluate_builtin():
                     self._solve_body(rule, rest, substitution, call)
             else:
-                # Defer the comparison until its variables are bound.
+                # Defer the comparison until its variables are bound -- but
+                # only if some remaining literal can still bind them.  When
+                # everything left is a non-ground built-in, rotating the
+                # queue makes no progress and would recurse forever.
+                if all(
+                    other.is_builtin
+                    and not apply_to_literal(other, substitution).is_ground
+                    for other in rest
+                ):
+                    raise EvaluationError(
+                        f"built-in literal {literal} never becomes ground"
+                    )
                 self._solve_body(rule, rest + [literal], substitution, call)
             return
         bound_literal = apply_to_literal(literal, substitution)
