@@ -167,14 +167,6 @@ def _graph_applicable(analysis: ProgramAnalysis, query: Literal) -> bool:
     )
 
 
-def _active_domain_size(database: Database) -> int:
-    values = set()
-    for predicate in database.predicates():
-        for row in database.rows(predicate):
-            values.update(row)
-    return len(values)
-
-
 def _auto_iteration_bound(system, database: Database, predicate: str) -> Tuple[int, Optional[int]]:
     """A termination bound valid for any query constant.
 
@@ -195,7 +187,7 @@ def _auto_iteration_bound(system, database: Database, predicate: str) -> Tuple[i
     try:
         decomposition = decompose_linear(system, predicate)
     except NotApplicableError:
-        adom = _active_domain_size(database)
+        adom = database.active_domain_size()
         derived = max(1, len(system.derived_predicates))
         return derived * (adom + 2) ** 2, adom + 2
     d1 = accessible_nodes(decomposition.left, database, start=None)

@@ -1,15 +1,22 @@
-"""The extensional database: relation storage with per-position hash indexes.
+"""The extensional database: a thin adapter over the interned storage kernel.
 
 The paper assumes (Section 3, comparison with Bancilhon et al.) that "any
 tuple in a base relation can be retrieved in constant time".  This module
 provides exactly that abstraction: a :class:`Database` stores, per predicate,
-a set of constant tuples and maintains hash indexes keyed by any subset of
-bound argument positions, so that a lookup such as ``up(a, Y)`` touches only
-the matching tuples.
+a :class:`repro.storage.table.IntTable` -- constants interned to dense codes,
+hash indexes keyed by any subset of bound argument positions, per-position
+adjacency indexes for binary relations, and copy-on-write snapshots -- so
+that a lookup such as ``up(a, Y)`` touches only the matching tuples and a
+node-set image is a single C-level set union over shared buckets.
 
-Every retrieval can be charged to a :class:`~repro.instrumentation.Counters`
+Every retrieval is charged to a :class:`~repro.instrumentation.Counters`
 object, which is how the benchmarks measure the "set of potentially relevant
-facts" consulted by each strategy.
+facts" consulted by each strategy.  The counters measure *retrievals*, not
+representation: the kernel fast paths (and the bucket-level charging memo
+that avoids re-walking a bucket row by row once it has been fully charged)
+produce bit-identical counter values to the historical per-row object-tuple
+loops, which ``tests/storage/test_storage_differential.py`` asserts for
+every engine on every workload family.
 """
 
 from __future__ import annotations
@@ -17,22 +24,27 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..instrumentation import Counters
+from ..storage import runtime as _storage_runtime
+from ..storage.runtime import MODE_KERNEL
+from ..storage.table import FULL_SCAN, BucketToken, IntTable
 from .literals import Literal
 from .rules import Program, Rule
-from .terms import Constant, Term, Variable
+from .terms import Constant, Variable
 
 Row = Tuple[object, ...]
 
+_NO_BINDINGS: Dict[int, object] = {}
+
 
 class Relation:
-    """A single stored relation: a set of constant tuples plus indexes."""
+    """A single stored relation: an arity-checking adapter over an IntTable."""
 
-    def __init__(self, name: str, arity: int):
+    __slots__ = ("name", "arity", "table")
+
+    def __init__(self, name: str, arity: int, table: Optional[IntTable] = None):
         self.name = name
         self.arity = arity
-        self.rows: Set[Row] = set()
-        # Indexes are built lazily: bound-position frozenset -> key tuple -> rows.
-        self._indexes: Dict[FrozenSet[int], Dict[Row, Set[Row]]] = {}
+        self.table = table if table is not None else IntTable(arity)
 
     def add(self, row: Row) -> bool:
         """Insert a tuple; returns True when it was new."""
@@ -40,24 +52,17 @@ class Relation:
             raise ValueError(
                 f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
             )
-        if row in self.rows:
-            return False
-        self.rows.add(row)
-        for positions, index in self._indexes.items():
-            key = tuple(row[i] for i in sorted(positions))
-            index.setdefault(key, set()).add(row)
-        return True
+        return self.table.add(row)
 
-    def _index_for(self, positions: FrozenSet[int]) -> Dict[Row, Set[Row]]:
-        index = self._indexes.get(positions)
-        if index is None:
-            index = {}
-            ordered = sorted(positions)
-            for row in self.rows:
-                key = tuple(row[i] for i in ordered)
-                index.setdefault(key, set()).add(row)
-            self._indexes[positions] = index
-        return index
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """An immutable snapshot of the stored rows.
+
+        Historically this was the live internal row set; every accessor of
+        this class now returns either an immutable snapshot or a read-only
+        view, so callers can never corrupt the store or its indexes.
+        """
+        return self.table.row_set()
 
     def lookup(self, bindings: Dict[int, object]) -> FrozenSet[Row]:
         """All rows whose value at each position in ``bindings`` matches.
@@ -67,39 +72,21 @@ class Relation:
         snapshot: mutating it is impossible, so callers can never corrupt the
         relation's row set or its index buckets through the return value.
         """
-        return frozenset(self._lookup_live(bindings))
-
-    def _lookup_live(self, bindings: Dict[int, object]) -> Set[Row]:
-        """Like :meth:`lookup` but returns the *live* internal set.
-
-        Internal fast path for the join-plan executor, which snapshots rows
-        while charging retrievals anyway.  Callers must not mutate the result
-        and must not hold it across an :meth:`add`.
-        """
-        if not bindings:
-            return self.rows
-        positions = frozenset(bindings)
-        index = self._index_for(positions)
-        key = tuple(bindings[i] for i in sorted(positions))
-        return index.get(key, _EMPTY_ROWS)
+        rows, _ = self.table.bucket(bindings)
+        return frozenset(rows)
 
     def clone(self) -> "Relation":
-        """An independent copy of the rows (indexes are rebuilt lazily)."""
-        dup = Relation(self.name, self.arity)
-        dup.rows = set(self.rows)
-        return dup
+        """A logically independent copy (copy-on-write, O(1) until written)."""
+        return Relation(self.name, self.arity, self.table.snapshot())
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.table)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
+        return iter(self.table)
 
     def __contains__(self, row: Row) -> bool:
-        return row in self.rows
-
-
-_EMPTY_ROWS: Set[Row] = set()
+        return self.table.contains(row)
 
 
 class Database:
@@ -116,6 +103,18 @@ class Database:
         # Predicates whose Relation object is shared with a base database
         # (copy-on-write overlays); cloned on the first mutation.
         self._shared: Set[str] = set()
+        # Bucket-level charging memo: predicate -> bucket token -> the bucket
+        # size when it was last charged row by row.  Once a whole bucket has
+        # been charged, re-retrieving it only bumps ``fact_retrievals`` by its
+        # length -- every row is already in ``_touched``, so the per-row walk
+        # would change nothing.  Entries are dropped when the predicate gains
+        # a row (buckets only ever grow) and on instrumentation resets.
+        self._charged: Dict[str, Dict[BucketToken, int]] = {}
+        # Per-(predicate, position) image context: the adjacency dict, the
+        # interner lookup and the charged-bucket memo for :meth:`image`,
+        # validated per call by adjacency-dict identity (a cloned or unshared
+        # table gets a fresh adjacency dict, so a stale context self-detects).
+        self._image_ctx: Dict[Tuple[str, int], tuple] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -143,12 +142,15 @@ class Database:
             relation = Relation(predicate, len(row))
             self.relations[predicate] = relation
         elif predicate in self._shared:
-            if row in relation.rows:
+            if row in relation:
                 return False  # duplicate: no mutation needed, keep sharing
             relation = relation.clone()
             self.relations[predicate] = relation
             self._shared.discard(predicate)
-        return relation.add(row)
+        added = relation.add(row)
+        if added and self._charged:
+            self._charged.pop(predicate, None)
+        return added
 
     def add_facts(self, predicate: str, rows: Iterable[Iterable[object]]) -> int:
         """Add many facts; returns the number of new ones."""
@@ -194,15 +196,17 @@ class Database:
         relation = self.relations.get(predicate)
         return relation.arity if relation else None
 
-    def rows(self, predicate: str) -> Set[Row]:
-        """All rows of a relation (empty set for unknown predicates).
+    def rows(self, predicate: str) -> FrozenSet[Row]:
+        """All rows of a relation (empty for unknown predicates).
 
-        This accessor does *not* charge retrieval counters; it is meant for
-        inspection and for bulk set operations whose cost the caller accounts
-        for separately.
+        The result is an immutable snapshot -- never the live internal row
+        set, so callers cannot corrupt the relation through the return value
+        and the snapshot does not track later insertions.  This accessor does
+        *not* charge retrieval counters; it is meant for inspection and for
+        bulk set operations whose cost the caller accounts for separately.
         """
         relation = self.relations.get(predicate)
-        return set(relation.rows) if relation else set()
+        return relation.table.row_set() if relation else frozenset()
 
     def contains(self, predicate: str, row: Row) -> bool:
         """Membership test, charged as a single retrieval."""
@@ -249,18 +253,94 @@ class Database:
         relation = self.relations.get(predicate)
         if relation is None:
             return []
-        candidates = relation._lookup_live(bindings) if bindings else relation.rows
+        candidates, token = relation.table.bucket(bindings or _NO_BINDINGS)
         if intra_eq:
             result = [
                 row
                 for row in candidates
                 if all(row[position] == row[other] for position, other in intra_eq)
             ]
-        else:
-            result = list(candidates)
+            if charge:
+                self._charge(predicate, result)
+            return result
+        # A full scan already hands out a freshly-built list; an index bucket
+        # is live internal state and must be snapshotted before returning.
+        result = candidates if token is FULL_SCAN else list(candidates)
         if charge:
-            self._charge(predicate, result)
+            # Bucket-level charging memo (kernel mode): once a whole bucket
+            # has been charged, every row is already in ``_touched``, so a
+            # repeat retrieval can bump ``fact_retrievals`` by the bucket
+            # size directly.  A grown bucket fails the size check and is
+            # re-charged row by row; inserts invalidate the predicate's
+            # entries anyway.
+            if _storage_runtime._mode == MODE_KERNEL:
+                charged = self._charged.get(predicate)
+                if charged is None:
+                    charged = self._charged[predicate] = {}
+                size = len(result)
+                if charged.get(token) == size:
+                    self.counters.fact_retrievals += size
+                else:
+                    self._charge(predicate, result)
+                    charged[token] = size
+            else:
+                self._charge(predicate, result)
         return result
+
+    def image(
+        self, predicate: str, values: Iterable[object], inverted: bool = False
+    ) -> Set[object]:
+        """The node-set image: ``{y | x ∈ values, predicate(x, y)}``.
+
+        With ``inverted=True`` the predicate is read backwards
+        (``{x | y ∈ values, predicate(x, y)}``).  This is the primitive the
+        compiled relational-algebra images and the graph-traversal provider
+        drive: one adjacency-bucket union per frontier value, charged exactly
+        as the equivalent per-value :meth:`scan` loop charges.
+        """
+        relation = self.relations.get(predicate)
+        if relation is None:
+            return set()
+        position, output = (1, 0) if inverted else (0, 1)
+        if relation.arity != 2 or _storage_runtime._mode != MODE_KERNEL:
+            # Reference path: the historical per-row object-tuple loop.
+            result: Set[object] = set()
+            for value in values:
+                for row in self.scan(predicate, {position: value}):
+                    result.add(row[output])
+            return result
+        key = (predicate, position)
+        ctx = self._image_ctx.get(key)
+        if ctx is None or ctx[0] is not relation.table._adjacency.get(position):
+            table = relation.table
+            ctx = (table.adjacency(position), table.interner.code_of, {})
+            self._image_ctx[key] = ctx
+        adjacency, code_of, charged = ctx
+        counters = self.counters
+        buckets: List[set] = []
+        for value in values:
+            code = code_of(value)
+            if code is None:
+                continue
+            entry = adjacency.get(code)
+            if entry is None:
+                continue
+            targets, rows = entry
+            size = len(rows)
+            # The memo records the bucket size at full charge; a grown bucket
+            # fails the size check and is re-charged row by row, so inserts
+            # (even by another overlay sharing this relation) stay counted.
+            if charged.get(code) == size:
+                counters.fact_retrievals += size
+            else:
+                self._charge(predicate, rows)
+                charged[code] = size
+            buckets.append(targets)
+        if not buckets:
+            return set()
+        if len(buckets) == 1:
+            return set(buckets[0])
+        return set().union(*buckets)
 
     def count(self, predicate: str) -> int:
         """Number of rows stored for ``predicate``."""
@@ -270,6 +350,37 @@ class Database:
     def total_facts(self) -> int:
         """Total number of stored tuples across all relations."""
         return sum(len(rel) for rel in self.relations.values())
+
+    def column_values(self, predicate: str, position: int) -> Set[object]:
+        """Distinct values at ``position`` of a relation (uncharged).
+
+        Runs on the kernel's per-column code sets: O(distinct values), not
+        O(rows).  Position may be negative (Python indexing convention).
+        """
+        relation = self.relations.get(predicate)
+        if relation is None:
+            return set()
+        if position < 0:
+            position += relation.arity
+        if not 0 <= position < relation.arity:
+            raise IndexError(
+                f"position out of range for {predicate!r} (arity {relation.arity})"
+            )
+        table = relation.table
+        return table.interner.extern_set(table.column_codes(position))
+
+    def active_domain_size(self) -> int:
+        """Number of distinct constants across all relations and positions.
+
+        Runs on the per-column code sets of the kernel tables, so the cost is
+        O(distinct values), not O(rows x arity).
+        """
+        codes: Set[int] = set()
+        for relation in self.relations.values():
+            table = relation.table
+            for position in range(relation.arity):
+                codes |= table.column_codes(position)
+        return len(codes)
 
     # -- instrumentation -----------------------------------------------------------
 
@@ -292,6 +403,8 @@ class Database:
         else:
             self.counters.reset()
         self._touched.clear()
+        self._charged.clear()
+        self._image_ctx.clear()
 
     # -- conversion ------------------------------------------------------------------
 
@@ -299,7 +412,7 @@ class Database:
         """Render the whole database as a list of fact rules."""
         facts: List[Rule] = []
         for predicate, relation in sorted(self.relations.items()):
-            for row in sorted(relation.rows, key=repr):
+            for row in sorted(relation.table.all_rows(), key=repr):
                 facts.append(Rule(Literal(predicate, [Constant(v) for v in row])))
         return facts
 
@@ -307,14 +420,14 @@ class Database:
         """An independent copy sharing no mutable state (counters excluded)."""
         clone = Database()
         for predicate, relation in self.relations.items():
-            clone.add_facts(predicate, relation.rows)
+            clone.add_facts(predicate, relation.table.all_rows())
         return clone
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
-        mine = {p: rel.rows for p, rel in self.relations.items() if rel.rows}
-        theirs = {p: rel.rows for p, rel in other.relations.items() if rel.rows}
+        mine = {p: rel.table.row_set() for p, rel in self.relations.items() if len(rel)}
+        theirs = {p: rel.table.row_set() for p, rel in other.relations.items() if len(rel)}
         return mine == theirs
 
     def __repr__(self) -> str:

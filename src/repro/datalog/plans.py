@@ -670,7 +670,11 @@ def compile_image(expression) -> ImageFunction:
     the Henschen-Naqvi engine exactly -- including its per-application
     ``nodes_generated`` charging -- but the expression structure is walked
     once at compile time instead of once per application, and base-predicate
-    images drive :meth:`~repro.datalog.database.Database.scan` directly.
+    images drive :meth:`~repro.datalog.database.Database.image`: one
+    adjacency-bucket union per frontier value on the interned storage kernel
+    (or the historical per-row :meth:`~repro.datalog.database.Database.scan`
+    loop under the ``"reference"`` storage mode), charged identically either
+    way.
     """
     from ..relalg.expressions import Compose, Empty, Identity, Inverse, Pred, Star, Union
     from .errors import NotApplicableError
@@ -691,10 +695,7 @@ def compile_image(expression) -> ImageFunction:
         name = expression.name
 
         def compiled(values, database, counters, _name=name):
-            result: Set[object] = set()
-            for value in values:
-                for row in database.scan(_name, {0: value}):
-                    result.add(row[1])
+            result = database.image(_name, values)
             counters.nodes_generated += len(result)
             return result
 
@@ -707,10 +708,7 @@ def compile_image(expression) -> ImageFunction:
         name = inner.name
 
         def compiled(values, database, counters, _name=name):
-            result: Set[object] = set()
-            for value in values:
-                for row in database.scan(_name, {1: value}):
-                    result.add(row[0])
+            result = database.image(_name, values, inverted=True)
             counters.nodes_generated += len(result)
             return result
 

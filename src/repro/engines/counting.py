@@ -42,7 +42,6 @@ from ..datalog.terms import Constant, Variable
 from ..instrumentation import Counters
 from ..relalg.expressions import Expression
 from .base import Engine, EngineResult, register
-from .henschen_naqvi import _active_domain_size
 
 
 def _require_bound_first_argument(query: Literal) -> object:
@@ -142,7 +141,7 @@ class CountingEngine(Engine):
         decomposition = decompose_linear(system, query.predicate)
         bound = self.max_levels
         if bound is None:
-            bound = _active_domain_size(database) + 1
+            bound = database.active_domain_size() + 1
         values = counting_answer(decomposition, start, database, counters, bound)
         return EngineResult(
             answers=_project_answers(query, values),
@@ -178,7 +177,7 @@ class ReverseCountingEngine(Engine):
         e0, e1, e2 = decomposition.base, decomposition.left, decomposition.right
         bound = self.max_levels
         if bound is None:
-            bound = _active_domain_size(database) + 1
+            bound = database.active_domain_size() + 1
 
         # Candidate answers: anything that can appear as the second argument
         # of p, i.e. in the range of e0 possibly pushed through e2.
@@ -214,14 +213,17 @@ def _candidate_answers(
     database: Database,
     counters: Counters,
 ) -> Set[object]:
-    """Values that can occur as the second argument of the queried relation."""
+    """Values that can occur as the second argument of the queried relation.
+
+    Enumerated from the kernel's per-column code sets (O(distinct values)
+    per predicate instead of a row scan); the ``candidate_answers`` charge is
+    unchanged because the set of candidates is.
+    """
     candidates: Set[object] = set()
     for name in e0.predicates():
-        for row in database.rows(name):
-            candidates.add(row[-1])
+        candidates |= database.column_values(name, -1)
     if e2 is not None:
         for name in e2.predicates():
-            for row in database.rows(name):
-                candidates.add(row[-1])
+            candidates |= database.column_values(name, -1)
     counters.bump("candidate_answers", len(candidates))
     return candidates

@@ -20,7 +20,7 @@ behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
@@ -78,7 +78,7 @@ class HenschenNaqviEngine(Engine):
         if bound is None:
             # Safe default: the number of values in the database bounds the
             # number of distinct node sets on the e1 side.
-            bound = _active_domain_size(database) + 1
+            bound = database.active_domain_size() + 1
 
         answers: Set[object] = set()
         frontier: Set[object] = {first.value}
@@ -125,11 +125,3 @@ class HenschenNaqviEngine(Engine):
             iterations=iterations,
             details={"decomposition": decomposition},
         )
-
-
-def _active_domain_size(database: Database) -> int:
-    values: Set[object] = set()
-    for predicate in database.predicates():
-        for row in database.rows(predicate):
-            values.update(row)
-    return len(values)

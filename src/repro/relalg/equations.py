@@ -155,6 +155,13 @@ class EquationSystem:
         changes (Kleene iteration).  Because every operator is monotone the
         limit is the least solution; statement (7) of Lemma 1 says it agrees
         with the program's semantics.
+
+        Every operator application and every convergence comparison runs on
+        the shared interned indexes of the storage kernel
+        (:class:`~repro.storage.pairs.PairStore`), so an iteration never
+        re-materialises pair sets or rebuilds successor indexes -- the cost
+        that historically made this reference solver quadratic in practice
+        even on linear instances.
         """
         if universe is None:
             universe = set()

@@ -196,10 +196,11 @@ class Union(Expression):
         return Union([item.substitute(name, replacement) for item in self.items])
 
     def evaluate(self, env, universe=None) -> BinaryRelation:
-        result = BinaryRelation.empty()
-        for item in self.items:
-            result = result.union(item.evaluate(env, universe))
-        return result
+        # One index-maintaining builder over all branches instead of a chain
+        # of pairwise unions, each snapshotting an intermediate store.
+        return BinaryRelation.union_all(
+            item.evaluate(env, universe) for item in self.items
+        )
 
     def _key(self):
         return self.items

@@ -77,8 +77,9 @@ class ExpressionGraph:
                         self._add_arc((state, value), (transition.target, value))
                     continue
                 relation = self.env.get(transition.label, BinaryRelation.empty())
-                pairs = relation.pairs
-                for left, right in pairs:
+                # Iterate the interned store directly (externed lazily) rather
+                # than materialising the frozenset view of the pair set.
+                for left, right in relation:
                     self.counters.fact_retrievals += 1
                     if transition.inverted:
                         left, right = right, left

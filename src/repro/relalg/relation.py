@@ -6,16 +6,29 @@ relations contains the following operations: ∪ (union), · (composition), and
 (⁻¹) when discussing Hunt et al. [8] and uses the identity relation ``id`` as
 a transition label in the automata of Section 3.
 
-A :class:`BinaryRelation` is an immutable set of pairs with the relational
-operations as methods.  Reflexivity is always taken over the *active domain*
-of the relation (its domain united with its range), matching the convention
-of the paper's ``p*`` rules (``p*(X, X) :-``) when the variables range over
-the constants actually present.
+A :class:`BinaryRelation` is an immutable *view* over the interned storage
+kernel: constants are interned into dense codes by the process-wide
+:class:`~repro.storage.interner.Interner` and the pair set lives in a
+:class:`~repro.storage.pairs.PairStore`, whose successor/predecessor indexes
+are maintained incrementally and *shared* between operator inputs and
+outputs.  Applying an operator therefore never re-materialises the full pair
+set or rebuilds an index from scratch -- ``inverse`` swaps two index dicts,
+``union`` clones only the buckets the smaller operand touches, and the
+closures run frontier walks over C-level set unions.  Value semantics are
+unchanged: two relations are equal exactly when they hold the same pairs.
+
+Reflexivity is always taken over the *active domain* of the relation (its
+domain united with its range), matching the convention of the paper's ``p*``
+rules (``p*(X, X) :-``) when the variables range over the constants actually
+present.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from ..storage.interner import global_interner
+from ..storage.pairs import PairBuilder, PairStore
 
 Pair = Tuple[object, object]
 
@@ -23,12 +36,40 @@ Pair = Tuple[object, object]
 class BinaryRelation:
     """An immutable finite binary relation (a set of pairs)."""
 
-    __slots__ = ("pairs", "_by_first", "_by_second")
+    __slots__ = ("_store", "_pairs")
 
     def __init__(self, pairs: Iterable[Pair] = ()):
-        self.pairs: FrozenSet[Pair] = frozenset((a, b) for a, b in pairs)
-        self._by_first: Optional[Dict[object, Set[object]]] = None
-        self._by_second: Optional[Dict[object, Set[object]]] = None
+        interner = global_interner()
+        intern = interner.intern
+        builder = PairBuilder()
+        for a, b in pairs:
+            builder.add(intern(a), intern(b))
+        self._store: PairStore = builder.build()
+        self._pairs: Optional[FrozenSet[Pair]] = None
+
+    @classmethod
+    def _from_store(cls, store: PairStore) -> "BinaryRelation":
+        relation = cls.__new__(cls)
+        relation._store = store
+        relation._pairs = None
+        return relation
+
+    @property
+    def store(self) -> PairStore:
+        """The underlying interned pair store (read-only)."""
+        return self._store
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The pairs as a frozenset of object tuples (externed lazily)."""
+        cached = self._pairs
+        if cached is None:
+            extern = global_interner().extern
+            cached = frozenset(
+                (extern(a), extern(b)) for a, b in self._store.iter_pairs()
+            )
+            self._pairs = cached
+        return cached
 
     # -- constructors ------------------------------------------------------
 
@@ -52,54 +93,52 @@ class BinaryRelation:
             pairs.append((row[0], row[1]))
         return cls(pairs)
 
+    @classmethod
+    def union_all(cls, relations: Iterable["BinaryRelation"]) -> "BinaryRelation":
+        """∪ over many relations with a single index-maintaining builder."""
+        stores = [r._store for r in relations if r._store.pair_count]
+        if not stores:
+            return _EMPTY
+        if len(stores) == 1:
+            return cls._from_store(stores[0])
+        biggest = max(range(len(stores)), key=lambda i: stores[i].pair_count)
+        builder = PairBuilder(base=stores[biggest])
+        for index, store in enumerate(stores):
+            if index != biggest:
+                builder.add_store(store)
+        return cls._from_store(builder.build())
+
     # -- index helpers --------------------------------------------------------
 
     def successors(self, value: object) -> Set[object]:
         """All ``y`` with ``(value, y)`` in the relation."""
-        if self._by_first is None:
-            index: Dict[object, Set[object]] = {}
-            for a, b in self.pairs:
-                index.setdefault(a, set()).add(b)
-            self._by_first = index
-        return self._by_first.get(value, set())
+        interner = global_interner()
+        code = interner.code_of(value)
+        if code is None:
+            return set()
+        return interner.extern_set(self._store.successors(code))
 
     def predecessors(self, value: object) -> Set[object]:
         """All ``x`` with ``(x, value)`` in the relation."""
-        if self._by_second is None:
-            index: Dict[object, Set[object]] = {}
-            for a, b in self.pairs:
-                index.setdefault(b, set()).add(a)
-            self._by_second = index
-        return self._by_second.get(value, set())
+        interner = global_interner()
+        code = interner.code_of(value)
+        if code is None:
+            return set()
+        return interner.extern_set(self._store.predecessors(code))
 
     # -- the paper's operations --------------------------------------------------
 
     def union(self, other: "BinaryRelation") -> "BinaryRelation":
         """p ∪ q."""
-        return BinaryRelation(self.pairs | other.pairs)
+        return BinaryRelation._from_store(self._store.union(other._store))
 
     def compose(self, other: "BinaryRelation") -> "BinaryRelation":
         """p · q  =  {(x, z) | ∃y: p(x, y) and q(y, z)}."""
-        result = set()
-        for x, y in self.pairs:
-            for z in other.successors(y):
-                result.add((x, z))
-        return BinaryRelation(result)
+        return BinaryRelation._from_store(self._store.compose(other._store))
 
     def transitive_closure(self) -> "BinaryRelation":
         """p⁺: one or more composition steps."""
-        closure: Set[Pair] = set(self.pairs)
-        frontier: Set[Pair] = set(self.pairs)
-        while frontier:
-            new_pairs: Set[Pair] = set()
-            for x, y in frontier:
-                for z in self.successors(y):
-                    pair = (x, z)
-                    if pair not in closure:
-                        new_pairs.add(pair)
-            closure |= new_pairs
-            frontier = new_pairs
-        return BinaryRelation(closure)
+        return BinaryRelation._from_store(self._store.transitive_closure())
 
     def reflexive_transitive_closure(
         self, universe: Optional[Iterable[object]] = None
@@ -110,57 +149,69 @@ class BinaryRelation:
         the active domain (domain ∪ range) of the relation.
         """
         if universe is None:
-            universe = self.active_domain()
-        closure = set(self.transitive_closure().pairs)
-        closure.update((v, v) for v in universe)
-        return BinaryRelation(closure)
+            universe_codes = self._store.active_domain_codes()
+        else:
+            intern = global_interner().intern
+            universe_codes = {intern(value) for value in universe}
+        return BinaryRelation._from_store(
+            self._store.reflexive_transitive_closure(universe_codes)
+        )
 
     def inverse(self) -> "BinaryRelation":
-        """p⁻¹  =  {(y, x) | p(x, y)}."""
-        return BinaryRelation((b, a) for a, b in self.pairs)
+        """p⁻¹  =  {(y, x) | p(x, y)} -- an O(1) index swap."""
+        return BinaryRelation._from_store(self._store.inverse())
 
     # -- domains --------------------------------------------------------------------
 
     def domain(self) -> Set[object]:
         """Values assumed by the first argument (the paper's *domain*)."""
-        return {a for a, _ in self.pairs}
+        return global_interner().extern_set(self._store.domain_codes())
 
     def range(self) -> Set[object]:
         """Values assumed by the second argument (the paper's *range*)."""
-        return {b for _, b in self.pairs}
+        return global_interner().extern_set(self._store.range_codes())
 
     def active_domain(self) -> Set[object]:
         """domain ∪ range."""
-        return self.domain() | self.range()
+        return global_interner().extern_set(self._store.active_domain_codes())
 
     # -- queries -----------------------------------------------------------------------
 
     def image(self, values: Iterable[object]) -> Set[object]:
         """The image of a set of values: ∪ successors(v)."""
-        result: Set[object] = set()
+        interner = global_interner()
+        code_of = interner.code_of
+        codes = []
         for value in values:
-            result |= self.successors(value)
-        return result
+            code = code_of(value)
+            if code is not None:
+                codes.append(code)
+        return interner.extern_set(self._store.image(codes))
 
     def restrict_domain(self, values: Iterable[object]) -> "BinaryRelation":
-        """The sub-relation whose first components lie in ``values``."""
-        allowed = set(values)
-        return BinaryRelation((a, b) for a, b in self.pairs if a in allowed)
+        """The sub-relation whose first components lie in ``values``.
+
+        Surviving index buckets are shared with this relation, not rebuilt.
+        """
+        code_of = global_interner().code_of
+        allowed = set()
+        for value in values:
+            code = code_of(value)
+            if code is not None:
+                allowed.add(code)
+        return BinaryRelation._from_store(self._store.restrict_domain(allowed))
 
     def reachable_from(self, start: object) -> Set[object]:
-        """All values reachable from ``start`` by one or more steps."""
-        seen: Set[object] = set()
-        frontier = [start]
-        visited = {start}
-        while frontier:
-            node = frontier.pop()
-            for succ in self.successors(node):
-                if succ not in seen:
-                    seen.add(succ)
-                if succ not in visited:
-                    visited.add(succ)
-                    frontier.append(succ)
-        return seen
+        """All values reachable from ``start`` by one or more steps.
+
+        A single frontier walk over the successor index; the start value is
+        included exactly when it lies on a cycle reachable from itself.
+        """
+        interner = global_interner()
+        code = interner.code_of(start)
+        if code is None:
+            return set()
+        return interner.extern_set(self._store.reachable_from(code))
 
     def longest_path_length_from(self, start: object) -> int:
         """Length of the longest simple path from ``start`` (∞-safe only on DAGs).
@@ -169,31 +220,36 @@ class BinaryRelation:
         loop is at most the length of the longest path in ``e1|a``.  Raises
         ``ValueError`` when a cycle is reachable from ``start``.
         """
-        memo: Dict[object, int] = {}
-        in_progress: Set[object] = set()
+        code = global_interner().code_of(start)
+        if code is None:
+            return 0
+        store = self._store
+        memo: Dict[int, int] = {}
+        in_progress: Set[int] = set()
 
-        def visit(node: object) -> int:
+        def visit(node: int) -> int:
             if node in memo:
                 return memo[node]
             if node in in_progress:
                 raise ValueError("cycle reachable from start: longest path is unbounded")
             in_progress.add(node)
             best = 0
-            for succ in self.successors(node):
+            for succ in store.successors(node):
                 best = max(best, 1 + visit(succ))
             in_progress.discard(node)
             memo[node] = best
             return best
 
-        return visit(start)
+        return visit(code)
 
     def is_acyclic(self) -> bool:
         """True when the relation, viewed as a directed graph, has no cycle."""
-        colour: Dict[object, int] = {}
-        for start in self.domain():
+        store = self._store
+        colour: Dict[int, int] = {}
+        for start in store.domain_codes():
             if colour.get(start, 0) == 2:
                 continue
-            stack = [(start, iter(sorted(self.successors(start), key=repr)))]
+            stack = [(start, iter(sorted(store.successors(start))))]
             colour[start] = 1
             while stack:
                 node, children = stack[-1]
@@ -204,7 +260,7 @@ class BinaryRelation:
                         return False
                     if state == 0:
                         colour[child] = 1
-                        stack.append((child, iter(sorted(self.successors(child), key=repr))))
+                        stack.append((child, iter(sorted(store.successors(child)))))
                         advanced = True
                         break
                 if not advanced:
@@ -215,25 +271,38 @@ class BinaryRelation:
     # -- dunder ---------------------------------------------------------------------------
 
     def __contains__(self, pair: Pair) -> bool:
-        return tuple(pair) in self.pairs
+        pair = tuple(pair)
+        if len(pair) != 2:
+            return False
+        code_of = global_interner().code_of
+        code_a = code_of(pair[0])
+        code_b = code_of(pair[1])
+        if code_a is None or code_b is None:
+            return False
+        return self._store.member(code_a, code_b)
 
     def __iter__(self) -> Iterator[Pair]:
-        return iter(self.pairs)
+        extern = global_interner().extern
+        for a, b in self._store.iter_pairs():
+            yield (extern(a), extern(b))
 
     def __len__(self) -> int:
-        return len(self.pairs)
+        return self._store.pair_count
 
     def __bool__(self) -> bool:
-        return bool(self.pairs)
+        return bool(self._store)
 
     def __eq__(self, other) -> bool:
         if isinstance(other, BinaryRelation):
-            return self.pairs == other.pairs
+            return self._store == other._store
         if isinstance(other, (set, frozenset)):
             return self.pairs == frozenset(other)
         return NotImplemented
 
     def __hash__(self) -> int:
+        # Hash the externed pair set, not the store: __eq__ accepts plain
+        # pair (frozen)sets, so the hash must match frozenset hashing for
+        # mixed containers to behave.
         return hash(self.pairs)
 
     def __or__(self, other: "BinaryRelation") -> "BinaryRelation":

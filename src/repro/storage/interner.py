@@ -1,0 +1,140 @@
+"""The constant interner: a process-wide symbol table of dense integer codes.
+
+The paper's complexity claims assume that "any tuple in a base relation can
+be retrieved in constant time".  Every storage structure in this package
+honours that assumption over *small dense integers* rather than arbitrary
+Python objects: constants are interned once into consecutive codes, tuples of
+codes are the stored rows, and adjacency buckets are sets of codes whose
+unions and intersections run inside the C set implementation.  The interner
+is the single bijection shared by the datalog and relalg layers, which is
+what lets a :class:`~repro.relalg.relation.BinaryRelation` view and a
+:class:`~repro.datalog.database.Relation` talk about the same constants
+without any translation tables of their own.
+
+Interning is append-only: codes are handed out densely in first-intern order
+and never reused, so ``extern`` is a plain list index.  :meth:`Interner.code_of`
+is the *non-growing* lookup used on query paths -- a constant that was never
+stored anywhere cannot match anything, so it must not be allocated a code
+just because somebody asked for it.
+
+Canonicalisation semantics: the symbol table is keyed by Python equality,
+exactly like the sets and dicts the pre-kernel storage used, so constants
+that compare equal (``1``/``1.0``/``True``) share one code and ``extern``
+returns the first-interned representative.  The historical storage already
+collapsed such values *within* a relation (set membership); the interner
+makes the canonical representative process-wide.  Query answers remain
+``==``-identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+IntRow = Tuple[int, ...]
+
+
+class Interner:
+    """A bijection between hashable constants and dense integer codes."""
+
+    __slots__ = ("_code_of", "_value_of")
+
+    def __init__(self) -> None:
+        self._code_of: Dict[Hashable, int] = {}
+        self._value_of: List[Hashable] = []
+
+    # -- interning (growing) ------------------------------------------------
+
+    def intern(self, value: Hashable) -> int:
+        """The code of ``value``, allocating the next dense code when new."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._value_of)
+            self._code_of[value] = code
+            self._value_of.append(value)
+        return code
+
+    def intern_many(self, values: Iterable[Hashable]) -> List[int]:
+        """Bulk :meth:`intern`, preserving order (including duplicates)."""
+        intern = self.intern
+        return [intern(value) for value in values]
+
+    def intern_row(self, row: Iterable[Hashable]) -> IntRow:
+        """Intern every component of a tuple-like row into an int tuple.
+
+        One call per row, allocation inlined (no per-value method call).
+        :meth:`repro.storage.table.IntTable.add` duplicates this loop on its
+        insert path to also skip the per-row call -- keep the two in sync.
+        """
+        code_map = self._code_of
+        values = self._value_of
+        codes = []
+        for value in row:
+            code = code_map.get(value)
+            if code is None:
+                code = len(values)
+                code_map[value] = code
+                values.append(value)
+            codes.append(code)
+        return tuple(codes)
+
+    # -- lookup (non-growing) -----------------------------------------------
+
+    def code_of(self, value: Hashable) -> Optional[int]:
+        """The code of ``value`` or ``None`` -- never allocates."""
+        return self._code_of.get(value)
+
+    def row_code_of(self, row: Iterable[Hashable]) -> Optional[IntRow]:
+        """The int tuple of a row, or ``None`` when any component is unknown."""
+        code_of = self._code_of
+        codes = []
+        for value in row:
+            code = code_of.get(value)
+            if code is None:
+                return None
+            codes.append(code)
+        return tuple(codes)
+
+    # -- externing ----------------------------------------------------------
+
+    def extern(self, code: int) -> Hashable:
+        """The value a code stands for (raises ``IndexError`` when unknown)."""
+        return self._value_of[code]
+
+    def extern_many(self, codes: Iterable[int]) -> List[Hashable]:
+        """Bulk :meth:`extern`, preserving order."""
+        value_of = self._value_of
+        return [value_of[code] for code in codes]
+
+    def extern_set(self, codes: Iterable[int]) -> set:
+        """Extern a set of codes into a set of values."""
+        value_of = self._value_of
+        return {value_of[code] for code in codes}
+
+    def extern_row(self, codes: Iterable[int]) -> Tuple[Hashable, ...]:
+        """Extern an int tuple back into the original object tuple."""
+        value_of = self._value_of
+        return tuple(value_of[code] for code in codes)
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._code_of
+
+    def __repr__(self) -> str:
+        return f"Interner({len(self._value_of)} constants)"
+
+
+#: The process-wide interner shared by every storage structure.  Tests that
+#: need isolation can construct private :class:`Interner` instances (IntTable
+#: accepts one); the shared table only ever grows -- codes stay valid for the
+#: process lifetime, which is the retrieval-stability guarantee the kernel
+#: relies on, at the cost of retaining every constant ever stored.
+_GLOBAL = Interner()
+
+
+def global_interner() -> Interner:
+    """The process-wide shared :class:`Interner`."""
+    return _GLOBAL

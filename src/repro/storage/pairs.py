@@ -1,0 +1,337 @@
+"""Interned binary relations: the kernel behind :class:`repro.relalg.relation.BinaryRelation`.
+
+A :class:`PairStore` holds a binary relation over interned codes as a
+successor index ``{a: {b, ...}}`` (predecessor index derived lazily), so the
+paper's "natural" operations -- union (∪), composition (·), closure (*),
+inverse (⁻¹) -- run as C-level set unions over shared buckets instead of
+re-materialising a frozenset of object pairs and rebuilding both hash
+indexes on every operator application (the historical behaviour this kernel
+replaces).
+
+Stores are **immutable by convention**: once built, neither the index dicts
+nor their buckets may be mutated, which is what allows operators to *share*
+buckets between input and output -- ``inverse`` swaps the two indexes in
+O(1), ``restrict_domain`` reuses the surviving buckets untouched, and a
+:class:`PairBuilder` seeded from a store starts as a copy-on-write view that
+clones only the buckets it actually changes (the delta).  The builder
+maintains the successor index *while pairs are added*, so no operation ever
+pays a separate re-indexing pass.
+
+Codes come from a shared :class:`~repro.storage.interner.Interner`; this
+module never looks at the constants themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+IntPair = Tuple[int, int]
+
+_EMPTY_CODES: Set[int] = set()
+
+
+class PairStore:
+    """An immutable binary relation over interned codes, stored as indexes."""
+
+    __slots__ = ("_succ", "_pred", "_count", "_hash")
+
+    def __init__(
+        self,
+        succ: Optional[Dict[int, Set[int]]] = None,
+        count: Optional[int] = None,
+        pred: Optional[Dict[int, Set[int]]] = None,
+    ):
+        # Invariant: no empty buckets, so domain() == succ.keys().
+        self._succ: Dict[int, Set[int]] = succ if succ is not None else {}
+        self._pred: Optional[Dict[int, Set[int]]] = pred
+        self._count = (
+            count
+            if count is not None
+            else sum(len(bucket) for bucket in self._succ.values())
+        )
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def from_int_pairs(cls, pairs: Iterable[IntPair]) -> "PairStore":
+        builder = PairBuilder()
+        for a, b in pairs:
+            builder.add(a, b)
+        return builder.build()
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def pair_count(self) -> int:
+        return self._count
+
+    def successors(self, code: int) -> Set[int]:
+        """The successor bucket of ``code`` (read-only; do not mutate)."""
+        return self._succ.get(code, _EMPTY_CODES)
+
+    def predecessors(self, code: int) -> Set[int]:
+        """The predecessor bucket of ``code`` (read-only; do not mutate)."""
+        return self._pred_index().get(code, _EMPTY_CODES)
+
+    def member(self, a: int, b: int) -> bool:
+        bucket = self._succ.get(a)
+        return bucket is not None and b in bucket
+
+    def iter_pairs(self) -> Iterator[IntPair]:
+        for a, bucket in self._succ.items():
+            for b in bucket:
+                yield (a, b)
+
+    def domain_codes(self) -> Set[int]:
+        return set(self._succ)
+
+    def range_codes(self) -> Set[int]:
+        return set(self._pred_index())
+
+    def active_domain_codes(self) -> Set[int]:
+        return set(self._succ) | set(self._pred_index())
+
+    def _pred_index(self) -> Dict[int, Set[int]]:
+        pred = self._pred
+        if pred is None:
+            pred = {}
+            for a, bucket in self._succ.items():
+                for b in bucket:
+                    back = pred.get(b)
+                    if back is None:
+                        pred[b] = {a}
+                    else:
+                        back.add(a)
+            self._pred = pred
+        return pred
+
+    # -- the paper's operations ----------------------------------------------
+
+    def union(self, other: "PairStore") -> "PairStore":
+        if not other._count:
+            return self
+        if not self._count:
+            return other
+        # Seed the builder from the larger operand: only the buckets the
+        # smaller operand actually touches are cloned (the delta).
+        big, small = (self, other) if self._count >= other._count else (other, self)
+        builder = PairBuilder(base=big)
+        for a, bucket in small._succ.items():
+            builder.extend(a, bucket)
+        return builder.build()
+
+    def compose(self, other: "PairStore") -> "PairStore":
+        """self · other = {(x, z) | ∃y: (x, y) ∈ self and (y, z) ∈ other}."""
+        other_succ = other._succ
+        out: Dict[int, Set[int]] = {}
+        count = 0
+        for a, mids in self._succ.items():
+            buckets = [other_succ[y] for y in mids if y in other_succ]
+            if not buckets:
+                continue
+            if len(buckets) == 1:
+                targets = set(buckets[0])
+            else:
+                targets = set().union(*buckets)
+            if targets:
+                out[a] = targets
+                count += len(targets)
+        return PairStore(out, count)
+
+    def inverse(self) -> "PairStore":
+        """Swap the two indexes -- no pair is copied."""
+        return PairStore(self._pred_index(), self._count, pred=self._succ)
+
+    def transitive_closure(self) -> "PairStore":
+        """One-or-more steps, by a frontier walk from every source node."""
+        succ = self._succ
+        builder = PairBuilder()
+        for a, first in succ.items():
+            reach = set(first)
+            frontier = first
+            while True:
+                buckets = [succ[b] for b in frontier if b in succ]
+                if not buckets:
+                    break
+                fresh = set().union(*buckets) - reach
+                if not fresh:
+                    break
+                reach |= fresh
+                frontier = fresh
+            builder.set_bucket(a, reach)
+        return builder.build()
+
+    def reflexive_transitive_closure(self, universe: Iterable[int]) -> "PairStore":
+        """Zero-or-more steps; the identity part ranges over ``universe``."""
+        closure = self.transitive_closure()
+        builder = PairBuilder(base=closure)
+        for code in universe:
+            builder.add(code, code)
+        return builder.build()
+
+    # -- queries ---------------------------------------------------------------
+
+    def image(self, codes: Iterable[int]) -> Set[int]:
+        """∪ successors(c) over ``codes`` -- one C-level union."""
+        succ = self._succ
+        buckets = [succ[code] for code in codes if code in succ]
+        if not buckets:
+            return set()
+        if len(buckets) == 1:
+            return set(buckets[0])
+        return set().union(*buckets)
+
+    def restrict_domain(self, codes: Set[int]) -> "PairStore":
+        """The sub-relation whose first components lie in ``codes``.
+
+        Surviving buckets are shared with this store, not copied.
+        """
+        out: Dict[int, Set[int]] = {}
+        count = 0
+        for a in codes & set(self._succ):
+            bucket = self._succ[a]
+            out[a] = bucket
+            count += len(bucket)
+        return PairStore(out, count)
+
+    def reachable_from(self, code: int) -> Set[int]:
+        """All codes reachable from ``code`` in one or more steps."""
+        succ = self._succ
+        first = succ.get(code)
+        if not first:
+            return set()
+        reach = set(first)
+        frontier = first
+        while True:
+            buckets = [succ[b] for b in frontier if b in succ]
+            if not buckets:
+                break
+            fresh = set().union(*buckets) - reach
+            if not fresh:
+                break
+            reach |= fresh
+            frontier = fresh
+        return reach
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._count)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PairStore):
+            return NotImplemented
+        return self._count == other._count and self._succ == other._succ
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            mix = 0
+            for pair in self.iter_pairs():
+                mix ^= hash(pair)
+            cached = hash((self._count, mix))
+            self._hash = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return f"PairStore({self._count} pairs over {len(self._succ)} sources)"
+
+
+#: The canonical empty store shared by empty relations.
+EMPTY_STORE = PairStore()
+
+
+class PairBuilder:
+    """A mutating, index-maintaining builder of :class:`PairStore` values.
+
+    Seeded from a base store it is a copy-on-write view: the successor dict
+    is copied shallowly (bucket objects shared) and a bucket is cloned only
+    the first time a genuinely new pair lands in it.  ``build`` hands the
+    dict over to an immutable store; the builder must not be reused after.
+    """
+
+    __slots__ = ("_succ", "_owned", "_count")
+
+    def __init__(self, base: Optional[PairStore] = None):
+        if base is None:
+            self._succ: Dict[int, Set[int]] = {}
+            self._owned: Optional[Set[int]] = None  # every bucket is owned
+            self._count = 0
+        else:
+            self._succ = dict(base._succ)
+            self._owned = set()
+            self._count = base.pair_count
+
+    def _own(self, a: int, bucket: Set[int]) -> Set[int]:
+        if self._owned is not None and a not in self._owned:
+            bucket = set(bucket)
+            self._succ[a] = bucket
+            self._owned.add(a)
+        return bucket
+
+    def add(self, a: int, b: int) -> bool:
+        """Insert one pair; returns True when it was new."""
+        bucket = self._succ.get(a)
+        if bucket is None:
+            self._succ[a] = {b}
+            if self._owned is not None:
+                self._owned.add(a)
+            self._count += 1
+            return True
+        if b in bucket:
+            return False
+        self._own(a, bucket).add(b)
+        self._count += 1
+        return True
+
+    def extend(self, a: int, codes: Set[int]) -> int:
+        """Union ``codes`` into the bucket of ``a``; returns pairs added."""
+        if not codes:
+            return 0
+        bucket = self._succ.get(a)
+        if bucket is None:
+            self._succ[a] = set(codes)
+            if self._owned is not None:
+                self._owned.add(a)
+            added = len(codes)
+        else:
+            if codes <= bucket:
+                return 0
+            bucket = self._own(a, bucket)
+            before = len(bucket)
+            bucket |= codes
+            added = len(bucket) - before
+        self._count += added
+        return added
+
+    def set_bucket(self, a: int, codes: Set[int]) -> None:
+        """Install a freshly-computed bucket wholesale (caller cedes ownership)."""
+        if not codes:
+            return
+        previous = self._succ.get(a)
+        if previous is not None:
+            self._count -= len(previous)
+        self._succ[a] = codes
+        if self._owned is not None:
+            self._owned.add(a)
+        self._count += len(codes)
+
+    def add_store(self, store: PairStore) -> int:
+        """Union a whole store in; returns pairs added."""
+        added = 0
+        for a, bucket in store._succ.items():
+            added += self.extend(a, bucket)
+        return added
+
+    def pair_count(self) -> int:
+        return self._count
+
+    def build(self) -> PairStore:
+        store = PairStore(self._succ, self._count)
+        # Poison further use: the buckets now belong to the immutable store.
+        self._succ = {}
+        self._owned = None
+        self._count = 0
+        return store

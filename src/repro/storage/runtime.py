@@ -1,0 +1,45 @@
+"""The storage-mode switch: kernel fast paths vs the object-tuple reference.
+
+Mirrors :func:`repro.datalog.plans.set_execution_mode`.  In ``"kernel"`` mode
+(the default) node-set images and repeated bucket retrievals run on the
+interned adjacency indexes and the bucket-level charging memo of the storage
+kernel; in ``"reference"`` mode they fall back to the historical per-row
+object-tuple loops.  Both modes must produce identical answers *and*
+identical work counters -- the differential suite in
+``tests/storage/test_storage_differential.py`` runs every engine on every
+workload family under both modes and asserts exactly that, which is how the
+"counters measure retrievals, not representation" invariant is enforced.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+MODE_KERNEL = "kernel"
+MODE_REFERENCE = "reference"
+
+_mode = MODE_KERNEL
+
+
+def set_storage_mode(mode: str) -> None:
+    """Select the storage execution mode: ``"kernel"`` or ``"reference"``."""
+    global _mode
+    if mode not in (MODE_KERNEL, MODE_REFERENCE):
+        raise ValueError(f"unknown storage mode {mode!r}")
+    _mode = mode
+
+
+def get_storage_mode() -> str:
+    """The currently selected storage mode."""
+    return _mode
+
+
+@contextmanager
+def storage_mode(mode: str):
+    """Context manager temporarily switching the storage mode."""
+    previous = _mode
+    set_storage_mode(mode)
+    try:
+        yield
+    finally:
+        set_storage_mode(previous)

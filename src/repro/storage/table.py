@@ -1,0 +1,274 @@
+"""The interned row table: the kernel behind :class:`repro.datalog.database.Relation`.
+
+An :class:`IntTable` stores an n-ary relation as a mapping from *interned*
+rows (tuples of dense integer codes, see :mod:`repro.storage.interner`) to
+their canonical object tuples.  All index structures are keyed by codes:
+
+* **subset indexes** -- for any subset of bound argument positions, a hash
+  index from the int key tuple to the bucket of matching rows (built lazily,
+  maintained incrementally on insert); buckets hold the canonical *object*
+  rows so a retrieval hands rows back with zero per-row translation cost;
+* **adjacency indexes** (binary tables only) -- per position, a map from a
+  code to the *set* of values at the other position plus the bucket of
+  matching rows.  The value sets are what makes node-set images one C-level
+  ``set.union`` per frontier value instead of a Python loop per tuple;
+* **column code sets** -- the distinct codes per argument position, which
+  make active-domain computations O(distinct values) instead of O(rows).
+
+Snapshots are copy-on-write: :meth:`snapshot` is O(1) and shares every
+structure with the source table; whichever side mutates first pays a single
+row-map copy (indexes are rebuilt lazily, exactly as the pre-kernel
+``Relation.clone`` behaved).  This is what makes
+:meth:`repro.datalog.database.Database.overlay` reads free until first write.
+
+Buckets are Python lists and code sets are Python ``set`` objects rather than
+``array('q')`` arrays: for the pure-Python interpreter the hash-set union and
+membership primitives run in C and measured faster than array scans; the
+representation is confined to this module so a packed-array (or NumPy)
+variant can be swapped in behind the same accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .interner import Interner, IntRow, global_interner
+
+Row = Tuple[object, ...]
+#: Identity of an index bucket, used by the bucket-level charging memo of
+#: :class:`repro.datalog.database.Database`: (bound-position set, int key).
+BucketToken = Tuple[Optional[FrozenSet[int]], Optional[IntRow]]
+
+#: Token naming the "every row" bucket of a full scan.
+FULL_SCAN: BucketToken = (None, None)
+
+_EMPTY_ROWS: List[Row] = []
+
+_SINGLE_POSITIONS: Dict[int, FrozenSet[int]] = {}
+
+
+def _single_position(position: int) -> FrozenSet[int]:
+    """Cached ``frozenset({position})`` singletons for one-column buckets."""
+    cached = _SINGLE_POSITIONS.get(position)
+    if cached is None:
+        cached = frozenset((position,))
+        _SINGLE_POSITIONS[position] = cached
+    return cached
+
+
+class IntTable:
+    """An interned n-ary row store with incremental indexes and COW snapshots."""
+
+    __slots__ = (
+        "arity",
+        "_interner",
+        "_rows",
+        "_indexes",
+        "_adjacency",
+        "_columns",
+        "_shared",
+    )
+
+    def __init__(self, arity: int, interner: Optional[Interner] = None):
+        self.arity = arity
+        self._interner = interner if interner is not None else global_interner()
+        # Interned row -> canonical object row (insertion-ordered).
+        self._rows: Dict[IntRow, Row] = {}
+        # Bound-position subset -> int key tuple -> bucket of object rows.
+        self._indexes: Dict[FrozenSet[int], Dict[IntRow, List[Row]]] = {}
+        # Position -> code -> (other-position value set, bucket of object rows).
+        self._adjacency: Dict[int, Dict[int, Tuple[set, List[Row]]]] = {}
+        # Per-position distinct code sets (lazy).
+        self._columns: Optional[List[Set[int]]] = None
+        # True while the row map and indexes are shared with a snapshot.
+        self._shared = False
+
+    @property
+    def interner(self) -> Interner:
+        return self._interner
+
+    # -- copy-on-write snapshots -------------------------------------------
+
+    def snapshot(self) -> "IntTable":
+        """An O(1) logically-independent copy sharing storage until a write."""
+        dup = IntTable(self.arity, self._interner)
+        dup._rows = self._rows
+        dup._indexes = self._indexes
+        dup._adjacency = self._adjacency
+        dup._columns = self._columns
+        dup._shared = True
+        self._shared = True
+        return dup
+
+    def _unshare(self) -> None:
+        """Pay the copy before the first mutation of a shared table."""
+        self._rows = dict(self._rows)
+        self._indexes = {}
+        self._adjacency = {}
+        self._columns = None
+        self._shared = False
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, row: Row) -> bool:
+        """Insert a row; returns True when it was new.  Enforces the arity."""
+        if len(row) != self.arity:
+            raise ValueError(
+                f"table has arity {self.arity}, got tuple of length {len(row)}"
+            )
+        # Inlined copy of Interner.intern_row (skips the per-row method call;
+        # keep in sync with it): this is the insert path of every stored tuple.
+        interner = self._interner
+        code_map = interner._code_of
+        values = interner._value_of
+        codes = []
+        for value in row:
+            code = code_map.get(value)
+            if code is None:
+                code = len(values)
+                code_map[value] = code
+                values.append(value)
+            codes.append(code)
+        introw = tuple(codes)
+        if introw in self._rows:
+            return False
+        if self._shared:
+            self._unshare()
+        self._rows[introw] = row
+        for positions, index in self._indexes.items():
+            key = tuple(introw[i] for i in sorted(positions))
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+        for position, buckets in self._adjacency.items():
+            code = introw[position]
+            entry = buckets.get(code)
+            if entry is None:
+                buckets[code] = ({row[1 - position]}, [row])
+            else:
+                entry[0].add(row[1 - position])
+                entry[1].append(row)
+        if self._columns is not None:
+            for position, code in enumerate(introw):
+                self._columns[position].add(code)
+        return True
+
+    # -- membership and iteration ------------------------------------------
+
+    def contains(self, row: Row) -> bool:
+        introw = self._interner.row_code_of(row)
+        return introw is not None and introw in self._rows
+
+    def all_rows(self) -> Iterable[Row]:
+        """Every stored row, in insertion order (a live read-only view)."""
+        return self._rows.values()
+
+    def row_set(self) -> FrozenSet[Row]:
+        """An immutable snapshot of the stored rows."""
+        return frozenset(self._rows.values())
+
+    def int_rows(self) -> Iterable[IntRow]:
+        """The interned rows, in insertion order (a live read-only view)."""
+        return self._rows.keys()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    # -- subset indexes ------------------------------------------------------
+
+    def _index_for(self, positions: FrozenSet[int]) -> Dict[IntRow, List[Row]]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            ordered = sorted(positions)
+            for introw, row in self._rows.items():
+                key = tuple(introw[i] for i in ordered)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[positions] = index
+        return index
+
+    def bucket(self, bindings: Dict[int, object]) -> Tuple[List[Row], BucketToken]:
+        """The rows matching ``bindings`` plus the bucket's identity token.
+
+        ``bindings`` maps argument positions to required constant values.  The
+        returned list is the *live* internal bucket (callers must copy before
+        exposing it); the token identifies the bucket for charging memos.  A
+        binding value the interner has never seen matches nothing.
+        """
+        if not bindings:
+            return list(self._rows.values()), FULL_SCAN
+        code_map = self._interner._code_of
+        if len(bindings) == 1:
+            # The overwhelmingly common shape on the join path.
+            [(position, value)] = bindings.items()
+            positions = _SINGLE_POSITIONS.get(position)
+            if positions is None:
+                positions = _single_position(position)
+            code = code_map.get(value)
+            if code is None:
+                return _EMPTY_ROWS, (positions, None)
+            int_key = (code,)
+        else:
+            positions = frozenset(bindings)
+            key: List[int] = []
+            for position in sorted(positions):
+                code = code_map.get(bindings[position])
+                if code is None:
+                    return _EMPTY_ROWS, (positions, None)
+                key.append(code)
+            int_key = tuple(key)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._index_for(positions)
+        bucket = index.get(int_key)
+        if bucket is None:
+            return _EMPTY_ROWS, (positions, int_key)
+        return bucket, (positions, int_key)
+
+    # -- adjacency (binary fast path) ----------------------------------------
+
+    def adjacency(self, position: int) -> Dict[int, Tuple[set, List[Row]]]:
+        """code-at-``position`` -> (values at the other position, bucket rows).
+
+        Only defined for binary tables; built lazily, maintained on insert.
+        """
+        if self.arity != 2:
+            raise ValueError("adjacency indexes are defined for binary tables only")
+        buckets = self._adjacency.get(position)
+        if buckets is None:
+            buckets = {}
+            other = 1 - position
+            for introw, row in self._rows.items():
+                code = introw[position]
+                entry = buckets.get(code)
+                if entry is None:
+                    buckets[code] = ({row[other]}, [row])
+                else:
+                    entry[0].add(row[other])
+                    entry[1].append(row)
+            self._adjacency[position] = buckets
+        return buckets
+
+    # -- column code sets ------------------------------------------------------
+
+    def column_codes(self, position: int) -> Set[int]:
+        """The distinct codes stored at ``position`` (live read-only view)."""
+        if self._columns is None:
+            columns: List[Set[int]] = [set() for _ in range(self.arity)]
+            for introw in self._rows:
+                for index, code in enumerate(introw):
+                    columns[index].add(code)
+            self._columns = columns
+        return self._columns[position]
+
+    def __repr__(self) -> str:
+        return f"IntTable(arity={self.arity}, rows={len(self._rows)})"

@@ -1,0 +1,129 @@
+"""Property-based tests for the storage kernel (hypothesis).
+
+Two families of properties:
+
+* the interner is a bijection -- intern/extern round-trips for arbitrary
+  mixes of hashable constants, codes are dense and first-intern stable;
+* the interned pair store agrees with plain object-tuple set algebra -- every
+  kernel operator is compared against a frozenset-comprehension oracle over
+  the same pairs.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relalg.relation import BinaryRelation
+from repro.storage import Interner
+
+hashables = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(max_size=6),
+    st.tuples(st.integers(min_value=0, max_value=5), st.text(max_size=3)),
+)
+values = st.one_of(st.integers(min_value=0, max_value=12), st.text(min_size=1, max_size=2))
+pairs = st.tuples(values, values)
+pair_sets = st.frozensets(pairs, max_size=20)
+
+
+class TestInternerRoundTrip:
+    @given(st.lists(hashables, max_size=40))
+    def test_intern_extern_round_trips(self, items):
+        interner = Interner()
+        codes = interner.intern_many(items)
+        assert interner.extern_many(codes) == items
+
+    @given(st.lists(hashables, max_size=40))
+    def test_codes_are_dense(self, items):
+        interner = Interner()
+        interner.intern_many(items)
+        distinct = len({item for item in items})
+        assert len(interner) == distinct
+        assert sorted(interner.intern(item) for item in set(items)) == list(
+            range(distinct)
+        )
+
+    @given(st.lists(hashables, min_size=1, max_size=40))
+    def test_interning_is_idempotent(self, items):
+        interner = Interner()
+        first = interner.intern_many(items)
+        second = interner.intern_many(items)
+        assert first == second
+
+    @given(st.lists(st.tuples(hashables, hashables), max_size=30))
+    def test_row_round_trips(self, rows):
+        interner = Interner()
+        for row in rows:
+            assert interner.extern_row(interner.intern_row(row)) == row
+
+    @given(st.lists(hashables, max_size=30))
+    def test_code_of_agrees_with_intern_and_never_grows(self, items):
+        interner = Interner()
+        codes = interner.intern_many(items)
+        size = len(interner)
+        for item, code in zip(items, codes):
+            assert interner.code_of(item) == code
+        assert interner.code_of(("sentinel", "never-interned")) is None
+        assert len(interner) == size
+
+
+class TestKernelAgreesWithSetAlgebra:
+    """Interned-storage operator results == object-tuple set comprehensions."""
+
+    @given(pair_sets, pair_sets)
+    def test_union(self, left, right):
+        assert BinaryRelation(left).union(BinaryRelation(right)) == (left | right)
+
+    @given(pair_sets, pair_sets)
+    def test_compose(self, left, right):
+        expected = frozenset(
+            (x, z) for x, y in left for y2, z in right if y == y2
+        )
+        assert BinaryRelation(left).compose(BinaryRelation(right)) == expected
+
+    @given(pair_sets)
+    def test_inverse(self, given_pairs):
+        expected = frozenset((b, a) for a, b in given_pairs)
+        assert BinaryRelation(given_pairs).inverse() == expected
+
+    @given(pair_sets)
+    def test_transitive_closure(self, given_pairs):
+        closure = set(given_pairs)
+        while True:
+            new = {
+                (x, z)
+                for x, y in closure
+                for y2, z in given_pairs
+                if y == y2 and (x, z) not in closure
+            }
+            if not new:
+                break
+            closure |= new
+        assert BinaryRelation(given_pairs).transitive_closure() == closure
+
+    @given(pair_sets, st.frozensets(values, max_size=10))
+    def test_restrict_domain(self, given_pairs, allowed):
+        expected = frozenset((a, b) for a, b in given_pairs if a in allowed)
+        assert BinaryRelation(given_pairs).restrict_domain(allowed) == expected
+
+    @given(pair_sets, st.frozensets(values, max_size=10))
+    def test_image(self, given_pairs, sources):
+        expected = {b for a, b in given_pairs if a in sources}
+        assert BinaryRelation(given_pairs).image(sources) == expected
+
+    @given(pair_sets, values)
+    def test_reachable_from(self, given_pairs, start):
+        succ = {}
+        for a, b in given_pairs:
+            succ.setdefault(a, set()).add(b)
+        seen = set()
+        frontier = list(succ.get(start, ()))
+        while frontier:
+            node = frontier.pop()
+            if node not in seen:
+                seen.add(node)
+                frontier.extend(succ.get(node, ()))
+        assert BinaryRelation(given_pairs).reachable_from(start) == seen
+
+    @given(pair_sets)
+    def test_pairs_view_round_trips(self, given_pairs):
+        assert BinaryRelation(given_pairs).pairs == frozenset(given_pairs)

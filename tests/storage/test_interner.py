@@ -1,0 +1,67 @@
+"""Unit tests for the constant interner of the storage kernel."""
+
+import pytest
+
+from repro.storage import Interner, global_interner
+
+
+class TestInterner:
+    def test_codes_are_dense_and_stable(self):
+        interner = Interner()
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert interner.intern("a") == 0  # idempotent
+        assert len(interner) == 2
+
+    def test_extern_round_trip(self):
+        interner = Interner()
+        for value in ("x", 7, ("nested", 1), frozenset({3})):
+            assert interner.extern(interner.intern(value)) == value
+
+    def test_bulk_intern_preserves_order_and_duplicates(self):
+        interner = Interner()
+        codes = interner.intern_many(["a", "b", "a"])
+        assert codes == [0, 1, 0]
+        assert interner.extern_many(codes) == ["a", "b", "a"]
+
+    def test_row_round_trip(self):
+        interner = Interner()
+        row = ("a", 2, "c")
+        assert interner.extern_row(interner.intern_row(row)) == row
+
+    def test_code_of_never_allocates(self):
+        interner = Interner()
+        assert interner.code_of("never-seen") is None
+        assert len(interner) == 0
+        assert interner.row_code_of(("also", "unseen")) is None
+        assert len(interner) == 0
+
+    def test_row_code_of_partial_unknown(self):
+        interner = Interner()
+        interner.intern("known")
+        assert interner.row_code_of(("known", "unknown")) is None
+
+    def test_contains(self):
+        interner = Interner()
+        interner.intern("a")
+        assert "a" in interner
+        assert "b" not in interner
+
+    def test_extern_set(self):
+        interner = Interner()
+        codes = set(interner.intern_many(["a", "b"]))
+        assert interner.extern_set(codes) == {"a", "b"}
+
+    def test_extern_unknown_code_raises(self):
+        with pytest.raises(IndexError):
+            Interner().extern(0)
+
+    def test_instances_are_independent(self):
+        left, right = Interner(), Interner()
+        left.intern("a")
+        assert right.code_of("a") is None
+
+    def test_global_interner_is_a_singleton(self):
+        assert global_interner() is global_interner()
+        code = global_interner().intern("storage-kernel-test-constant")
+        assert global_interner().extern(code) == "storage-kernel-test-constant"

@@ -1,0 +1,133 @@
+"""Unit tests for the interned pair store and its delta-aware builder."""
+
+from repro.storage import PairBuilder, PairStore
+
+
+def store_of(pairs):
+    return PairStore.from_int_pairs(pairs)
+
+
+def pairs_of(store):
+    return set(store.iter_pairs())
+
+
+class TestPairStore:
+    def test_round_trip_and_count(self):
+        store = store_of([(1, 2), (1, 3), (2, 3), (1, 2)])
+        assert pairs_of(store) == {(1, 2), (1, 3), (2, 3)}
+        assert store.pair_count == 3
+        assert len(store) == 3
+
+    def test_membership_and_buckets(self):
+        store = store_of([(1, 2), (1, 3)])
+        assert store.member(1, 2)
+        assert not store.member(2, 1)
+        assert store.successors(1) == {2, 3}
+        assert store.successors(99) == set()
+        assert store.predecessors(3) == {1}
+
+    def test_domains(self):
+        store = store_of([(1, 2), (2, 3)])
+        assert store.domain_codes() == {1, 2}
+        assert store.range_codes() == {2, 3}
+        assert store.active_domain_codes() == {1, 2, 3}
+
+    def test_union_shares_buckets_copy_on_write(self):
+        big = store_of([(1, 2), (2, 3), (3, 4)])
+        small = store_of([(5, 6)])
+        merged = big.union(small)
+        assert pairs_of(merged) == {(1, 2), (2, 3), (3, 4), (5, 6)}
+        # Untouched buckets are shared, not copied.
+        assert merged.successors(1) is big.successors(1)
+        # Operands are unchanged.
+        assert pairs_of(big) == {(1, 2), (2, 3), (3, 4)}
+        assert pairs_of(small) == {(5, 6)}
+
+    def test_union_with_overlapping_bucket_clones_it(self):
+        big = store_of([(1, 2), (2, 3)])
+        small = store_of([(1, 9)])
+        merged = big.union(small)
+        assert pairs_of(merged) == {(1, 2), (2, 3), (1, 9)}
+        assert big.successors(1) == {2}  # the shared bucket was cloned first
+
+    def test_compose(self):
+        r = store_of([(1, 2), (2, 3)])
+        s = store_of([(2, 5), (3, 6)])
+        assert pairs_of(r.compose(s)) == {(1, 5), (2, 6)}
+
+    def test_inverse_swaps_indexes_without_copying(self):
+        store = store_of([(1, 2), (1, 3)])
+        inverse = store.inverse()
+        assert pairs_of(inverse) == {(2, 1), (3, 1)}
+        assert inverse.pair_count == store.pair_count
+        assert inverse.successors(2) is store.predecessors(2)
+
+    def test_transitive_closure(self):
+        chain = store_of([(1, 2), (2, 3), (3, 4)])
+        assert pairs_of(chain.transitive_closure()) == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+        cycle = store_of([(1, 2), (2, 1)])
+        assert pairs_of(cycle.transitive_closure()) == {
+            (1, 2), (2, 1), (1, 1), (2, 2),
+        }
+
+    def test_reflexive_transitive_closure(self):
+        store = store_of([(1, 2)])
+        closed = store.reflexive_transitive_closure({1, 2, 9})
+        assert pairs_of(closed) == {(1, 2), (1, 1), (2, 2), (9, 9)}
+
+    def test_image_and_restrict(self):
+        store = store_of([(1, 2), (1, 3), (2, 4)])
+        assert store.image({1, 2}) == {2, 3, 4}
+        assert store.image(set()) == set()
+        restricted = store.restrict_domain({2})
+        assert pairs_of(restricted) == {(2, 4)}
+        assert restricted.successors(2) is store.successors(2)  # shared bucket
+
+    def test_reachable_from(self):
+        chain = store_of([(1, 2), (2, 3)])
+        assert chain.reachable_from(1) == {2, 3}
+        assert chain.reachable_from(3) == set()
+        cycle = store_of([(1, 2), (2, 1)])
+        assert cycle.reachable_from(1) == {1, 2}
+
+    def test_equality_and_hash(self):
+        a = store_of([(1, 2), (2, 3)])
+        b = store_of([(2, 3), (1, 2)])
+        c = store_of([(1, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestPairBuilder:
+    def test_add_and_extend_count(self):
+        builder = PairBuilder()
+        assert builder.add(1, 2)
+        assert not builder.add(1, 2)
+        assert builder.extend(1, {2, 3, 4}) == 2
+        assert builder.pair_count() == 3
+        assert pairs_of(builder.build()) == {(1, 2), (1, 3), (1, 4)}
+
+    def test_cow_base_is_never_mutated(self):
+        base = store_of([(1, 2), (2, 3)])
+        builder = PairBuilder(base=base)
+        builder.add(1, 9)
+        builder.add(7, 8)
+        built = builder.build()
+        assert pairs_of(base) == {(1, 2), (2, 3)}
+        assert pairs_of(built) == {(1, 2), (1, 9), (2, 3), (7, 8)}
+        # The untouched bucket of 2 is still shared with the base.
+        assert built.successors(2) is base.successors(2)
+
+    def test_add_store(self):
+        builder = PairBuilder(base=store_of([(1, 2)]))
+        assert builder.add_store(store_of([(1, 2), (3, 4)])) == 1
+        assert pairs_of(builder.build()) == {(1, 2), (3, 4)}
+
+    def test_set_bucket_replaces_and_counts(self):
+        builder = PairBuilder()
+        builder.add(1, 2)
+        builder.set_bucket(1, {5, 6, 7})
+        assert builder.pair_count() == 3
+        assert pairs_of(builder.build()) == {(1, 5), (1, 6), (1, 7)}

@@ -1,0 +1,122 @@
+"""Unit tests for the interned row table (IntTable)."""
+
+from repro.storage import FULL_SCAN, Interner, IntTable
+
+
+def table_of(rows, arity=2, interner=None):
+    table = IntTable(arity, interner if interner is not None else Interner())
+    for row in rows:
+        table.add(row)
+    return table
+
+
+class TestRows:
+    def test_add_deduplicates(self):
+        table = table_of([])
+        assert table.add(("a", "b"))
+        assert not table.add(("a", "b"))
+        assert len(table) == 1
+
+    def test_rows_round_trip_in_insertion_order(self):
+        rows = [("a", "b"), ("c", "d"), ("a", "d")]
+        table = table_of(rows)
+        assert list(table.all_rows()) == rows
+        assert table.row_set() == frozenset(rows)
+
+    def test_contains_handles_unknown_constants(self):
+        table = table_of([("a", "b")])
+        assert table.contains(("a", "b"))
+        assert not table.contains(("a", "zzz"))  # zzz never interned
+
+    def test_int_rows_are_interned(self):
+        interner = Interner()
+        table = table_of([("a", "b"), ("b", "a")], interner=interner)
+        assert set(table.int_rows()) == {(0, 1), (1, 0)}
+
+
+class TestBuckets:
+    def test_bucket_by_any_position_subset(self):
+        table = table_of([("a", "b"), ("a", "c"), ("b", "c")])
+        rows, token = table.bucket({0: "a"})
+        assert set(rows) == {("a", "b"), ("a", "c")}
+        assert token[0] == frozenset({0})
+        rows, _ = table.bucket({1: "c"})
+        assert set(rows) == {("a", "c"), ("b", "c")}
+        rows, _ = table.bucket({0: "a", 1: "c"})
+        assert rows == [("a", "c")]
+
+    def test_empty_bindings_is_a_full_scan(self):
+        table = table_of([("a", "b")])
+        rows, token = table.bucket({})
+        assert rows == [("a", "b")]
+        assert token is FULL_SCAN
+
+    def test_unknown_binding_value_matches_nothing(self):
+        table = table_of([("a", "b")])
+        rows, token = table.bucket({0: "nope"})
+        assert rows == []
+        assert token[1] is None
+
+    def test_index_maintained_incrementally(self):
+        table = table_of([("a", "b")])
+        assert set(table.bucket({0: "a"})[0]) == {("a", "b")}
+        table.add(("a", "c"))
+        assert set(table.bucket({0: "a"})[0]) == {("a", "b"), ("a", "c")}
+
+
+class TestAdjacency:
+    def test_targets_and_rows(self):
+        interner = Interner()
+        table = table_of([("a", "b"), ("a", "c"), ("b", "c")], interner=interner)
+        adjacency = table.adjacency(0)
+        targets, rows = adjacency[interner.code_of("a")]
+        assert targets == {"b", "c"}
+        assert set(rows) == {("a", "b"), ("a", "c")}
+        backwards = table.adjacency(1)
+        targets, rows = backwards[interner.code_of("c")]
+        assert targets == {"a", "b"}
+
+    def test_adjacency_maintained_incrementally(self):
+        interner = Interner()
+        table = table_of([("a", "b")], interner=interner)
+        table.adjacency(0)
+        table.add(("a", "c"))
+        targets, rows = table.adjacency(0)[interner.code_of("a")]
+        assert targets == {"b", "c"}
+        assert len(rows) == 2
+
+
+class TestColumns:
+    def test_column_codes_track_inserts(self):
+        interner = Interner()
+        table = table_of([("a", "b")], interner=interner)
+        assert table.column_codes(0) == {interner.code_of("a")}
+        table.add(("c", "b"))
+        assert table.column_codes(0) == {interner.code_of("a"), interner.code_of("c")}
+        assert table.column_codes(1) == {interner.code_of("b")}
+
+
+class TestSnapshots:
+    def test_snapshot_is_isolated_both_ways(self):
+        table = table_of([("a", "b")])
+        snap = table.snapshot()
+        table.add(("x", "y"))
+        snap.add(("p", "q"))
+        assert table.row_set() == {("a", "b"), ("x", "y")}
+        assert snap.row_set() == {("a", "b"), ("p", "q")}
+
+    def test_snapshot_shares_until_first_write(self):
+        table = table_of([("a", "b"), ("c", "d")])
+        table.bucket({0: "a"})  # build an index
+        snap = table.snapshot()
+        assert snap._rows is table._rows  # shared storage
+        snap.add(("e", "f"))
+        assert snap._rows is not table._rows
+
+    def test_snapshot_of_snapshot(self):
+        table = table_of([("a", "b")])
+        first = table.snapshot()
+        second = first.snapshot()
+        second.add(("c", "d"))
+        assert first.row_set() == {("a", "b")}
+        assert second.row_set() == {("a", "b"), ("c", "d")}
