@@ -25,6 +25,10 @@ Public API overview
 ``repro.workloads``
     Generators for the paper's experimental workloads (same-generation
     samples of Figures 7--8, the flight database, random graphs).
+``repro.session``
+    The serving layer: versioned databases, cached materializations with
+    incremental resume, prepared/parameterized queries
+    (:class:`~repro.session.QuerySession`).
 
 Quickstart
 ----------
@@ -75,8 +79,19 @@ __all__ = [
     "parse_program",
     "parse_query",
     "parse_rules",
+    "QuerySession",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-export of the session layer (it pulls in the engines and the
+    # planner, which ``import repro`` should not pay for unconditionally).
+    if name == "QuerySession":
+        from .session import QuerySession
+
+        return QuerySession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def evaluate_query(program, query, database=None, **options):

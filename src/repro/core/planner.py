@@ -70,14 +70,49 @@ class QueryAnswer:
     details: Dict[str, object] = field(default_factory=dict)
 
     def values(self) -> Set[object]:
-        """Convenience for single-variable queries: the bare answer values."""
-        return {t[0] for t in self.answers if len(t) == 1}
+        """Convenience for single-variable queries: the bare answer values.
+
+        Raises :class:`ValueError` when any answer tuple is not unary, the
+        same contract as :meth:`repro.engines.base.EngineResult.values` --
+        silently dropping wider tuples would misreport the answer set.
+        """
+        for answer in self.answers:
+            if len(answer) != 1:
+                raise ValueError(
+                    f"values() needs unary answer tuples, got arity {len(answer)}; "
+                    "use .answers for ground or multi-variable queries"
+                )
+        return {t[0] for t in self.answers}
 
     def __iter__(self):
         return iter(self.answers)
 
     def __len__(self):
         return len(self.answers)
+
+
+def classify_query(
+    program: Program,
+    query: Literal,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> str:
+    """Which evaluation path ``strategy="auto"`` would try first, staticly.
+
+    Returns ``"base"``, ``"graph"``, ``"chain"`` or ``"bottom-up"`` by the
+    same dispatch order as :func:`evaluate_query`, but without evaluating
+    anything.  The classification is a *prediction*: the graph and chain
+    paths can still turn out inapplicable during transformation, in which
+    case evaluation falls through exactly as under ``"auto"``.  The session
+    layer (:mod:`repro.session`) reuses this to pick a serving strategy.
+    """
+    if query.predicate not in program.derived_predicates:
+        return "base"
+    analysis = analysis or analyze(program)
+    if _graph_applicable(analysis, query):
+        return "graph"
+    if analysis.is_linear_program():
+        return "chain"
+    return "bottom-up"
 
 
 def evaluate_query(
@@ -145,10 +180,17 @@ def evaluate_query(
 def _combined_database(
     program: Program, database: Optional[Database], counters: Counters
 ) -> Database:
-    combined = Database(counters=counters)
+    """EDB + program facts as a copy-on-write overlay (never a row copy).
+
+    Historically this copied the external database row by row per query; the
+    overlay shares the caller's relations (and their built indexes) read-only
+    and clones only what the evaluation writes, exactly as
+    :meth:`repro.engines.base.Engine.answer` merges.
+    """
     if database is not None:
-        for predicate in database.predicates():
-            combined.add_facts(predicate, database.rows(predicate))
+        combined = Database.overlay(database, counters=counters)
+    else:
+        combined = Database(counters=counters)
     combined.load_program_facts(program)
     return combined
 

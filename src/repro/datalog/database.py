@@ -94,11 +94,28 @@ class Database:
 
     The same class is used for derived relations produced by the bottom-up
     engines, so that intermediate results enjoy the same indexing.
+
+    Every database carries a monotonically increasing **version**: the number
+    of facts ever inserted into it (duplicate inserts do not advance it),
+    offset so that derived databases (:meth:`overlay`, :meth:`copy`) continue
+    the numbering of their source.  An append journal records each new fact
+    in insertion order, so :meth:`delta_since` can hand back exactly the
+    facts added after any previously observed version -- the primitive the
+    incremental session layer (:mod:`repro.session`) builds on.
     """
 
     def __init__(self, counters: Optional[Counters] = None):
         self.relations: Dict[str, Relation] = {}
         self.counters = counters if counters is not None else Counters()
+        # Append journal of (predicate, row) for every *new* fact, plus the
+        # version number the journal starts at (non-zero for databases derived
+        # from another one, whose earlier history is not replayed here).
+        self._journal: List[Tuple[str, Row]] = []
+        self._journal_base: int = 0
+        # Program-facts memo used by the session layer (and through it the
+        # bare ``Engine.answer`` path): Program -> (version, combined
+        # database).  Lives on the instance so its lifetime matches the data.
+        self._program_facts_memo: Dict[object, Tuple[int, "Database"]] = {}
         self._touched: Set[Tuple[str, Row]] = set()
         # Predicates whose Relation object is shared with a base database
         # (copy-on-write overlays); cloned on the first mutation.
@@ -132,6 +149,10 @@ class Database:
         db = cls(counters=counters)
         db.relations = dict(base.relations)
         db._shared = set(base.relations)
+        # The overlay continues the base's version numbering with a fresh
+        # journal: creating it stays O(1), and history before the handoff is
+        # answered by the base, not the overlay.
+        db._journal_base = base.version
         return db
 
     def add_fact(self, predicate: str, values: Iterable[object]) -> bool:
@@ -148,8 +169,10 @@ class Database:
             self.relations[predicate] = relation
             self._shared.discard(predicate)
         added = relation.add(row)
-        if added and self._charged:
-            self._charged.pop(predicate, None)
+        if added:
+            self._journal.append((predicate, row))
+            if self._charged:
+                self._charged.pop(predicate, None)
         return added
 
     def add_facts(self, predicate: str, rows: Iterable[Iterable[object]]) -> int:
@@ -184,6 +207,42 @@ class Database:
         for predicate, rows in facts.items():
             db.add_facts(predicate, rows)
         return db
+
+    # -- versioning --------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The monotone version: facts ever inserted (duplicates excluded).
+
+        Derived databases (:meth:`overlay`, :meth:`copy`) continue the
+        numbering of their source, so a version observed on the source can be
+        compared with versions of the derivative -- but only insertions made
+        through *this* instance are recorded in its own journal.
+        """
+        return self._journal_base + len(self._journal)
+
+    def delta_since(self, version: int) -> Dict[str, List[Row]]:
+        """Facts inserted after ``version``, grouped by predicate.
+
+        ``version`` must be a value previously read from :attr:`version` of
+        this database (or of the database it was derived from, down to its
+        handoff point).  Rows are listed in insertion order.  Asking for
+        history older than this instance records, or from the future, raises
+        :class:`ValueError`.
+        """
+        if version > self.version:
+            raise ValueError(
+                f"version {version} is in the future (database is at {self.version})"
+            )
+        if version < self._journal_base:
+            raise ValueError(
+                f"history before version {self._journal_base} is not recorded "
+                f"in this database (asked for {version})"
+            )
+        delta: Dict[str, List[Row]] = {}
+        for predicate, row in self._journal[version - self._journal_base :]:
+            delta.setdefault(predicate, []).append(row)
+        return delta
 
     # -- retrieval ---------------------------------------------------------------
 
@@ -417,10 +476,18 @@ class Database:
         return facts
 
     def copy(self) -> "Database":
-        """An independent copy sharing no mutable state (counters excluded)."""
+        """An independent copy sharing no mutable state (counters excluded).
+
+        Like :meth:`overlay`, the copy continues the source's version
+        numbering with a fresh journal: re-adding the existing rows is not
+        replayed as history, so ``copy().delta_since(self.version)`` is empty
+        until the copy itself is written to.
+        """
         clone = Database()
         for predicate, relation in self.relations.items():
             clone.add_facts(predicate, relation.table.all_rows())
+        clone._journal.clear()
+        clone._journal_base = self.version
         return clone
 
     def __eq__(self, other) -> bool:

@@ -455,6 +455,7 @@ def compile_plan(
     has_derived: bool = False,
     delta_predicates: FrozenSet[str] = frozenset(),
     delta_occurrence: Optional[int] = None,
+    delta_first: bool = False,
 ) -> JoinPlan:
     """Analyse ``body`` once and build an executable :class:`JoinPlan`.
 
@@ -464,6 +465,14 @@ def compile_plan(
     variant: the ``delta_occurrence``-th occurrence (in textual body order)
     of a literal over ``delta_predicates`` reads the secondary database only,
     every other literal reads the primary one.
+
+    ``delta_first`` additionally forces the chosen delta occurrence to be the
+    *outermost* scan, with the remaining literals reordered greedily around
+    it.  This is the textbook seminaive join order -- drive the round from
+    the (small) delta so the work is proportional to the delta, not to the
+    full relations -- and is what the incremental resume path uses.  The
+    historical engine loops keep the default (purely greedy) order, whose
+    work counters are pinned on the paper samples.
     """
     body = tuple(body)
     scans: List[Tuple[int, Literal]] = []
@@ -483,6 +492,16 @@ def compile_plan(
     bound: Set[Variable] = set(bound_vars)
     ordered: List[Tuple[int, Literal]] = []
     remaining = list(scans)
+    if delta_first and delta_occurrence is not None:
+        seen_delta = 0
+        for entry in scans:
+            if entry[1].predicate in delta_predicates:
+                if seen_delta == delta_occurrence:
+                    remaining.remove(entry)
+                    ordered.append(entry)
+                    bound.update(entry[1].variables())
+                    break
+                seen_delta += 1
     while remaining:
         def bound_count(entry: Tuple[int, Literal]) -> Tuple[int, int]:
             _, literal = entry
@@ -630,10 +649,13 @@ def rule_plan(
 
 
 def delta_plan(
-    rule: Rule, delta_predicates: FrozenSet[str], delta_occurrence: int
+    rule: Rule,
+    delta_predicates: FrozenSet[str],
+    delta_occurrence: int,
+    delta_first: bool = False,
 ) -> JoinPlan:
     """Cached seminaive variant: one plan per recursive-occurrence index."""
-    key = ("delta", rule, delta_predicates, delta_occurrence)
+    key = ("delta", rule, delta_predicates, delta_occurrence, delta_first)
     return _cached_plan(
         key,
         lambda: compile_plan(
@@ -641,18 +663,23 @@ def delta_plan(
             head=rule.head,
             delta_predicates=delta_predicates,
             delta_occurrence=delta_occurrence,
+            delta_first=delta_first,
         ),
     )
 
 
-def delta_plans(rule: Rule, delta_predicates: FrozenSet[str]) -> List[JoinPlan]:
+def delta_plans(
+    rule: Rule, delta_predicates: FrozenSet[str], delta_first: bool = False
+) -> List[JoinPlan]:
     """All delta variants of ``rule``: one per recursive body occurrence."""
     occurrences = sum(
         1
         for literal in rule.body
         if not literal.is_builtin and literal.predicate in delta_predicates
     )
-    return [delta_plan(rule, delta_predicates, k) for k in range(occurrences)]
+    return [
+        delta_plan(rule, delta_predicates, k, delta_first) for k in range(occurrences)
+    ]
 
 
 # -- compiled relational-algebra images ------------------------------------

@@ -16,13 +16,22 @@ name                      strategy
 ========================  ====================================================
 """
 
-from .base import Engine, EngineResult, available_engines, get_engine, register
+from .base import (
+    DemandMaterialization,
+    Engine,
+    EngineResult,
+    Materialization,
+    ModelMaterialization,
+    available_engines,
+    get_engine,
+    register,
+)
 from .counting import CountingEngine, ReverseCountingEngine
 from .graph import GraphTraversalEngine
 from .henschen_naqvi import HenschenNaqviEngine
 from .magic import MagicSetsEngine, rewrite_magic
-from .naive import NaiveEngine
-from .seminaive import SeminaiveEngine, evaluate_seminaive
+from .naive import NaiveEngine, evaluate_naive
+from .seminaive import SeminaiveEngine, evaluate_seminaive, resume_seminaive
 from .topdown import TopDownEngine
 
 
@@ -33,19 +42,24 @@ def run_engine(name, program, query, database=None, counters=None):
 
 __all__ = [
     "CountingEngine",
+    "DemandMaterialization",
     "Engine",
     "EngineResult",
     "GraphTraversalEngine",
     "HenschenNaqviEngine",
     "MagicSetsEngine",
+    "Materialization",
+    "ModelMaterialization",
     "NaiveEngine",
     "ReverseCountingEngine",
     "SeminaiveEngine",
     "TopDownEngine",
     "available_engines",
+    "evaluate_naive",
     "evaluate_seminaive",
     "get_engine",
     "register",
+    "resume_seminaive",
     "rewrite_magic",
     "run_engine",
 ]

@@ -9,17 +9,67 @@ The engines are deliberately written in the style the original papers
 describe them, *not* optimised beyond that: duplication of work (naive
 evaluation refiring rules, Henschen-Naqvi retraversing paths) is part of what
 the comparison measures.
+
+The materialize / answer / resume contract
+------------------------------------------
+
+One-shot evaluation (:meth:`Engine.answer`) re-runs the strategy per query.
+For the repeated-traffic serving model of the session layer
+(:mod:`repro.session`), every engine additionally implements:
+
+``materialize(program, database) -> Materialization``
+    Build the strategy's reusable state over the current extensional
+    database.  The materialization records the database :attr:`~repro
+    .datalog.database.Database.version` it was built at.  Two shapes exist:
+
+    * **model materializations** (naive, seminaive) hold the full least
+      model; :meth:`Materialization.answer` is a relation lookup for *any*
+      query over the program;
+    * **demand materializations** (magic, counting, reverse counting,
+      Henschen-Naqvi, graph traversal, top-down) hold a per-query cache over
+      a shared copy-on-write base: the first ``answer`` for a query shape
+      runs the strategy, repeats are lookups.  Queries differing only by
+      variable names share one cache entry.
+
+``Materialization.answer(query) -> EngineResult``
+    Answer from the cached state; no fixpoint is re-run on a cache hit.
+    Cache hits report empty counters (a lookup retrieves nothing new) and
+    set ``details["cached"]``.
+
+``resume(materialization, edb_delta) -> Materialization``
+    Bring the materialization up to date after EDB *insertions* (``edb_delta``
+    is ``{predicate: [row, ...]}``, the shape of :meth:`~repro.datalog
+    .database.Database.delta_since`).  Model materializations continue the
+    fixpoint seminaively from the inserted facts
+    (:func:`repro.engines.seminaive.resume_seminaive`) -- seminaive
+    evaluation is already a delta computation, so the continuation is the
+    same machinery seeded with the EDB delta; this is the resume path even
+    for the naive engine, whose from-scratch re-run is exactly what resume
+    exists to avoid.  The magic engine continues each cached query's
+    rewritten-program fixpoint the same way.  The set-at-a-time traversal
+    strategies (counting, Henschen-Naqvi, graph) keep no arc-set state that
+    a later insertion could extend, so their cached queries are refreshed by
+    re-running the traversal over the updated base -- lazily, on the next
+    ``answer``, and only when the delta touches a predicate the program can
+    see.  After ``resume``, answers equal a from-scratch materialization over
+    the updated database (asserted per engine and workload family by
+    ``tests/engines/test_incremental_differential.py``).
+
+Deletions are out of scope for this contract (they need DRed-style
+over-deletion; see ROADMAP) -- only insertions can be resumed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Type
 
-from ..datalog.database import Database
+from ..datalog.database import Database, Row
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
 from ..datalog.rules import Program
+from ..datalog.semantics import answer_against_relation
+from ..datalog.terms import Constant
 from ..instrumentation import Counters
 
 
@@ -50,8 +100,265 @@ class EngineResult:
     details: Dict[str, object] = field(default_factory=dict)
 
     def values(self) -> Set[object]:
-        """Bare values for single-variable queries."""
-        return {t[0] for t in self.answers if len(t) == 1}
+        """Bare values for single-variable queries.
+
+        Raises :class:`ValueError` when any answer tuple is not unary --
+        silently projecting the first component of a wider tuple (or
+        dropping the empty tuple of a ground query) would hand back a
+        misleading partial answer set.  Use :attr:`answers` for those.
+        """
+        for answer in self.answers:
+            if len(answer) != 1:
+                raise ValueError(
+                    f"values() needs unary answer tuples, got arity {len(answer)}; "
+                    "use .answers for ground or multi-variable queries"
+                )
+        return {t[0] for t in self.answers}
+
+
+def _canonical_query_key(query: Literal) -> Tuple[str, Tuple[Tuple[str, object], ...]]:
+    """A query cache key invariant under variable renaming.
+
+    Answers are tuples over the query's distinct variables in order of first
+    occurrence, so two queries differing only in variable names have
+    identical answer sets and may share one materialization entry.
+    """
+    shape: List[Tuple[str, object]] = []
+    var_index: Dict[object, int] = {}
+    for term in query.args:
+        if isinstance(term, Constant):
+            shape.append(("c", term.value))
+        else:
+            shape.append(("v", var_index.setdefault(term, len(var_index))))
+    return (query.predicate, tuple(shape))
+
+
+def _normalize_delta(
+    program: Program, edb_delta: Dict[str, Iterable[Row]]
+) -> List[Tuple[str, Row]]:
+    """Flatten a ``{predicate: rows}`` delta, rejecting derived predicates."""
+    derived = program.derived_predicates
+    pairs: List[Tuple[str, Row]] = []
+    for predicate, rows in edb_delta.items():
+        if predicate in derived:
+            raise ValueError(
+                f"cannot resume with facts for derived predicate {predicate!r}"
+            )
+        for row in rows:
+            pairs.append((predicate, tuple(row)))
+    return pairs
+
+
+class Materialization:
+    """Cached evaluation state answering queries without a from-scratch run.
+
+    See the module docstring for the materialize / answer / resume contract.
+    ``counters`` accumulates the work of building the materialization and of
+    every resume applied to it; per-call counters can be passed to
+    :meth:`answer` / :meth:`resume` to measure one operation in isolation.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        engine: "Engine",
+        program: Program,
+        database: Database,
+        basis_version: int,
+        counters: Counters,
+    ):
+        self.engine = engine
+        self.engine_name = engine.name
+        self.program = program
+        self.database = database
+        self.basis_version = basis_version
+        self.counters = counters
+        self.iterations = counters.iterations
+        self.details: Dict[str, object] = {}
+
+    def answer(self, query: Literal, counters: Optional[Counters] = None) -> EngineResult:
+        raise NotImplementedError
+
+    def resume(
+        self,
+        edb_delta: Dict[str, Iterable[Row]],
+        counters: Optional[Counters] = None,
+        version: Optional[int] = None,
+    ) -> "Materialization":
+        """Apply an EDB insertion delta; see :meth:`Engine.resume`."""
+        raise NotImplementedError
+
+    def _apply_delta(self, pairs: List[Tuple[str, Row]]) -> int:
+        """Insert the delta rows into the base; count the genuinely new ones."""
+        applied = 0
+        for predicate, row in pairs:
+            if self.database.add_fact(predicate, row):
+                applied += 1
+        return applied
+
+    def _advance(self, version: Optional[int], applied: int) -> None:
+        """Move the basis version after a resume.
+
+        Without an explicit ``version`` the basis advances by the number of
+        rows *newly added* to the materialization's database -- never by the
+        raw delta length: rows already visible (duplicates, or insertions
+        that leaked through copy-on-write sharing before the resume) do not
+        advance the source database's version either, and overshooting it
+        would make a later ``delta_since(basis_version)`` raise.  Advancing
+        too little is safe -- re-applying a delta row is idempotent.
+        """
+        if version is not None:
+            self.basis_version = version
+        else:
+            self.basis_version += applied
+
+
+class ModelMaterialization(Materialization):
+    """The full least model, materialized once; answering is a lookup.
+
+    Used by the bottom-up model engines (naive, seminaive).  ``database``
+    holds the extensional relations, the program facts and every derived
+    tuple; :meth:`resume` continues the fixpoint seminaively from the
+    inserted facts.
+    """
+
+    kind = "model"
+
+    def __init__(self, engine, program, database, basis_version, counters, analysis=None):
+        super().__init__(engine, program, database, basis_version, counters)
+        self._analysis = analysis
+
+    def answer(self, query: Literal, counters: Optional[Counters] = None) -> EngineResult:
+        answers = answer_against_relation(self.database.rows(query.predicate), query)
+        return EngineResult(
+            answers=answers,
+            engine=self.engine_name,
+            counters=counters if counters is not None else Counters(),
+            iterations=self.iterations,
+            details={
+                "materialized": True,
+                "derived_size": self.database.count(query.predicate),
+            },
+        )
+
+    def resume(self, edb_delta, counters=None, version=None):
+        from .seminaive import resume_seminaive
+
+        pairs = _normalize_delta(self.program, edb_delta)
+        applied = self._apply_delta(pairs)
+        target = counters if counters is not None else self.counters
+        previous, self.database.counters = self.database.counters, target
+        try:
+            grouped: Dict[str, List[Row]] = {}
+            for predicate, row in pairs:
+                grouped.setdefault(predicate, []).append(row)
+            resume_seminaive(
+                self.program, self.database, grouped, target, self._analysis
+            )
+        finally:
+            self.database.counters = previous
+        if counters is not None and counters is not self.counters:
+            self.counters = self.counters + counters
+        self.iterations = self.counters.iterations
+        self._advance(version, applied)
+        return self
+
+
+class _DemandEntry:
+    """One cached query of a :class:`DemandMaterialization`."""
+
+    __slots__ = ("query", "result", "synced", "state")
+
+    def __init__(self, query: Literal, result: EngineResult, synced: int):
+        self.query = query
+        self.result = result
+        self.synced = synced
+        self.state: object = None
+
+
+class DemandMaterialization(Materialization):
+    """A per-query answer cache over a shared copy-on-write base.
+
+    Used by the demand-driven strategies (magic, counting, reverse counting,
+    Henschen-Naqvi, graph traversal, top-down), whose work is driven by the
+    query constants.  ``database`` holds the extensional relations plus the
+    program facts; each cached query computed over it gets its own overlay.
+    :meth:`resume` applies the delta to the base immediately and logs it;
+    cache entries are brought up to date lazily on their next :meth:`answer`
+    -- the magic engine by continuing the entry's rewritten-program fixpoint,
+    the traversal engines by re-running the traversal -- and only when the
+    delta touches a predicate the entry can see.
+    """
+
+    kind = "demand"
+
+    def __init__(self, engine, program, database, basis_version, counters):
+        super().__init__(engine, program, database, basis_version, counters)
+        self._entries: Dict[object, _DemandEntry] = {}
+        # Pending delta rows not yet seen by every entry.  ``entry.synced``
+        # holds *absolute* log positions; the list itself is pruned to the
+        # slowest entry's position, with ``_log_offset`` recording how many
+        # rows were dropped, so a long-lived session's memory is bounded by
+        # the unsynced window, not by the total insert history.
+        self._log: List[Tuple[str, Row]] = []
+        self._log_offset = 0
+
+    def _log_end(self) -> int:
+        return self._log_offset + len(self._log)
+
+    def answer(self, query: Literal, counters: Optional[Counters] = None) -> EngineResult:
+        key = _canonical_query_key(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            call_counters = counters if counters is not None else Counters()
+            entry = _DemandEntry(query, None, self._log_end())
+            entry.result = self.engine._materialize_entry(self, entry, call_counters)
+            self._entries[key] = entry
+            return entry.result
+        if entry.synced < self._log_end():
+            delta_slice = self._log[entry.synced - self._log_offset :]
+            entry.synced = self._log_end()
+            self._prune_log()
+            if self._delta_visible_to(entry, delta_slice):
+                call_counters = counters if counters is not None else Counters()
+                entry.result = self.engine._refresh_entry(
+                    self, entry, delta_slice, call_counters
+                )
+                return entry.result
+        cached = entry.result
+        return EngineResult(
+            answers=cached.answers,
+            engine=cached.engine,
+            counters=counters if counters is not None else Counters(),
+            iterations=cached.iterations,
+            details={**cached.details, "cached": True},
+        )
+
+    def resume(self, edb_delta, counters=None, version=None):
+        pairs = _normalize_delta(self.program, edb_delta)
+        applied = self._apply_delta(pairs)
+        if self._entries:
+            self._log.extend(pairs)
+        # without entries there is nothing to refresh later: new entries
+        # always compute over the already-updated base
+        self._advance(version, applied)
+        return self
+
+    def _prune_log(self) -> None:
+        slowest = min(entry.synced for entry in self._entries.values())
+        drop = slowest - self._log_offset
+        if drop > 0:
+            del self._log[:drop]
+            self._log_offset = slowest
+
+    def _delta_visible_to(
+        self, entry: _DemandEntry, delta_slice: List[Tuple[str, Row]]
+    ) -> bool:
+        touched = {predicate for predicate, _ in delta_slice}
+        if entry.query.predicate in self.program.derived_predicates:
+            return bool(touched & self.program.predicates)
+        return entry.query.predicate in touched
 
 
 class Engine:
@@ -70,19 +377,19 @@ class Engine:
 
         Subclasses implement :meth:`_run`; this wrapper merges the program's
         own facts with the external database and wires up the counters.  The
-        merge is a copy-on-write overlay (:meth:`Database.overlay`): the
-        caller's relations -- and their already-built hash indexes -- are
-        shared read-only, and only a relation the engine actually writes to
-        is cloned, so repeated queries against one extensional database do
-        not pay a per-query row-by-row rebuild of the whole database.  The
-        caller's database is never mutated.
+        merge is a copy-on-write overlay (:meth:`Database.overlay`) of a
+        combined snapshot memoized per ``(program, database version)`` by the
+        session layer (:func:`repro.session.facts.combined_database`): the
+        program's facts are interned and merged once per database version
+        instead of once per query, the caller's relations -- and their
+        already-built hash indexes -- are shared read-only, and only a
+        relation the engine actually writes to is cloned.  The caller's
+        database is never mutated.
         """
         counters = counters if counters is not None else Counters()
-        if database is not None:
-            combined = Database.overlay(database, counters=counters)
-        else:
-            combined = Database(counters=counters)
-        combined.load_program_facts(program)
+        from ..session.facts import combined_database
+
+        combined = combined_database(program, database, counters)
         return self._run(program, query, combined, counters)
 
     def _run(
@@ -97,6 +404,90 @@ class Engine:
     def applicable(self, program: Program, query: Literal) -> bool:
         """Whether the engine's restrictions are met (default: always)."""
         return True
+
+    # -- the materialize / answer / resume contract -------------------------
+
+    def materialize(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        counters: Optional[Counters] = None,
+    ) -> Materialization:
+        """Build reusable evaluation state (see the module docstring).
+
+        The default is a :class:`DemandMaterialization` -- right for every
+        strategy whose work is driven by the query constants.  The model
+        engines (naive, seminaive) override this with a full least-model
+        materialization.
+        """
+        counters = counters if counters is not None else Counters()
+        combined, basis_version = self._materialization_base(program, database, counters)
+        return DemandMaterialization(self, program, combined, basis_version, counters)
+
+    def resume(
+        self,
+        materialization: Materialization,
+        edb_delta: Dict[str, Iterable[Row]],
+        counters: Optional[Counters] = None,
+        version: Optional[int] = None,
+    ) -> Materialization:
+        """Bring ``materialization`` up to date after EDB insertions.
+
+        ``edb_delta`` maps base predicates to newly inserted rows (the shape
+        :meth:`Database.delta_since` returns).  ``version`` optionally pins
+        the database version the materialization now corresponds to; without
+        it the basis version advances by the number of delta rows.  Returns
+        the same (updated) materialization.
+        """
+        if materialization.engine_name != self.name:
+            raise ValueError(
+                f"materialization was built by {materialization.engine_name!r}, "
+                f"cannot resume with {self.name!r}"
+            )
+        return materialization.resume(edb_delta, counters=counters, version=version)
+
+    def _materialization_base(
+        self,
+        program: Program,
+        database: Optional[Database],
+        counters: Counters,
+    ) -> Tuple[Database, int]:
+        """The combined (EDB + program facts) overlay and its basis version."""
+        from ..session.facts import combined_database
+
+        combined = combined_database(program, database, counters)
+        return combined, database.version if database is not None else 0
+
+    def _materialize_entry(
+        self,
+        materialization: DemandMaterialization,
+        entry: _DemandEntry,
+        counters: Counters,
+    ) -> EngineResult:
+        """Compute one cached query of a demand materialization.
+
+        The default runs the strategy (:meth:`_run`) over a fresh overlay of
+        the materialization's base.  Engines with continuable per-query state
+        (magic) override this to stash that state on ``entry.state``.
+        """
+        overlay = Database.overlay(materialization.database, counters=counters)
+        return self._run(materialization.program, entry.query, overlay, counters)
+
+    def _refresh_entry(
+        self,
+        materialization: DemandMaterialization,
+        entry: _DemandEntry,
+        delta_slice: List[Tuple[str, Row]],
+        counters: Counters,
+    ) -> EngineResult:
+        """Bring one cached query up to date after a resumed delta.
+
+        The default re-runs the strategy over the updated base (the honest
+        move for the set-at-a-time traversals, which keep no continuable
+        state); the magic engine overrides this with a seminaive continuation
+        of the entry's rewritten-program fixpoint.
+        """
+        return self._materialize_entry(materialization, entry, counters)
 
 
 _REGISTRY: Dict[str, Type[Engine]] = {}

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.adornment import AdornedProgram, AdornedRule, adorn
+from ..datalog.analysis import analyze
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
@@ -42,7 +43,7 @@ from ..datalog.semantics import answer_against_relation
 from ..datalog.terms import Constant, Term, Variable
 from ..instrumentation import Counters
 from .base import Engine, EngineResult, register
-from .seminaive import evaluate_seminaive
+from .seminaive import evaluate_seminaive, resume_seminaive
 
 
 def magic_name(mangled: str) -> str:
@@ -126,6 +127,60 @@ class MagicSetsEngine(Engine):
             database.count(p)
             for p in database.predicates()
             if p.startswith("magic_")
+        )
+        return EngineResult(
+            answers=answers,
+            engine=self.name,
+            counters=counters,
+            iterations=counters.iterations,
+            details={
+                "adorned_program": adorned,
+                "magic_program": magic_program,
+                "magic_fact_count": magic_facts,
+            },
+        )
+
+    # -- demand materialization hooks ---------------------------------------
+    #
+    # The magic strategy *is* seminaive evaluation of a rewritten program, so
+    # a cached query's state is continuable: the entry keeps its rewritten
+    # program, its evaluation database (seed + magic + adorned relations) and
+    # the rewritten program's analysis, and an EDB delta resumes that
+    # fixpoint instead of recomputing it -- newly relevant magic tuples and
+    # their guarded consequences are derived by the ordinary delta rounds.
+
+    def _materialize_entry(self, materialization, entry, counters):
+        program, query = materialization.program, entry.query
+        adorned = adorn(program, query)
+        magic_program, rewritten_query, seed = rewrite_magic(adorned)
+        overlay = Database.overlay(materialization.database, counters=counters)
+        overlay.add_fact(seed.head.predicate, seed.head.constant_values())
+        analysis = analyze(magic_program)
+        evaluate_seminaive(magic_program, overlay, counters, analysis)
+        entry.state = (magic_program, rewritten_query, overlay, analysis)
+        return self._entry_result(adorned, entry, counters)
+
+    def _refresh_entry(self, materialization, entry, delta_slice, counters):
+        magic_program, rewritten_query, overlay, analysis = entry.state
+        delta: Dict[str, List[tuple]] = {}
+        for predicate, row in delta_slice:
+            if predicate in magic_program.predicates:
+                delta.setdefault(predicate, []).append(row)
+        previous, overlay.counters = overlay.counters, counters
+        try:
+            if delta:
+                resume_seminaive(magic_program, overlay, delta, counters, analysis)
+        finally:
+            overlay.counters = previous
+        adorned = entry.result.details.get("adorned_program")
+        return self._entry_result(adorned, entry, counters)
+
+    def _entry_result(self, adorned, entry, counters):
+        magic_program, rewritten_query, overlay, _ = entry.state
+        rows = overlay.rows(rewritten_query.predicate)
+        answers = answer_against_relation(rows, rewritten_query)
+        magic_facts = sum(
+            overlay.count(p) for p in overlay.predicates() if p.startswith("magic_")
         )
         return EngineResult(
             answers=answers,

@@ -13,13 +13,36 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..datalog.analysis import analyze
 from ..datalog.database import Database
 from ..datalog.literals import Literal
 from ..datalog.plans import rule_plan
 from ..datalog.rules import Program
 from ..datalog.semantics import answer_against_relation
 from ..instrumentation import Counters
-from .base import Engine, EngineResult, register
+from .base import Engine, EngineResult, Materialization, ModelMaterialization, register
+
+
+def evaluate_naive(program: Program, database: Database, counters: Counters) -> int:
+    """Run the naive fixpoint in place; returns the number of rounds.
+
+    The rules are compiled to join plans once; the refiring of every rule on
+    every round -- the duplication the paper measures -- stays.
+    """
+    plans = [(rule.head.predicate, rule_plan(rule)) for rule in program.idb_rules()]
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        counters.iterations += 1
+        changed = False
+        for head_predicate, plan in plans:
+            for head_row in plan.heads(database):
+                counters.rule_firings += 1
+                if database.add_fact(head_predicate, head_row):
+                    counters.derived_tuples += 1
+                    changed = True
+    return iterations
 
 
 @register
@@ -35,21 +58,7 @@ class NaiveEngine(Engine):
         database: Database,
         counters: Counters,
     ) -> EngineResult:
-        # The rules are compiled to join plans once; the refiring of every
-        # rule on every round -- the duplication the paper measures -- stays.
-        plans = [(rule.head.predicate, rule_plan(rule)) for rule in program.idb_rules()]
-        iterations = 0
-        changed = True
-        while changed:
-            iterations += 1
-            counters.iterations += 1
-            changed = False
-            for head_predicate, plan in plans:
-                for head_row in plan.heads(database):
-                    counters.rule_firings += 1
-                    if database.add_fact(head_predicate, head_row):
-                        counters.derived_tuples += 1
-                        changed = True
+        iterations = evaluate_naive(program, database, counters)
         answers = answer_against_relation(database.rows(query.predicate), query)
         return EngineResult(
             answers=answers,
@@ -57,4 +66,24 @@ class NaiveEngine(Engine):
             counters=counters,
             iterations=iterations,
             details={"derived_size": database.count(query.predicate)},
+        )
+
+    def materialize(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        counters: Optional[Counters] = None,
+    ) -> Materialization:
+        """Compute the full least model naively; answers are lookups.
+
+        The resulting model is identical to the seminaive engine's, so the
+        shared seminaive continuation is also the resume path here -- naive
+        evaluation has no delta notion of its own, and re-running the whole
+        fixpoint is precisely the recomputation resume exists to avoid.
+        """
+        counters = counters if counters is not None else Counters()
+        combined, basis_version = self._materialization_base(program, database, counters)
+        evaluate_naive(program, combined, counters)
+        return ModelMaterialization(
+            self, program, combined, basis_version, counters, analysis=analyze(program)
         )

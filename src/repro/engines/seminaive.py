@@ -13,7 +13,7 @@ bottom-up methods are usually combined with a rewriting such as magic sets
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.database import Database, Row
@@ -22,7 +22,7 @@ from ..datalog.plans import delta_plans, rule_plan
 from ..datalog.rules import Program, Rule
 from ..datalog.semantics import answer_against_relation
 from ..instrumentation import Counters
-from .base import Engine, EngineResult, register
+from .base import Engine, EngineResult, Materialization, ModelMaterialization, register
 
 
 @register
@@ -46,6 +46,21 @@ class SeminaiveEngine(Engine):
             counters=counters,
             iterations=counters.iterations,
             details={"derived_size": derived.count(query.predicate)},
+        )
+
+    def materialize(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        counters: Optional[Counters] = None,
+    ) -> Materialization:
+        """Compute the full least model once; answers are relation lookups."""
+        counters = counters if counters is not None else Counters()
+        combined, basis_version = self._materialization_base(program, database, counters)
+        analysis = analyze(program)
+        evaluate_seminaive(program, combined, counters, analysis)
+        return ModelMaterialization(
+            self, program, combined, basis_version, counters, analysis=analysis
         )
 
 
@@ -125,3 +140,133 @@ def _evaluate_component(
                         new_delta.add_fact(head_predicate, head_row)
         counters.iterations += 1
         delta = new_delta
+
+
+# ---------------------------------------------------------------------------
+# Incremental continuation (the resume path of the engine contract)
+# ---------------------------------------------------------------------------
+
+def resume_seminaive(
+    program: Program,
+    database: Database,
+    edb_delta: Dict[str, Iterable[Row]],
+    counters: Optional[Counters] = None,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> int:
+    """Continue a materialized fixpoint after EDB insertions.
+
+    ``database`` must hold a complete least model of ``program`` over its
+    previous extensional state; ``edb_delta`` maps base predicates to the
+    newly inserted rows.  Seminaive evaluation is already a delta
+    computation, so the continuation is the same machinery seeded with the
+    EDB delta instead of round-0 firings: for every strongly connected
+    component, each rule is first fired once per occurrence of an
+    already-changed predicate with that occurrence restricted to the changed
+    rows (the incremental round 0), then the ordinary recursive delta rounds
+    run until the fixpoint is re-reached.  Components whose rules mention no
+    changed predicate cost nothing.
+
+    The delta rows are treated as changed even when they are already visible
+    in ``database`` -- a copy-on-write materialization can see an insertion
+    made to the database it was built over before its consequences have been
+    derived, and firing an genuinely old row again only rediscovers existing
+    facts.  Rows on derived predicates are rejected with :class:`ValueError`.
+
+    Returns the number of newly derived tuples.
+    """
+    counters = counters if counters is not None else database.counters
+    analysis = analysis or analyze(program)
+    derived_predicates = program.derived_predicates
+
+    # The cross-component changed set: the EDB delta plus, as evaluation
+    # proceeds, every derived tuple added by an earlier component.
+    changed = Database()
+    for predicate, rows in edb_delta.items():
+        if predicate in derived_predicates:
+            raise ValueError(
+                f"cannot resume with facts for derived predicate {predicate!r}"
+            )
+        for row in rows:
+            database.add_fact(predicate, row)
+            changed.add_fact(predicate, row)
+    if not changed.total_facts():
+        return 0
+
+    new_tuples = 0
+    for component in analysis.evaluation_order():
+        component_predicates = set(component) & derived_predicates
+        if not component_predicates:
+            continue
+        rules = [
+            rule
+            for predicate in component_predicates
+            for rule in program.rules_for(predicate)
+            if rule.body
+        ]
+        new_tuples += _resume_component(
+            rules, component_predicates, database, changed, counters
+        )
+    return new_tuples
+
+
+def _resume_component(
+    rules: List[Rule],
+    recursive_predicates: Set[str],
+    database: Database,
+    changed: Database,
+    counters: Counters,
+) -> int:
+    """Delta-seeded seminaive iteration for one mutually recursive group.
+
+    ``changed`` holds every row that is new since the materialized fixpoint
+    (EDB delta plus earlier components' derivations); new rows produced here
+    are merged back into it so later components see them as deltas too.
+    """
+    changed_predicates = frozenset(
+        predicate for predicate in changed.predicates() if changed.count(predicate)
+    )
+    new_tuples = 0
+
+    # Incremental round 0: one plan variant per occurrence of an
+    # already-changed predicate, that occurrence restricted to the changed
+    # rows, every other literal reading the full updated database.  A rule
+    # mentioning no changed predicate has no variants and never fires, and
+    # the delta occurrence drives the join (``delta_first``), so the round's
+    # work is proportional to the delta, not to the full relations.
+    delta = Database()
+    fired = False
+    for rule in rules:
+        head_predicate = rule.head.predicate
+        for plan in delta_plans(rule, changed_predicates, delta_first=True):
+            fired = True
+            for head_row in plan.heads(database, derived=changed):
+                counters.rule_firings += 1
+                if database.add_fact(head_predicate, head_row):
+                    counters.derived_tuples += 1
+                    new_tuples += 1
+                    delta.add_fact(head_predicate, head_row)
+    if not fired:
+        return 0
+    counters.iterations += 1
+
+    # Ordinary recursive delta rounds, delta-driven like round 0.
+    recursive_key = frozenset(recursive_predicates)
+    variants = [
+        (rule, delta_plans(rule, recursive_key, delta_first=True)) for rule in rules
+    ]
+    while delta.total_facts():
+        for predicate in delta.predicates():
+            changed.add_facts(predicate, delta.rows(predicate))
+        new_delta = Database()
+        for rule, plans in variants:
+            head_predicate = rule.head.predicate
+            for plan in plans:
+                for head_row in plan.heads(database, derived=delta):
+                    counters.rule_firings += 1
+                    if database.add_fact(head_predicate, head_row):
+                        counters.derived_tuples += 1
+                        new_tuples += 1
+                        new_delta.add_fact(head_predicate, head_row)
+        counters.iterations += 1
+        delta = new_delta
+    return new_tuples

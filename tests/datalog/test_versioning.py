@@ -1,0 +1,141 @@
+"""Database versioning: the monotone version, the journal and delta_since."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant
+
+
+class TestVersionCounter:
+    def test_fresh_database_is_at_version_zero(self):
+        assert Database().version == 0
+
+    def test_every_new_fact_advances_the_version_by_one(self):
+        db = Database()
+        db.add_fact("e", (1, 2))
+        assert db.version == 1
+        db.add_fact("e", (2, 3))
+        db.add_fact("f", ("a",))
+        assert db.version == 3
+
+    def test_duplicate_insert_does_not_advance_the_version(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        version = db.version
+        assert not db.add_fact("e", (1, 2))
+        assert db.add_facts("e", [(2, 3), (1, 2)]) == 0
+        assert db.version == version
+        assert db.delta_since(version) == {}
+
+    def test_constant_wrappers_are_normalized_before_journaling(self):
+        db = Database()
+        db.add_fact("e", (Constant(1), Constant(2)))
+        assert db.delta_since(0) == {"e": [(1, 2)]}
+        assert not db.add_fact("e", (1, 2))
+        assert db.version == 1
+
+
+class TestDeltaSince:
+    def test_groups_by_predicate_in_insertion_order(self):
+        db = Database()
+        db.add_fact("e", (1, 2))
+        db.add_fact("f", ("x",))
+        db.add_fact("e", (2, 3))
+        assert db.delta_since(0) == {"e": [(1, 2), (2, 3)], "f": [("x",)]}
+        assert db.delta_since(1) == {"f": [("x",)], "e": [(2, 3)]}
+        assert db.delta_since(3) == {}
+
+    def test_future_version_is_rejected(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.delta_since(1)
+
+    def test_unrecorded_history_is_rejected(self):
+        base = Database.from_dict({"e": [(1, 2)]})
+        overlay = Database.overlay(base)
+        with pytest.raises(ValueError):
+            overlay.delta_since(0)  # history before the handoff lives in base
+
+
+class TestOverlayBoundary:
+    def test_overlay_continues_the_base_numbering(self):
+        base = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        overlay = Database.overlay(base)
+        assert overlay.version == base.version == 2
+        assert overlay.delta_since(2) == {}
+
+    def test_overlay_inserts_are_journaled_locally_only(self):
+        base = Database.from_dict({"e": [(1, 2)]})
+        overlay = Database.overlay(base)
+        overlay.add_fact("e", (9, 9))
+        assert overlay.version == 2
+        assert overlay.delta_since(1) == {"e": [(9, 9)]}
+        # the base neither sees the row nor the version bump
+        assert base.version == 1
+        assert base.delta_since(1) == {}
+        assert (9, 9) not in base.rows("e")
+
+    def test_base_inserts_do_not_advance_the_overlay_version(self):
+        base = Database.from_dict({"e": [(1, 2)]})
+        overlay = Database.overlay(base)
+        base.add_fact("e", (5, 5))
+        assert base.version == 2
+        # the overlay's own history is untouched (visibility of the row
+        # itself is a copy-on-write sharing matter, not a journal one)
+        assert overlay.version == 1
+        assert overlay.delta_since(1) == {}
+
+    def test_duplicate_of_shared_row_keeps_sharing_and_version(self):
+        base = Database.from_dict({"e": [(1, 2)]})
+        overlay = Database.overlay(base)
+        assert not overlay.add_fact("e", (1, 2))
+        assert overlay.version == 1
+
+
+class TestCopyBoundary:
+    def test_copy_continues_numbering_with_empty_history(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)], "f": [("x",)]})
+        clone = db.copy()
+        assert clone.version == db.version == 3
+        assert clone.delta_since(3) == {}
+
+    def test_copy_journals_its_own_inserts_only(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        clone = db.copy()
+        clone.add_fact("e", (2, 3))
+        assert clone.delta_since(1) == {"e": [(2, 3)]}
+        assert db.version == 1
+        db.add_fact("e", (7, 7))
+        assert clone.version == 2
+        assert (7, 7) not in clone.rows("e")
+
+
+class TestSnapshotBoundary:
+    """Version bookkeeping across the kernel's copy-on-write snapshots."""
+
+    def test_overlay_write_clones_the_relation_but_journals_once(self):
+        base = Database.from_dict({"e": [(1, 2)]})
+        overlay = Database.overlay(base)
+        overlay.add_fact("e", (3, 4))  # forces the COW clone of "e"
+        overlay.add_fact("e", (5, 6))
+        assert overlay.delta_since(1) == {"e": [(3, 4), (5, 6)]}
+        assert base.rows("e") == frozenset({(1, 2)})
+
+    def test_program_fact_loading_is_journaled(self):
+        program = parse_program("p(X) :- e(X, Y). e(1, 2). e(2, 3).")
+        db = Database()
+        version = db.version
+        db.load_program_facts(program)
+        assert db.version == version + 2
+        assert db.delta_since(version) == {"e": [(1, 2), (2, 3)]}
+
+    def test_derived_writes_by_an_engine_do_not_touch_the_source_journal(self):
+        from repro.datalog.parser import parse_literal
+        from repro.engines import run_engine
+
+        program = parse_program("tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z).")
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        version = db.version
+        run_engine("seminaive", program, parse_literal("tc(1, Y)"), db)
+        assert db.version == version
+        assert db.delta_since(version) == {}

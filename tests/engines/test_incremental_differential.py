@@ -1,0 +1,216 @@
+"""Incremental-vs-scratch differential suite.
+
+For every engine and every workload family: materialize over a prefix of the
+EDB, resume with the remaining facts (in one batch and in a stream of small
+batches), and assert the answers equal a from-scratch materialization over
+the full database -- which itself must equal the least model.  This is the
+correctness contract of :meth:`repro.engines.base.Engine.resume`.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.errors import NotApplicableError
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.engines import available_engines, get_engine
+from repro.workloads import (
+    chain,
+    random_dag,
+    sample_a,
+    sample_b,
+    sample_c,
+    sample_cyclic,
+)
+
+ALL_ENGINES = sorted(available_engines())
+
+
+def _flight_workload():
+    program = parse_program(
+        """
+        cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+        cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                             is_deptime(DT1), cnx(D1, DT1, D, AT).
+        """
+    )
+    database = Database.from_dict(
+        {
+            "flight": [
+                ("hel", 1, "par", 3),
+                ("par", 5, "nyc", 9),
+                ("par", 2, "rom", 4),
+                ("rom", 6, "ath", 8),
+                ("osl", 1, "hel", 2),
+            ],
+            "is_deptime": [(5,), (2,), (6,), (1,)],
+        }
+    )
+    return program, database, parse_literal("cnx(hel, 1, D, AT)")
+
+
+def _nonlinear_workload():
+    program = parse_program(
+        """
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), anc(Z, Y).
+        """
+    )
+    database = Database.from_dict(
+        {"par": [(1, 2), (2, 3), (3, 4), (2, 5), (5, 6), (6, 7)]}
+    )
+    return program, database, parse_literal("anc(1, Y)")
+
+
+WORKLOADS = {
+    "fig7a": lambda: sample_a(8),
+    "fig7b": lambda: sample_b(8),
+    "fig7c": lambda: sample_c(8),
+    "fig8-cyclic": lambda: sample_cyclic(3, 4),
+    "tc-chain": lambda: chain(10),
+    "tc-dag": lambda: random_dag(14, 2, seed=7),
+    "flight": _flight_workload,
+    "nonlinear-anc": _nonlinear_workload,
+}
+
+
+def _split_database(database, keep_fraction):
+    """A (base database, delta dict) split preserving insertion order."""
+    base = Database()
+    delta = {}
+    for predicate in sorted(database.predicates()):
+        rows = list(database.relations[predicate].table.all_rows())
+        keep = max(1, int(len(rows) * keep_fraction)) if rows else 0
+        base.add_facts(predicate, rows[:keep])
+        if rows[keep:]:
+            delta[predicate] = rows[keep:]
+    return base, delta
+
+
+def _one_shot(engine_name, program, query, database):
+    """The engine's own one-shot answers (its ground truth for resume).
+
+    The bounded set-at-a-time methods (counting, reverse counting,
+    Henschen-Naqvi) are deliberately paper-faithful and *truncate* on cyclic
+    data, so the differential reference is the same engine from scratch, not
+    the least model; where the engine is exact the two coincide and the
+    least-model check below is also applied.
+    """
+    return get_engine(engine_name).answer(program, query, database).answers
+
+
+#: Engines whose default iteration bound truncates on cyclic samples, by
+#: design (the paper's extension of [14]); for them scratch != least model
+#: on fig8 and the least-model cross-check is skipped there.
+_BOUNDED_ON_CYCLES = {"counting", "reverse-counting", "henschen-naqvi"}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_resume_equals_from_scratch(engine_name, workload_name):
+    program, full_db, query = WORKLOADS[workload_name]()
+    engine = get_engine(engine_name)
+    if not engine.applicable(program, query):
+        pytest.skip(f"{engine_name} not applicable to {workload_name}")
+    base_db, delta = _split_database(full_db, 0.6)
+    if not delta:
+        pytest.skip("workload too small to split")
+
+    try:
+        materialization = engine.materialize(program, base_db)
+        before = materialization.answer(query)
+    except NotApplicableError:
+        pytest.skip(f"{engine_name} not applicable to {workload_name}")
+    assert before.answers == _one_shot(engine_name, program, query, base_db), (
+        f"{engine_name} materialization disagrees with one-shot on the base split"
+    )
+
+    engine.resume(materialization, delta)
+    resumed = materialization.answer(query)
+
+    scratch = engine.materialize(program, full_db).answer(query)
+    assert scratch.answers == _one_shot(engine_name, program, query, full_db), (
+        f"{engine_name} scratch materialization disagrees with one-shot"
+    )
+    assert resumed.answers == scratch.answers, (
+        f"{engine_name} resume != scratch on {workload_name}"
+    )
+    if not (engine_name in _BOUNDED_ON_CYCLES and workload_name == "fig8-cyclic"):
+        assert scratch.answers == answer_query(program, query, full_db), (
+            f"{engine_name} scratch != least model on {workload_name}"
+        )
+
+
+@pytest.mark.parametrize("workload_name", ["fig7c", "tc-chain", "nonlinear-anc"])
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_streamed_resume_equals_from_scratch(engine_name, workload_name):
+    """Resuming in many one-row batches converges to the same fixpoint."""
+    program, full_db, query = WORKLOADS[workload_name]()
+    engine = get_engine(engine_name)
+    if not engine.applicable(program, query):
+        pytest.skip(f"{engine_name} not applicable to {workload_name}")
+    base_db, delta = _split_database(full_db, 0.5)
+    if not delta:
+        pytest.skip("workload too small to split")
+
+    try:
+        materialization = engine.materialize(program, base_db)
+    except NotApplicableError:
+        pytest.skip(f"{engine_name} not applicable to {workload_name}")
+    for predicate, rows in sorted(delta.items()):
+        for row in rows:
+            engine.resume(materialization, {predicate: [row]})
+            # answering mid-stream must stay internally consistent
+            mid = materialization.answer(query)
+            assert mid.answers is not None
+
+    expected = _one_shot(engine_name, program, query, full_db)
+    assert materialization.answer(query).answers == expected, (
+        f"{engine_name} streamed resume != scratch on {workload_name}"
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["seminaive", "magic", "graph"])
+def test_resume_with_already_present_rows_is_a_no_op(engine_name):
+    program, full_db, query = WORKLOADS["fig7a"]()
+    engine = get_engine(engine_name)
+    materialization = engine.materialize(program, full_db)
+    before = materialization.answer(query).answers
+    engine.resume(materialization, {"up": [("a", "b1")]})  # already present
+    assert materialization.answer(query).answers == before
+    # duplicates advance neither the database version nor the basis version
+    assert materialization.basis_version == full_db.version
+
+
+@pytest.mark.parametrize("engine_name", ["seminaive", "graph"])
+def test_basis_version_never_overtakes_the_source_database(engine_name):
+    """A mixed delta (present + new rows) without version= must stay pairable
+    with ``delta_since`` -- overshooting the source version would make it raise."""
+    program, full_db, query = WORKLOADS["fig7a"]()
+    engine = get_engine(engine_name)
+    materialization = engine.materialize(program, full_db)
+    full_db.add_fact("up", ("a", "extra"))
+    engine.resume(
+        materialization, {"up": [("a", "b1"), ("a", "extra")]}  # one old, one new
+    )
+    assert materialization.basis_version <= full_db.version
+    # the pairing stays legal: re-deltas from the basis are harmless no-ops
+    full_db.delta_since(materialization.basis_version)
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+def test_resume_rejects_derived_predicates(engine_name):
+    program, full_db, query = WORKLOADS["tc-chain"]()
+    engine = get_engine(engine_name)
+    if not engine.applicable(program, query):
+        pytest.skip("not applicable")
+    materialization = engine.materialize(program, full_db)
+    with pytest.raises(ValueError):
+        engine.resume(materialization, {"tc": [(0, 99)]})
+
+
+def test_resume_rejects_foreign_materializations():
+    program, full_db, query = WORKLOADS["tc-chain"]()
+    materialization = get_engine("seminaive").materialize(program, full_db)
+    with pytest.raises(ValueError):
+        get_engine("naive").resume(materialization, {"edge": [(98, 99)]})

@@ -1,0 +1,252 @@
+"""The session layer: QuerySession, prepared queries, auto-selection, memo."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.semantics import answer_query
+from repro.engines import run_engine
+from repro.session import (
+    QuerySession,
+    combined_database,
+    program_fingerprint,
+    select_engine,
+)
+
+SG = """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+"""
+
+TC = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+"""
+
+NONLINEAR = """
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), anc(Z, Y).
+"""
+
+
+def sg_session(engine=None):
+    program = parse_program(SG)
+    database = Database.from_dict(
+        {
+            "up": [("a", "b"), ("b", "c"), ("z", "c")],
+            "flat": [("c", "c"), ("b", "d")],
+            "down": [("c", "e"), ("e", "f"), ("d", "g")],
+        }
+    )
+    return QuerySession(program, database, engine=engine), program
+
+
+class TestQueryServing:
+    @pytest.mark.parametrize("engine", [None, "seminaive", "naive", "magic", "graph"])
+    def test_answers_match_the_least_model(self, engine):
+        session, program = sg_session(engine)
+        for text in ("sg(a, Y)", "sg(b, Y)", "sg(zzz, Y)"):
+            query = parse_literal(text)
+            assert session.query(query).answers == answer_query(
+                program, query, session.database
+            ), (engine, text)
+
+    def test_repeated_queries_reuse_one_materialization(self):
+        session, _ = sg_session()
+        for _ in range(5):
+            session.query("sg(a, Y)")
+        assert session.stats["queries"] == 5
+        assert session.stats["materializations"] == 1
+
+    def test_second_identical_query_is_served_from_cache(self):
+        session, _ = sg_session("graph")
+        first = session.query("sg(a, Y)")
+        second = session.query("sg(a, Y)")
+        assert second.answers == first.answers
+        assert second.details.get("cached")
+        # a lookup retrieves nothing: its counters are empty
+        assert second.counters.total_work() == 0
+
+    def test_alpha_equivalent_queries_share_a_cache_entry(self):
+        session, _ = sg_session("graph")
+        session.query("sg(a, Y)")
+        renamed = session.query("sg(a, Z)")
+        assert renamed.details.get("cached")
+
+    def test_base_predicate_queries_are_served(self):
+        session, program = sg_session()
+        query = parse_literal("up(a, Y)")
+        assert session.query(query).answers == {("b",)}
+
+    def test_pinned_engine_session(self):
+        session, _ = sg_session("seminaive")
+        result = session.query("sg(a, Y)")
+        assert result.engine == "seminaive"
+
+
+class TestIncrementalRefresh:
+    def test_insert_facts_refreshes_cached_materializations(self):
+        session, program = sg_session()
+        query = parse_literal("sg(a, Y)")
+        session.query(query)
+        session.insert_facts("flat", [("a", "a2")])
+        session.insert_facts("up", [("q", "a")])
+        updated = session.query(query)
+        assert updated.answers == answer_query(program, query, session.database)
+        assert session.stats["resumes"] >= 1
+        assert session.stats["materializations"] == 1
+
+    def test_duplicate_inserts_trigger_no_resume(self):
+        session, _ = sg_session()
+        session.query("sg(a, Y)")
+        resumes = session.stats["resumes"]
+        assert session.insert_facts("up", [("a", "b")]) == 0
+        assert session.database.delta_since(session.database.version) == {}
+        assert session.stats["resumes"] == resumes
+
+    def test_multi_predicate_batch_insert(self):
+        session, program = sg_session()
+        query = parse_literal("sg(a, Y)")
+        session.query(query)
+        added = session.insert({"up": [("y", "c")], "flat": [("a", "k")]})
+        assert added == 2
+        assert session.query(query).answers == answer_query(
+            program, query, session.database
+        )
+
+    def test_direct_database_inserts_are_caught_up_lazily(self):
+        session, program = sg_session()
+        query = parse_literal("sg(a, Y)")
+        session.query(query)
+        # bypass the session: the next query sees the version bump and resumes
+        session.database.add_fact("flat", [("a", "solo")][0])
+        updated = session.query(query)
+        assert updated.answers == answer_query(program, query, session.database)
+        assert session.stats["materializations"] == 1
+
+    def test_refresh_covers_every_cached_strategy(self):
+        session, program = sg_session()
+        query = parse_literal("sg(a, Y)")
+        session.query(query, engine="seminaive")
+        session.query(query, engine="magic")
+        session.query(query, engine="graph")
+        session.insert_facts("flat", [("a", "a2")])
+        expected = answer_query(program, query, session.database)
+        for engine in ("seminaive", "magic", "graph"):
+            assert session.query(query, engine=engine).answers == expected, engine
+
+
+class TestPreparedQueries:
+    def test_parameter_substitution(self):
+        session, program = sg_session()
+        same_gen = session.prepare("sg(X, Y)", params=("X",))
+        for start in ("a", "b", "z"):
+            query = parse_literal(f"sg({start}, Y)")
+            assert same_gen(start).answers == answer_query(
+                program, query, session.database
+            ), start
+
+    def test_repeated_parameter_occurrences_are_all_bound(self):
+        program = parse_program(TC)
+        session = QuerySession(program, Database.from_dict({"e": [(1, 2), (2, 1)]}))
+        loops = session.prepare("tc(X, X)", params=("X",))
+        assert loops(1).answers == {()}
+
+    def test_unknown_parameter_is_rejected(self):
+        session, _ = sg_session()
+        with pytest.raises(ValueError):
+            session.prepare("sg(X, Y)", params=("Q",))
+
+    def test_wrong_argument_count_is_rejected(self):
+        session, _ = sg_session()
+        prepared = session.prepare("sg(X, Y)", params=("X",))
+        with pytest.raises(ValueError):
+            prepared("a", "b")
+
+    def test_bind_exposes_the_substituted_literal(self):
+        session, _ = sg_session()
+        prepared = session.prepare("sg(X, Y)", params=("X",))
+        assert prepared.bind("a") == parse_literal("sg(a, Y)")
+
+
+class TestStrategySelection:
+    def test_binary_chain_bound_query_goes_to_graph(self):
+        program = parse_program(SG)
+        assert select_engine(program, parse_literal("sg(a, Y)")) == "graph"
+
+    def test_unbound_query_goes_to_the_model(self):
+        program = parse_program(SG)
+        assert select_engine(program, parse_literal("sg(X, Y)")) == "seminaive"
+
+    def test_base_query_goes_to_the_model(self):
+        program = parse_program(SG)
+        assert select_engine(program, parse_literal("up(a, Y)")) == "seminaive"
+
+    def test_nonlinear_program_falls_back_to_the_model(self):
+        program = parse_program(NONLINEAR)
+        assert select_engine(program, parse_literal("anc(1, Y)")) == "seminaive"
+
+    def test_linear_nary_program_goes_to_magic_or_graph(self):
+        program = parse_program(
+            """
+            cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+            cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+                                 is_deptime(DT1), cnx(D1, DT1, D, AT).
+            """
+        )
+        choice = select_engine(program, parse_literal("cnx(hel, 1, D, AT)"))
+        assert choice in ("graph", "magic")
+
+
+class TestProgramFactsMemo:
+    def test_combined_database_is_memoized_per_version(self):
+        program = parse_program("p(X) :- e(X, Y). e(10, 20).")
+        database = Database.from_dict({"e": [(1, 2)]})
+        combined_database(program, database)
+        snapshot = database._program_facts_memo[program][1]
+        combined_database(program, database)
+        assert database._program_facts_memo[program][1] is snapshot
+        database.add_fact("e", (3, 4))
+        combined_database(program, database)
+        assert database._program_facts_memo[program][1] is not snapshot
+
+    def test_bare_answer_path_populates_and_reuses_the_memo(self):
+        program = parse_program(TC + "e(1, 2).")
+        database = Database.from_dict({"e": [(2, 3)]})
+        first = run_engine("seminaive", program, parse_literal("tc(1, Y)"), database)
+        assert first.answers == {(2,), (3,)}
+        snapshot = database._program_facts_memo[program][1]
+        second = run_engine("naive", program, parse_literal("tc(1, Y)"), database)
+        assert second.answers == {(2,), (3,)}
+        assert database._program_facts_memo[program][1] is snapshot
+
+    def test_overlays_of_the_memoized_snapshot_do_not_leak_writes(self):
+        program = parse_program(TC + "e(1, 2).")
+        database = Database.from_dict({"e": [(2, 3)]})
+        run_engine("seminaive", program, parse_literal("tc(1, Y)"), database)
+        # derived relations never appear in the caller's database or the memo
+        assert database.count("tc") == 0
+        snapshot = database._program_facts_memo[program][1]
+        assert snapshot.count("tc") == 0
+        assert snapshot.rows("e") == frozenset({(1, 2), (2, 3)})
+
+    def test_fingerprint_is_order_insensitive_and_stable(self):
+        a = parse_program("p(X) :- e(X, Y). q(X) :- e(Y, X).")
+        b = parse_program("q(X) :- e(Y, X). p(X) :- e(X, Y).")
+        assert program_fingerprint(a) == program_fingerprint(b)
+        assert len(program_fingerprint(a)) == 16
+
+
+class TestSessionOverVersionedGrowth:
+    def test_fact_stream_stays_consistent_across_many_batches(self):
+        program = parse_program(TC)
+        session = QuerySession(program, Database.from_dict({"e": [(0, 1)]}))
+        query = parse_literal("tc(0, Y)")
+        reachable = session.prepare("tc(X, Y)", params=("X",))
+        for i in range(1, 12):
+            session.insert_facts("e", [(i, i + 1)])
+            expected = answer_query(program, query, session.database)
+            assert session.query(query).answers == expected, i
+            assert reachable(0).answers == expected, i
+        assert session.database.version == 12
+        assert session.stats["materializations"] >= 1
