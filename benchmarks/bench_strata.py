@@ -1,0 +1,173 @@
+"""Stratified-runtime benchmark: negation/aggregation workloads + resume reuse.
+
+Three measurement groups, written to ``BENCH_strata.json``:
+
+* **stratified-eval** -- wall-clock of the model engines (seminaive, naive)
+  on the new stratified families (bounded-lookahead win/move,
+  non-reachability, shortest-paths-via-min).  These workloads did not exist
+  before the stratified runtime, so the numbers are a tracking baseline for
+  future PRs rather than a before/after.
+* **resume-vs-scratch** -- the non-monotone session resume against a
+  from-scratch rematerialization over the grown database.  A delta touching
+  only the *top* stratum's inputs must reuse the cached recursive stratum
+  below it (the lowest-affected-stratum restart), which is where the
+  speedup comes from.
+* **positive-guard** -- the same seminaive/naive engines on representative
+  *positive* workloads (Fig-7 same-generation, transitive closure).
+  Positive programs run as the 1-stratum special case of the stratified
+  scheduler; these numbers exist so a regression against the pre-stratified
+  tree (PR 3's BENCH numbers) would be visible at a glance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_strata.py \
+        [--output BENCH_strata.json] [--rounds 3] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+#: resume with a top-stratum delta must beat scratch by at least this factor
+RESUME_THRESHOLD = 1.5
+
+
+def _timed(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def stratified_eval_cells(rounds):
+    from repro.engines import get_engine
+    from repro.workloads import non_reachability, shortest_paths, win_not_move
+
+    cells = {}
+    workloads = {
+        "win-not-move/levels7": lambda: win_not_move(7, fanout=2),
+        "non-reachability/n120": lambda: non_reachability(120, extra_edges=40, seed=1),
+        "shortest-paths/n60": lambda: shortest_paths(60, extra_edges=20, seed=1),
+    }
+    for name, build in workloads.items():
+        program, database, query = build()
+        for engine_name in ("seminaive", "naive"):
+            engine = get_engine(engine_name)
+
+            def run(engine=engine, program=program, database=database, query=query):
+                engine.answer(program, query, database.copy())
+
+            cells[f"stratified-eval/{name}/{engine_name}"] = {
+                "seconds": _timed(run, rounds)
+            }
+    return cells
+
+
+def resume_vs_scratch_cells(rounds):
+    from repro.engines import get_engine
+    from repro.workloads import non_reachability
+
+    cells = {}
+    n = 150
+    program, database, query = non_reachability(n, extra_edges=50, seed=2)
+    delta_rows = [(n + k,) for k in range(10)]  # top-stratum input only
+    engine = get_engine("seminaive")
+
+    def resume():
+        materialization = engine.materialize(program, database.copy())
+        materialization.answer(query)
+        engine.resume(materialization, {"node": delta_rows})
+        materialization.answer(query)
+
+    def scratch():
+        grown = database.copy()
+        grown.add_facts("node", delta_rows)
+        materialization = engine.materialize(program, grown)
+        materialization.answer(query)
+
+    # isolate the resume step: subtract the shared initial materialization
+    base_cost = _timed(
+        lambda: engine.materialize(program, database.copy()).answer(query), rounds
+    )
+    resume_cost = max(_timed(resume, rounds) - base_cost, 1e-9)
+    scratch_cost = _timed(scratch, rounds)
+    cells["resume-vs-scratch/non-reachability-n150/top-stratum-delta"] = {
+        "resume_seconds": resume_cost,
+        "scratch_seconds": scratch_cost,
+        "speedup": scratch_cost / resume_cost,
+        "threshold": RESUME_THRESHOLD,
+    }
+    return cells
+
+
+def positive_guard_cells(rounds):
+    from repro.engines import get_engine
+    from repro.workloads import chain, sample_a, sample_c
+
+    cells = {}
+    workloads = {
+        "fig7a/n200": lambda: sample_a(200),
+        "fig7c/n120": lambda: sample_c(120),
+        "tc-chain/n120": lambda: chain(120),
+    }
+    for name, build in workloads.items():
+        program, database, query = build()
+        for engine_name in ("seminaive", "naive"):
+            engine = get_engine(engine_name)
+
+            def run(engine=engine, program=program, database=database, query=query):
+                engine.answer(program, query, database.copy())
+
+            cells[f"positive-guard/{name}/{engine_name}"] = {
+                "seconds": _timed(run, rounds)
+            }
+    return cells
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_strata.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when the resume speedup misses its threshold",
+    )
+    args = parser.parse_args()
+
+    report = {}
+    report.update(stratified_eval_cells(args.rounds))
+    report.update(resume_vs_scratch_cells(args.rounds))
+    report.update(positive_guard_cells(args.rounds))
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    failures = []
+    for name, cell in sorted(report.items()):
+        if "speedup" in cell:
+            line = (
+                f"{name}: resume {cell['resume_seconds']:.4f}s vs "
+                f"scratch {cell['scratch_seconds']:.4f}s "
+                f"({cell['speedup']:.1f}x, threshold {cell['threshold']}x)"
+            )
+            if cell["speedup"] < cell["threshold"]:
+                failures.append(line)
+        else:
+            line = f"{name}: {cell['seconds']:.4f}s"
+        print(line)
+
+    if args.strict and failures:
+        print("\nBELOW THRESHOLD:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

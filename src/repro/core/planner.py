@@ -107,6 +107,10 @@ def classify_query(
     """
     if query.predicate not in program.derived_predicates:
         return "base"
+    if not program.is_positive:
+        # Stratified programs (negation, aggregation) have no graph/chain
+        # transformation; the bottom-up path computes the perfect model.
+        return "bottom-up"
     analysis = analysis or analyze(program)
     if _graph_applicable(analysis, query):
         return "graph"
@@ -146,6 +150,14 @@ def evaluate_query(
 
     if query.predicate not in program.derived_predicates:
         return _answer_base(full_database, query, counters)
+
+    if not program.is_positive:
+        if strategy in ("graph", "chain"):
+            raise NotApplicableError(
+                f"the {strategy} strategy requires a positive program; "
+                "stratified programs evaluate bottom-up"
+            )
+        return _answer_bottom_up(program, query, full_database, counters)
 
     analysis = analyze(program)
     if strategy in ("auto", "graph") and _graph_applicable(analysis, query):

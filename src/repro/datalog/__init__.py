@@ -22,10 +22,11 @@ This subpackage is the foundation everything else builds on:
   can be selected with :func:`repro.datalog.plans.set_execution_mode` for
   differential testing -- both executors must produce identical answers and
   identical work counters;
-* :mod:`~repro.datalog.analysis` -- dependency graph, SCCs and the program
-  classes of Section 2 (linear, binary-chain, regular, ...);
-* :mod:`~repro.datalog.semantics` -- the least model, used as ground truth in
-  the test suite.
+* :mod:`~repro.datalog.analysis` -- the polarity-labelled dependency graph,
+  SCCs, the program classes of Section 2 (linear, binary-chain, regular,
+  ...) and the stratification pass for negation/aggregation;
+* :mod:`~repro.datalog.semantics` -- the least model and the stratified
+  (perfect) model, used as ground truth in the test suite.
 """
 
 from .database import Database, Relation
@@ -36,12 +37,15 @@ from .errors import (
     NotApplicableError,
     ProgramValidationError,
     ReproError,
+    StratificationError,
     UnsafeRuleError,
 )
 from .literals import Literal, ground_atom
 from .parser import parse_literal, parse_program, parse_query, parse_rules
 from .plans import (
+    AggregateFold,
     JoinPlan,
+    aggregate_plan,
     body_plan,
     compile_image,
     compile_plan,
@@ -53,11 +57,25 @@ from .plans import (
     set_execution_mode,
 )
 from .rules import Program, Rule, program_from_rules, rule
-from .semantics import answer_query, derived_relation, is_true, least_model
-from .terms import Constant, Term, Variable, make_constant, make_term
-from .analysis import ProgramAnalysis, analyze, strongly_connected_components
+from .semantics import (
+    answer_query,
+    derived_relation,
+    is_true,
+    least_model,
+    stratified_model,
+)
+from .terms import AggregateTerm, Constant, Term, Variable, make_constant, make_term
+from .analysis import (
+    ProgramAnalysis,
+    Stratification,
+    Stratum,
+    analyze,
+    strongly_connected_components,
+)
 
 __all__ = [
+    "AggregateFold",
+    "AggregateTerm",
     "Constant",
     "Database",
     "DatalogSyntaxError",
@@ -72,9 +90,13 @@ __all__ = [
     "Relation",
     "ReproError",
     "Rule",
+    "Stratification",
+    "StratificationError",
+    "Stratum",
     "Term",
     "UnsafeRuleError",
     "Variable",
+    "aggregate_plan",
     "analyze",
     "answer_query",
     "body_plan",
@@ -92,6 +114,7 @@ __all__ = [
     "make_term",
     "rule_plan",
     "set_execution_mode",
+    "stratified_model",
     "parse_literal",
     "parse_program",
     "parse_query",

@@ -9,8 +9,22 @@ with head ``p``.  A predicate is recursive iff it lies on a cycle; the set of
 predicates mutually recursive to ``p`` is the strongly connected component of
 ``p`` (when that component is non-trivial).
 
+The dependency graph is *polarity-labelled*: an arc is additionally marked
+**negative** when the dependency is non-monotone -- the body literal is
+negated, or the rule's head carries an aggregate term (an aggregate value
+depends on the full extension of every body predicate, so all of an
+aggregate rule's arcs are negative).  :class:`Stratification` orders the
+strongly connected components into *strata* such that every negative arc
+points strictly downward, which is the precondition of stratified bottom-up
+evaluation (:mod:`repro.engines.runtime`); a negative arc *inside* a
+component has no stratification and is rejected with
+:class:`~repro.datalog.errors.StratificationError`.
+
 The SCC computation is our own iterative Tarjan implementation -- the paper
 itself cites Tarjan [21] and we also reuse it inside the evaluation engines.
+:meth:`ProgramAnalysis.of` is memoized per :class:`~repro.datalog.rules
+.Program` instance (the planner, engines and session layer all re-request
+the analysis on hot per-query paths), as is :meth:`Stratification.of`.
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .errors import StratificationError
 from .literals import Literal
 from .rules import Program, Rule
 
@@ -131,6 +146,7 @@ class ProgramAnalysis:
 
     program: Program
     dependency_graph: Dict[str, Set[str]] = field(default_factory=dict)
+    negative_dependencies: Dict[str, Set[str]] = field(default_factory=dict)
     sccs: List[List[str]] = field(default_factory=list)
     recursive_predicates: Set[str] = field(default_factory=set)
     _component_of: Dict[str, FrozenSet[str]] = field(default_factory=dict)
@@ -139,17 +155,40 @@ class ProgramAnalysis:
 
     @classmethod
     def of(cls, program: Program) -> "ProgramAnalysis":
+        """The (memoized) analysis of ``program``.
+
+        Repeated calls with the same :class:`Program` instance return the
+        same object: the planner, the engines and the session layer all ask
+        for the analysis on hot per-query paths, and recomputing Tarjan per
+        query is pure waste.  The memo lives on the program instance, so its
+        lifetime matches the program's.
+        """
+        cached = program.__dict__.get("_analysis_memo")
+        if cached is not None:
+            return cached
+        analysis = cls._build(program)
+        program._analysis_memo = analysis
+        return analysis
+
+    @classmethod
+    def _build(cls, program: Program) -> "ProgramAnalysis":
         graph: Dict[str, Set[str]] = {p: set() for p in program.predicates}
+        negative: Dict[str, Set[str]] = {}
         self_loop: Set[str] = set()
         for rule in program.idb_rules():
             head = rule.head.predicate
+            aggregate_rule = rule.is_aggregate
             for literal in rule.body:
                 if literal.is_builtin:
                     continue
                 graph.setdefault(head, set()).add(literal.predicate)
+                if literal.negated or aggregate_rule:
+                    negative.setdefault(head, set()).add(literal.predicate)
                 if literal.predicate == head:
                     self_loop.add(head)
-        analysis = cls(program=program, dependency_graph=graph)
+        analysis = cls(
+            program=program, dependency_graph=graph, negative_dependencies=negative
+        )
         analysis.sccs = strongly_connected_components(graph)
         for component in analysis.sccs:
             members = frozenset(component)
@@ -161,6 +200,16 @@ class ProgramAnalysis:
                 if nontrivial:
                     analysis.recursive_predicates.add(predicate)
         return analysis
+
+    # -- polarity ----------------------------------------------------------
+
+    def is_positive_program(self) -> bool:
+        """True for plain positive Datalog (no negation, no aggregation)."""
+        return self.program.is_positive
+
+    def depends_negatively(self, head: str, predicate: str) -> bool:
+        """True when some rule of ``head`` reads ``predicate`` non-monotonically."""
+        return predicate in self.negative_dependencies.get(head, ())
 
     # -- recursion structure ------------------------------------------------
 
@@ -312,6 +361,180 @@ class ProgramAnalysis:
         return True
 
 
+# ---------------------------------------------------------------------------
+# Stratification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stratum:
+    """One layer of a stratification.
+
+    Attributes
+    ----------
+    index:
+        0-based stratum number; negative dependencies always point from a
+        higher stratum into a strictly lower one.
+    predicates:
+        Every predicate assigned to this stratum (base predicates and
+        negation-free derived predicates share stratum 0).
+    components:
+        The strongly connected components of this stratum in evaluation
+        order (the reverse topological order of
+        :func:`strongly_connected_components`, filtered to the stratum).
+    """
+
+    index: int
+    predicates: FrozenSet[str]
+    components: Tuple[FrozenSet[str], ...]
+
+
+@dataclass
+class Stratification:
+    """An assignment of predicates to strata with all negative arcs downward.
+
+    ``Stratification.of(program)`` is the single entry point; it reuses the
+    (memoized) :class:`ProgramAnalysis` SCC machinery and is itself memoized
+    per analysis.  A positive program always stratifies into exactly one
+    stratum whose component sequence is ``analysis.evaluation_order()`` --
+    which is why the stratified runtime runs positive programs bit-identically
+    to the historical single-fixpoint engines.
+
+    Raises
+    ------
+    StratificationError
+        When a predicate depends on a member of its own recursive component
+        through negation or aggregation (no stratification exists).
+    """
+
+    program: Program
+    analysis: ProgramAnalysis
+    strata: List[Stratum]
+    stratum_of: Dict[str, int]
+
+    @classmethod
+    def of(cls, program: Program, analysis: Optional[ProgramAnalysis] = None) -> "Stratification":
+        analysis = analysis or ProgramAnalysis.of(program)
+        cached = analysis.__dict__.get("_stratification_memo")
+        if cached is not None:
+            return cached
+        stratification = cls._build(program, analysis)
+        analysis._stratification_memo = stratification
+        return stratification
+
+    @classmethod
+    def _build(cls, program: Program, analysis: ProgramAnalysis) -> "Stratification":
+        component_of = analysis._component_of
+        stratum_of_component: Dict[FrozenSet[str], int] = {}
+        stratum_of: Dict[str, int] = {}
+        # analysis.sccs is in reverse topological order: every dependency of a
+        # component appears before it, so one forward pass suffices.
+        for component in analysis.sccs:
+            members = frozenset(component)
+            level = 0
+            for predicate in component:
+                negative = analysis.negative_dependencies.get(predicate, ())
+                for dependency in analysis.dependency_graph.get(predicate, ()):
+                    target = component_of.get(dependency, frozenset({dependency}))
+                    if target == members:
+                        if dependency in negative:
+                            raise StratificationError(
+                                cls._cycle_message(program, members, predicate, dependency)
+                            )
+                        continue
+                    dependency_level = stratum_of_component.get(target, 0)
+                    if dependency in negative:
+                        dependency_level += 1
+                    level = max(level, dependency_level)
+            stratum_of_component[members] = level
+            for predicate in component:
+                stratum_of[predicate] = level
+
+        height = max(stratum_of_component.values(), default=0) + 1
+        strata: List[Stratum] = []
+        for index in range(height):
+            components = tuple(
+                frozenset(component)
+                for component in analysis.sccs
+                if stratum_of_component[frozenset(component)] == index
+            )
+            predicates = frozenset(p for c in components for p in c)
+            strata.append(Stratum(index, predicates, components))
+        return cls(
+            program=program, analysis=analysis, strata=strata, stratum_of=stratum_of
+        )
+
+    @staticmethod
+    def _cycle_message(
+        program: Program, component: FrozenSet[str], head: str, dependency: str
+    ) -> str:
+        """Name the exact rule that makes the program non-stratifiable."""
+        for rule in program.rules_for(head):
+            if rule.is_aggregate and any(
+                lit.predicate == dependency for lit in rule.body if not lit.is_builtin
+            ):
+                via = "an aggregate head"
+                witness = rule
+                break
+            if any(
+                lit.negated and lit.predicate == dependency for lit in rule.body
+            ):
+                via = "negation"
+                witness = rule
+                break
+        else:  # pragma: no cover - callers always pass a real offender
+            via, witness = "negation", None
+        rule_part = f" (rule: {witness})" if witness is not None else ""
+        return (
+            f"program is not stratifiable: {head!r} depends on {dependency!r} "
+            f"through {via} inside the recursive component "
+            f"{sorted(component)}{rule_part}"
+        )
+
+    # -- convenience views --------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of strata (1 for every positive program)."""
+        return len(self.strata)
+
+    @property
+    def is_single_stratum(self) -> bool:
+        """True when the whole program evaluates as one (positive) stratum."""
+        return len(self.strata) == 1
+
+    def stratum_rules(self, stratum: Stratum) -> List[Rule]:
+        """The intensional rules headed in ``stratum``, in program order."""
+        return [
+            rule
+            for rule in self.program.idb_rules()
+            if rule.head.predicate in stratum.predicates
+        ]
+
+    def inputs_of(self, stratum: Stratum) -> FrozenSet[str]:
+        """Every predicate read by a rule of ``stratum`` (any polarity)."""
+        read: Set[str] = set()
+        for rule in self.stratum_rules(stratum):
+            for literal in rule.body:
+                if not literal.is_builtin:
+                    read.add(literal.predicate)
+        return frozenset(read)
+
+    def lowest_affected_stratum(self, predicates: Iterable[str]) -> Optional[int]:
+        """Index of the lowest stratum reading any of ``predicates``.
+
+        ``None`` when no stratum reads them (the delta is invisible to the
+        program).  This is the restart point of the non-monotone resume path
+        (:func:`repro.engines.runtime.resume_stratified`).
+        """
+        touched = set(predicates)
+        if not touched:
+            return None
+        for stratum in self.strata:
+            if self.inputs_of(stratum) & touched:
+                return stratum.index
+        return None
+
+
 def analyze(program: Program) -> ProgramAnalysis:
-    """Convenience wrapper: :meth:`ProgramAnalysis.of`."""
+    """Convenience wrapper: :meth:`ProgramAnalysis.of` (memoized per program)."""
     return ProgramAnalysis.of(program)

@@ -136,7 +136,12 @@ class Database:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def overlay(cls, base: "Database", counters: Optional[Counters] = None) -> "Database":
+    def overlay(
+        cls,
+        base: "Database",
+        counters: Optional[Counters] = None,
+        exclude: Iterable[str] = (),
+    ) -> "Database":
         """A copy-on-write view over ``base``.
 
         The overlay shares the base's :class:`Relation` objects (and hence
@@ -145,10 +150,21 @@ class Database:
         mutate the base beyond populating its lazy index caches, so repeated
         queries against one extensional database do not pay a per-query
         row-by-row copy of the whole database.
+
+        ``exclude`` names relations to leave out of the overlay entirely --
+        the stratified resume path uses this to discard the derived relations
+        of every stratum at or above the restart point while still sharing
+        the kept relations copy-on-write.
         """
         db = cls(counters=counters)
-        db.relations = dict(base.relations)
-        db._shared = set(base.relations)
+        if exclude:
+            dropped = set(exclude)
+            db.relations = {
+                p: rel for p, rel in base.relations.items() if p not in dropped
+            }
+        else:
+            db.relations = dict(base.relations)
+        db._shared = set(db.relations)
         # The overlay continues the base's version numbering with a fresh
         # journal: creating it stays O(1), and history before the handoff is
         # answered by the base, not the overlay.

@@ -43,6 +43,17 @@ class UnsafeRuleError(ProgramValidationError):
     """Raised for rules whose head variables are not bound by the body."""
 
 
+class StratificationError(ProgramValidationError):
+    """Raised when a program has no stratification.
+
+    Stratified evaluation requires every negated or aggregated dependency to
+    point strictly *downward*: a predicate may not depend on a member of its
+    own recursive component through negation or through an aggregate head
+    (the classic counterexample is ``win(X) :- move(X, Y), not win(Y).``).
+    The message names the offending rule and the recursive component.
+    """
+
+
 class NotApplicableError(ReproError):
     """Raised when an evaluation strategy does not apply to the given input.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import operator
 from typing import Callable, Dict, Iterable, Sequence, Tuple
 
-from .terms import Constant, Term, TermLike, Variable, make_term
+from .terms import AggregateTerm, Constant, Term, TermLike, Variable, make_term
 
 #: The built-in comparison predicates and their Python implementations.
 BUILTIN_PREDICATES: Dict[str, Callable[[object, object], bool]] = {
@@ -39,14 +39,28 @@ class Literal:
         Literal("up", ["X", "a"])
     """
 
-    __slots__ = ("predicate", "args", "_hash")
+    __slots__ = ("predicate", "args", "negated", "_hash")
 
-    def __init__(self, predicate: str, args: Sequence[TermLike] = ()):
+    def __init__(
+        self, predicate: str, args: Sequence[TermLike] = (), negated: bool = False
+    ):
         if not isinstance(predicate, str) or not predicate:
             raise ValueError("predicate name must be a non-empty string")
         self.predicate = predicate
         self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
-        self._hash = hash((self.predicate, self.args))
+        self.negated = bool(negated)
+        if self.negated and predicate in BUILTIN_PREDICATES:
+            raise ValueError(
+                f"built-in comparison {predicate!r} cannot be negated; "
+                "use the complementary operator instead"
+            )
+        # Positive literals keep the historical hash so nothing downstream
+        # (plan-cache keys, set layouts) moves for pure positive programs.
+        self._hash = (
+            hash((self.predicate, self.args, True))
+            if self.negated
+            else hash((self.predicate, self.args))
+        )
 
     # -- basic structural properties -------------------------------------
 
@@ -70,6 +84,20 @@ class Literal:
         """True when the literal has exactly two argument positions."""
         return self.arity == 2
 
+    @property
+    def is_positive(self) -> bool:
+        """True when the literal is not negated (built-ins are positive)."""
+        return not self.negated
+
+    @property
+    def has_aggregate(self) -> bool:
+        """True when any argument is an :class:`AggregateTerm` (head forms)."""
+        return any(isinstance(t, AggregateTerm) for t in self.args)
+
+    def aggregate_terms(self) -> Tuple[AggregateTerm, ...]:
+        """The aggregate arguments, left to right (empty for plain literals)."""
+        return tuple(t for t in self.args if isinstance(t, AggregateTerm))
+
     def variables(self) -> Tuple[Variable, ...]:
         """The variables occurring in the argument vector, left to right.
 
@@ -92,11 +120,17 @@ class Literal:
 
     def with_args(self, args: Sequence[TermLike]) -> "Literal":
         """A copy of this literal with a different argument vector."""
-        return Literal(self.predicate, args)
+        return Literal(self.predicate, args, negated=self.negated)
 
     def with_predicate(self, predicate: str) -> "Literal":
         """A copy of this literal with a different predicate name."""
-        return Literal(predicate, self.args)
+        return Literal(predicate, self.args, negated=self.negated)
+
+    def positive(self) -> "Literal":
+        """The positive counterpart of this literal (self when not negated)."""
+        if not self.negated:
+            return self
+        return Literal(self.predicate, self.args)
 
     def evaluate_builtin(self) -> bool:
         """Evaluate a ground built-in comparison literal.
@@ -133,19 +167,23 @@ class Literal:
             isinstance(other, Literal)
             and self.predicate == other.predicate
             and self.args == other.args
+            and self.negated == other.negated
         )
 
     def __hash__(self) -> int:
         return self._hash
 
     def __repr__(self) -> str:
+        if self.negated:
+            return f"Literal({self.predicate!r}, {list(self.args)!r}, negated=True)"
         return f"Literal({self.predicate!r}, {list(self.args)!r})"
 
     def __str__(self) -> str:
         if self.is_builtin and self.arity == 2:
             return f"{self.args[0]} {self.predicate} {self.args[1]}"
         inner = ", ".join(str(a) for a in self.args)
-        return f"{self.predicate}({inner})"
+        rendered = f"{self.predicate}({inner})"
+        return f"not {rendered}" if self.negated else rendered
 
 
 def ground_atom(predicate: str, values: Iterable[object]) -> Literal:

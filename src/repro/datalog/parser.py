@@ -18,6 +18,12 @@ Conventions
 * single- or double-quoted strings are constants with a ``str`` payload;
 * the infix comparisons ``<  <=  >  >=  =  !=`` are built-in literals
   (``AT1 < DT1`` in the flight example of Section 4);
+* ``not`` before a body literal negates it (stratified negation); ``not`` is
+  a reserved word and cannot name a predicate or constant;
+* in *argument* position, ``min(C)`` / ``max(C)`` / ``sum(C)`` / ``count(C)``
+  denote aggregate terms (legal in rule heads only) and ``t(v1, ..., vn)``
+  denotes a tuple constant (the paper's ``t(X^b)`` notation); at the top
+  level ``t(...)`` and ``min(...)`` remain ordinary atoms;
 * each clause ends with a period.
 
 The parser produces :class:`~repro.datalog.rules.Program` /
@@ -34,7 +40,7 @@ from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 from .errors import DatalogSyntaxError
 from .literals import BUILTIN_PREDICATES, Literal
 from .rules import Program, Rule
-from .terms import Constant, Term, Variable
+from .terms import AGGREGATE_FUNCTIONS, AggregateTerm, Constant, Term, Variable
 
 _TOKEN_SPEC = [
     ("COMMENT", r"(%|#|//)[^\n]*"),
@@ -139,6 +145,20 @@ class _Parser:
         token = self.peek()
         if token is None:
             raise DatalogSyntaxError("unexpected end of input while reading a literal")
+        if token.kind == "IDENT" and token.text == "not":
+            self.advance()
+            inner = self.parse_literal()  # the patched entry point handles atoms
+            if inner.is_builtin:
+                raise DatalogSyntaxError(
+                    f"built-in comparison {inner} cannot be negated; "
+                    "use the complementary operator",
+                    line=token.line,
+                )
+            if inner.negated:
+                raise DatalogSyntaxError(
+                    "double negation is not part of the language", line=token.line
+                )
+            return Literal(inner.predicate, inner.args, negated=True)
         # Either `ident(args)` or an infix comparison `term OP term`.
         first_term, was_plain_atom = self.parse_term_or_atom()
         nxt = self.peek()
@@ -191,6 +211,17 @@ class _Parser:
     def parse_term(self) -> Term:
         token = self.advance()
         if token.kind == "IDENT":
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "LPAREN":
+                if token.text in AGGREGATE_FUNCTIONS:
+                    return self._parse_aggregate(token)
+                if token.text == "t":
+                    return self._parse_tuple_constant(token)
+                raise DatalogSyntaxError(
+                    f"nested atom {token.text!r}(...) is not a term "
+                    "(only t(...) tuples and aggregate terms may nest)",
+                    line=token.line,
+                )
             if token.text[0].isupper() or token.text[0] == "_":
                 return Variable(token.text)
             return Constant(token.text)
@@ -199,6 +230,39 @@ class _Parser:
         if token.kind == "STRING":
             return Constant(token.text[1:-1])
         raise DatalogSyntaxError(f"expected a term, found {token.text!r}", line=token.line)
+
+    def _parse_aggregate(self, token: Token) -> AggregateTerm:
+        """``min(C)`` / ``max(C)`` / ``sum(C)`` / ``count(C)`` in argument position."""
+        self.expect("LPAREN")
+        inner = self.parse_term()
+        if not isinstance(inner, Variable):
+            raise DatalogSyntaxError(
+                f"aggregate {token.text}(...) takes a single variable",
+                line=token.line,
+            )
+        self.expect("RPAREN")
+        return AggregateTerm(token.text, inner)
+
+    def _parse_tuple_constant(self, token: Token) -> Constant:
+        """``t(v1, ..., vn)`` in argument position: a tuple-payload constant."""
+        self.expect("LPAREN")
+        values: List[object] = []
+        if self.peek() is not None and self.peek().kind != "RPAREN":  # type: ignore[union-attr]
+            values.append(self._tuple_component(token))
+            while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
+                self.advance()
+                values.append(self._tuple_component(token))
+        self.expect("RPAREN")
+        return Constant(tuple(values))
+
+    def _tuple_component(self, token: Token) -> object:
+        component = self.parse_term()
+        if not isinstance(component, Constant):
+            raise DatalogSyntaxError(
+                f"tuple constant t(...) may only contain constants, got {component}",
+                line=token.line,
+            )
+        return component.value
 
 
 class _AtomParsed(Exception):

@@ -62,7 +62,7 @@ from .database import Database, Row
 from .errors import EvaluationError
 from .literals import BUILTIN_PREDICATES, Literal
 from .rules import Rule
-from .terms import Constant, Variable
+from .terms import AGGREGATE_FUNCTIONS, AggregateTerm, Constant, Variable
 
 Substitution = Dict[Variable, object]
 
@@ -130,6 +130,42 @@ class BuiltinCheck:
             self.evaluate = lambda slots: constant
 
 
+class NegationCheck:
+    """A negated body literal compiled to an anti-join existence probe.
+
+    Placed -- exactly like a built-in comparison -- at the earliest point by
+    which all of its variables are bound (stratification guarantees the
+    negated relation is fully evaluated by then), the check scans the *main*
+    database for rows matching the bound argument vector and fails the
+    current slot assignment when any exist.  The scan charges retrievals the
+    same way a positive scan of the same bound literal would, so the compiled
+    and interpreted executors stay counter-identical.
+    """
+
+    __slots__ = ("literal", "predicate", "const_bindings", "slot_bindings")
+
+    def __init__(self, literal: Literal, slot_of: Dict[Variable, int]):
+        self.literal = literal
+        self.predicate = literal.predicate
+        const_bindings: List[Tuple[int, object]] = []
+        slot_bindings: List[Tuple[int, int]] = []
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Constant):
+                const_bindings.append((position, term.value))
+            else:
+                # Every variable is bound at placement time, so every
+                # position gets a binding and no intra-row equalities remain.
+                slot_bindings.append((position, slot_of[term]))
+        self.const_bindings = tuple(const_bindings)
+        self.slot_bindings = tuple(slot_bindings)
+
+    def holds(self, slots: List[object], database: Database) -> bool:
+        bindings = dict(self.const_bindings)
+        for position, slot in self.slot_bindings:
+            bindings[position] = slots[slot]
+        return not database.scan(self.predicate, bindings)
+
+
 class ScanStep:
     """One non-builtin body literal compiled against slot positions."""
 
@@ -142,6 +178,7 @@ class ScanStep:
         "outputs",
         "intra_eq",
         "checks",
+        "neg_checks",
     )
 
     def __init__(
@@ -175,6 +212,7 @@ class ScanStep:
         self.outputs = tuple(outputs)
         self.intra_eq = tuple(intra_eq)
         self.checks: Tuple[BuiltinCheck, ...] = ()
+        self.neg_checks: Tuple[NegationCheck, ...] = ()
 
 
 class JoinPlan:
@@ -187,6 +225,7 @@ class JoinPlan:
         "slot_of",
         "nslots",
         "pre_checks",
+        "pre_negs",
         "steps",
         "head_template",
         "head_unbound",
@@ -201,6 +240,7 @@ class JoinPlan:
         slot_of: Dict[Variable, int],
         pre_checks: Tuple[BuiltinCheck, ...],
         steps: Tuple[ScanStep, ...],
+        pre_negs: Tuple[NegationCheck, ...] = (),
     ):
         self.body = body
         self.head = head
@@ -208,6 +248,7 @@ class JoinPlan:
         self.slot_of = slot_of
         self.nslots = len(slot_of)
         self.pre_checks = pre_checks
+        self.pre_negs = pre_negs
         self.steps = steps
         # Every variable the historical substitution dictionaries contained:
         # the caller's initial bindings plus all scan-bound variables.
@@ -241,11 +282,13 @@ class JoinPlan:
 
     @property
     def ordered_body(self) -> Tuple[Literal, ...]:
-        """The full body in execution order (builtins at their placed point)."""
+        """The full body in execution order (filters at their placed point)."""
         ordered: List[Literal] = [check.literal for check in self.pre_checks]
+        ordered.extend(neg.literal for neg in self.pre_negs)
         for step in self.steps:
             ordered.append(step.literal)
             ordered.extend(check.literal for check in step.checks)
+            ordered.extend(neg.literal for neg in step.neg_checks)
         return tuple(ordered)
 
     # -- execution ---------------------------------------------------------
@@ -334,6 +377,9 @@ class JoinPlan:
         for check in self.pre_checks:
             if not check.evaluate(slots):
                 return
+        for neg in self.pre_negs:
+            if not neg.holds(slots, database):
+                return
         steps = self.steps
         if not steps:
             yield slots
@@ -355,6 +401,11 @@ class JoinPlan:
                 if not check.evaluate(slots):
                     ok = False
                     break
+            if ok:
+                for neg in step.neg_checks:
+                    if not neg.holds(slots, database):
+                        ok = False
+                        break
             if not ok:
                 continue
             if depth == last:
@@ -412,6 +463,10 @@ class JoinPlan:
             grounded = apply_to_literal(check.literal, substitution)
             if not grounded.evaluate_builtin():
                 return
+        for neg in self.pre_negs:
+            probe = apply_to_literal(neg.literal.positive(), substitution)
+            if database.match(probe):
+                return
         steps = self.steps
 
         def satisfy(index: int, substitution: Substitution) -> Iterator[Substitution]:
@@ -437,6 +492,12 @@ class JoinPlan:
                     if not apply_to_literal(check.literal, extended).evaluate_builtin():
                         ok = False
                         break
+                if ok:
+                    for neg in step.neg_checks:
+                        probe = apply_to_literal(neg.literal.positive(), extended)
+                        if database.match(probe):
+                            ok = False
+                            break
                 if ok:
                     yield from satisfy(index + 1, extended)
 
@@ -477,6 +538,7 @@ def compile_plan(
     body = tuple(body)
     scans: List[Tuple[int, Literal]] = []
     builtins: List[Tuple[int, Literal]] = []
+    negations: List[Tuple[int, Literal]] = []
     for index, literal in enumerate(body):
         if literal.is_builtin:
             if literal.arity != 2:
@@ -484,6 +546,8 @@ def compile_plan(
                     f"built-in literal {literal} must have exactly two arguments"
                 )
             builtins.append((index, literal))
+        elif literal.negated:
+            negations.append((index, literal))
         else:
             scans.append((index, literal))
 
@@ -530,8 +594,12 @@ def compile_plan(
             if var not in slot_of:
                 slot_of[var] = len(slot_of)
 
-    # Built-in placement: the earliest step after which all variables are
-    # bound.  Position 0 means "before any scan" (ground under bound_vars).
+    # Built-in / negation placement: the earliest step after which all
+    # variables are bound.  Position 0 means "before any scan" (ground under
+    # bound_vars).  Negated literals are anti-join filters: they never bind
+    # anything, so -- like built-ins -- they attach to the first point at
+    # which the positive body has bound their argument vector, and a negated
+    # literal that can never become ground is rejected at plan time.
     available: List[Set[Variable]] = [set(bound_vars)]
     for _, literal in ordered:
         available.append(available[-1] | set(literal.variables()))
@@ -544,6 +612,17 @@ def compile_plan(
                 break
         else:
             raise EvaluationError(f"built-in literal {literal} never becomes ground")
+    neg_placement: Dict[int, List[Tuple[int, Literal]]] = {}
+    for index, literal in negations:
+        variables = set(literal.variables())
+        for position, known in enumerate(available):
+            if variables <= known:
+                neg_placement.setdefault(position, []).append((index, literal))
+                break
+        else:
+            raise EvaluationError(
+                f"negated literal {literal} is not bound by the positive body"
+            )
 
     # Delta occurrence indexes count non-builtin delta-predicate literals in
     # textual body order, matching the historical seminaive convention.
@@ -561,6 +640,10 @@ def compile_plan(
     pre_checks = tuple(
         BuiltinCheck(literal, slot_of)
         for _, literal in sorted(placement.get(0, []), key=lambda e: e[0])
+    )
+    pre_negs = tuple(
+        NegationCheck(literal, slot_of)
+        for _, literal in sorted(neg_placement.get(0, []), key=lambda e: e[0])
     )
     steps: List[ScanStep] = []
     bound_so_far: Set[Variable] = set(bound_vars)
@@ -580,10 +663,18 @@ def compile_plan(
                 placement.get(position + 1, []), key=lambda e: e[0]
             )
         )
+        step.neg_checks = tuple(
+            NegationCheck(neg_literal, slot_of)
+            for _, neg_literal in sorted(
+                neg_placement.get(position + 1, []), key=lambda e: e[0]
+            )
+        )
         steps.append(step)
         bound_so_far.update(literal.variables())
 
-    return JoinPlan(body, head, frozenset(bound_vars), slot_of, pre_checks, tuple(steps))
+    return JoinPlan(
+        body, head, frozenset(bound_vars), slot_of, pre_checks, tuple(steps), pre_negs
+    )
 
 
 # -- plan cache ------------------------------------------------------------
@@ -675,11 +766,103 @@ def delta_plans(
     occurrences = sum(
         1
         for literal in rule.body
-        if not literal.is_builtin and literal.predicate in delta_predicates
+        if not literal.is_builtin
+        and not literal.negated
+        and literal.predicate in delta_predicates
     )
     return [
         delta_plan(rule, delta_predicates, k, delta_first) for k in range(occurrences)
     ]
+
+
+# -- aggregate folds --------------------------------------------------------
+
+
+class AggregateFold:
+    """An aggregate rule compiled to a post-fixpoint fold operator.
+
+    For a rule such as ``sp(X, Y, min(C)) :- path(X, Y, C).`` the fold runs
+    the body's join plan (compiled or interpreted, following the global
+    execution mode), groups the satisfying substitutions by the head's plain
+    terms and folds, per group, the *set of distinct values* each aggregated
+    variable takes -- Datalog is set-based, so this is the only well-defined
+    reading (``sum`` sums distinct values, ``count`` counts them).
+
+    Stratification guarantees every body predicate is fully evaluated before
+    the fold's stratum starts, so a fold fires exactly once per stratum
+    evaluation: its result cannot change during the stratum's own fixpoint.
+    """
+
+    __slots__ = ("rule", "plan", "group_template", "aggregates")
+
+    def __init__(self, rule: Rule):
+        if not rule.is_aggregate:
+            raise EvaluationError(f"rule {rule} has no aggregate head")
+        self.rule = rule
+        self.plan = compile_plan(rule.body, head=None)
+        bound = {var for var, _ in self.plan.out_vars}
+        # Head template: (kind, payload) per head position, where kind is
+        # "const" / "var" / "agg" and aggregates index into self.aggregates.
+        template: List[Tuple[str, object]] = []
+        aggregates: List[Tuple[Callable, Variable]] = []
+        for term in rule.head.args:
+            if isinstance(term, AggregateTerm):
+                if term.var not in bound:
+                    raise EvaluationError(
+                        f"aggregated variable {term.var} of {rule} is not bound "
+                        "by the rule body"
+                    )
+                template.append(("agg", len(aggregates)))
+                aggregates.append((AGGREGATE_FUNCTIONS[term.func], term.var))
+            elif isinstance(term, Constant):
+                template.append(("const", term.value))
+            else:
+                if term not in bound:
+                    raise EvaluationError(
+                        f"group variable {term} of {rule} is not bound by the rule body"
+                    )
+                template.append(("var", term))
+        self.group_template = tuple(template)
+        self.aggregates = tuple(aggregates)
+
+    def heads(self, database: Database) -> Iterator[Row]:
+        """Enumerate the folded head rows over the current database.
+
+        Groups are emitted in first-seen order of the underlying join plan,
+        so the output order is as deterministic as the plan's.
+        """
+        group_vars = tuple(
+            payload for kind, payload in self.group_template if kind == "var"
+        )
+        groups: Dict[Tuple[object, ...], List[Set[object]]] = {}
+        for substitution in self.plan.substitutions(database):
+            key = tuple(substitution[var] for var in group_vars)
+            sets = groups.get(key)
+            if sets is None:
+                sets = groups[key] = [set() for _ in self.aggregates]
+            for index, (_, var) in enumerate(self.aggregates):
+                sets[index].add(substitution[var])
+        for key, sets in groups.items():
+            folded = tuple(
+                fold(values)
+                for (fold, _), values in zip(self.aggregates, sets)
+            )
+            row: List[object] = []
+            position = 0
+            for kind, payload in self.group_template:
+                if kind == "const":
+                    row.append(payload)
+                elif kind == "var":
+                    row.append(key[position])
+                    position += 1
+                else:
+                    row.append(folded[payload])
+            yield tuple(row)
+
+
+def aggregate_plan(rule: Rule) -> AggregateFold:
+    """Cached fold operator for an aggregate rule."""
+    return _cached_plan(("fold", rule), lambda: AggregateFold(rule))
 
 
 # -- compiled relational-algebra images ------------------------------------

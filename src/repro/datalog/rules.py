@@ -24,7 +24,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from .errors import ProgramValidationError, UnsafeRuleError
 from .literals import Literal
-from .terms import Variable
+from .terms import AggregateTerm, Variable
 
 
 class Rule:
@@ -41,8 +41,21 @@ class Rule:
             raise ProgramValidationError(
                 f"built-in predicate {head.predicate!r} cannot appear in a rule head"
             )
+        if head.negated:
+            raise ProgramValidationError(
+                f"negated literal {head} cannot appear in a rule head"
+            )
         self.head = head
         self.body: Tuple[Literal, ...] = tuple(body)
+        for lit in self.body:
+            if lit.has_aggregate:
+                raise ProgramValidationError(
+                    f"aggregate terms are only legal in rule heads, not in body literal {lit}"
+                )
+        if head.has_aggregate and not self.body:
+            raise ProgramValidationError(
+                f"aggregate head {head} requires a non-empty body to fold over"
+            )
         self._hash = hash((self.head, self.body))
 
     # -- structural properties ---------------------------------------------
@@ -58,26 +71,48 @@ class Rule:
         return tuple(lit.predicate for lit in self.body)
 
     def positive_body(self) -> Tuple[Literal, ...]:
-        """Body literals that are not built-in comparisons."""
-        return tuple(lit for lit in self.body if not lit.is_builtin)
+        """Body literals that are neither built-in comparisons nor negated.
+
+        These are the literals that *bind* variables by scanning stored
+        relations; negated literals and built-ins only filter.
+        """
+        return tuple(
+            lit for lit in self.body if not lit.is_builtin and not lit.negated
+        )
+
+    def negated_body(self) -> Tuple[Literal, ...]:
+        """The negated body literals (anti-join filters), left to right."""
+        return tuple(lit for lit in self.body if lit.negated)
 
     def builtin_body(self) -> Tuple[Literal, ...]:
         """Body literals that are built-in comparisons."""
         return tuple(lit for lit in self.body if lit.is_builtin)
 
+    @property
+    def is_aggregate(self) -> bool:
+        """True when the head carries at least one aggregate term."""
+        return self.head.has_aggregate
+
     def variables(self) -> Set[Variable]:
-        """All variables occurring anywhere in the rule."""
+        """All variables occurring anywhere in the rule.
+
+        The variables inside aggregate head terms count: they range over the
+        body like any other variable, only their head occurrence folds.
+        """
         result: Set[Variable] = set(self.head.variables())
+        result.update(term.var for term in self.head.aggregate_terms())
         for lit in self.body:
             result.update(lit.variables())
         return result
 
     def is_safe(self) -> bool:
-        """Safety: every head / built-in variable occurs in a positive body literal.
+        """Safety: every head / built-in / negated variable is positively bound.
 
         Facts are trivially safe.  This is the restriction the paper imposes
         ("unsafe built-in predicates must not be allowed") extended with the
-        usual range-restriction on head variables.
+        usual range-restriction on head variables, on the variables of
+        negated body literals (so anti-joins range over bound tuples only)
+        and on the grouped and aggregated variables of aggregate heads.
         """
         bound: Set[Variable] = set()
         for lit in self.positive_body():
@@ -85,10 +120,16 @@ class Rule:
         if not self.body:
             return self.head.is_ground
         head_ok = all(v in bound for v in self.head.variables())
+        aggregate_ok = all(
+            term.var in bound for term in self.head.aggregate_terms()
+        )
         builtin_ok = all(
             all(v in bound for v in lit.variables()) for lit in self.builtin_body()
         )
-        return head_ok and builtin_ok
+        negated_ok = all(
+            all(v in bound for v in lit.variables()) for lit in self.negated_body()
+        )
+        return head_ok and aggregate_ok and builtin_ok and negated_ok
 
     # -- Section 2 rule classes ---------------------------------------------
 
@@ -110,7 +151,7 @@ class Rule:
             return x_first == x_last
         chain_vars: List[Variable] = [x_first]  # type: ignore[list-item]
         for lit in self.body:
-            if lit.is_builtin or lit.arity != 2:
+            if lit.is_builtin or lit.negated or lit.arity != 2:
                 return False
             left, right = lit.args
             if not (left.is_variable and right.is_variable):
@@ -165,9 +206,21 @@ class Program:
         self._base: Set[str] = set()
         self._derived: Set[str] = set()
         self._rules_by_head: Dict[str, List[Rule]] = {}
+        self.has_negation = any(lit.negated for r in self.rules for lit in r.body)
+        self.has_aggregation = any(r.is_aggregate for r in self.rules)
         self._classify()
         if validate:
             self._validate()
+
+    @property
+    def is_positive(self) -> bool:
+        """True for plain positive Datalog: no negation, no aggregation.
+
+        Positive programs run as the 1-stratum special case of the stratified
+        runtime (:mod:`repro.engines.runtime`); everything non-positive needs
+        a stratification (:class:`repro.datalog.analysis.Stratification`).
+        """
+        return not (self.has_negation or self.has_aggregation)
 
     # -- construction helpers -------------------------------------------------
 

@@ -95,6 +95,66 @@ class Constant(Term):
         return format_constant_value(self.value)
 
 
+#: The aggregation functions an :class:`AggregateTerm` may carry.  Each maps
+#: the *set* of distinct values its variable takes within a group (Datalog is
+#: set-based, so duplicates across derivations never exist) to one value.
+AGGREGATE_FUNCTIONS = {
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+}
+
+
+class AggregateTerm(Term):
+    """An aggregate head argument such as ``min(C)`` or ``count(Y)``.
+
+    Only legal in the *head* of a rule (the stratified-aggregation
+    extension): the rule's answers are grouped by the head's plain variables
+    and ``func`` folds the set of distinct values ``var`` takes within each
+    group.  An aggregate term is neither a variable nor a constant; the rest
+    of the substrate treats it opaquely and the plan layer compiles it into a
+    post-fixpoint fold (:class:`repro.datalog.plans.AggregateFold`).
+    """
+
+    __slots__ = ("func", "var")
+
+    def __init__(self, func: str, var: "Variable"):
+        if func not in AGGREGATE_FUNCTIONS:
+            raise ValueError(
+                f"unknown aggregate function {func!r}; "
+                f"expected one of {sorted(AGGREGATE_FUNCTIONS)}"
+            )
+        if not isinstance(var, Variable):
+            raise ValueError(f"aggregate {func}(...) takes a variable, got {var!r}")
+        self.func = func
+        self.var = var
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AggregateTerm)
+            and self.func == other.func
+            and self.var == other.var
+        )
+
+    def __hash__(self) -> int:
+        return hash(("AggregateTerm", self.func, self.var))
+
+    def __repr__(self) -> str:
+        return f"AggregateTerm({self.func!r}, {self.var!r})"
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.var})"
+
+
 TermLike = Union[Term, str, int, float, tuple]
 
 

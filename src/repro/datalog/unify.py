@@ -21,7 +21,7 @@ from .database import Database, Row
 from .literals import Literal
 from .plans import body_plan, rule_plan
 from .rules import Rule
-from .terms import Constant, Term, Variable
+from .terms import AggregateTerm, Constant, Term, Variable
 
 Substitution = Dict[Variable, object]
 
@@ -35,7 +35,11 @@ def apply_to_term(term: Term, substitution: Substitution) -> Term:
 
 def apply_to_literal(literal: Literal, substitution: Substitution) -> Literal:
     """Apply a substitution to every argument of a literal."""
-    return Literal(literal.predicate, [apply_to_term(t, substitution) for t in literal.args])
+    return Literal(
+        literal.predicate,
+        [apply_to_term(t, substitution) for t in literal.args],
+        negated=literal.negated,
+    )
 
 
 def apply_to_rule(rule: Rule, substitution: Substitution) -> Rule:
@@ -148,10 +152,18 @@ def rename_apart(rule: Rule, suffix: str) -> Rule:
     for var in rule.variables():
         renamed_args[var] = Variable(var.name + suffix)
 
+    def rename_term(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return renamed_args.get(term, term)
+        if isinstance(term, AggregateTerm):
+            return AggregateTerm(term.func, renamed_args.get(term.var, term.var))
+        return term
+
     def rename_literal(literal: Literal) -> Literal:
         return Literal(
             literal.predicate,
-            [renamed_args.get(t, t) if isinstance(t, Variable) else t for t in literal.args],
+            [rename_term(t) for t in literal.args],
+            negated=literal.negated,
         )
 
     return Rule(rename_literal(rule.head), [rename_literal(lit) for lit in rule.body])

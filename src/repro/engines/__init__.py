@@ -31,6 +31,7 @@ from .graph import GraphTraversalEngine
 from .henschen_naqvi import HenschenNaqviEngine
 from .magic import MagicSetsEngine, rewrite_magic
 from .naive import NaiveEngine, evaluate_naive
+from .runtime import evaluate_stratified, resume_stratified
 from .seminaive import SeminaiveEngine, evaluate_seminaive, resume_seminaive
 from .topdown import TopDownEngine
 
@@ -57,9 +58,11 @@ __all__ = [
     "available_engines",
     "evaluate_naive",
     "evaluate_seminaive",
+    "evaluate_stratified",
     "get_engine",
     "register",
     "resume_seminaive",
+    "resume_stratified",
     "rewrite_magic",
     "run_engine",
 ]

@@ -41,7 +41,7 @@ For the repeated-traffic serving model of the session layer
     is ``{predicate: [row, ...]}``, the shape of :meth:`~repro.datalog
     .database.Database.delta_since`).  Model materializations continue the
     fixpoint seminaively from the inserted facts
-    (:func:`repro.engines.seminaive.resume_seminaive`) -- seminaive
+    (:func:`repro.engines.runtime.resume_stratified`) -- seminaive
     evaluation is already a delta computation, so the continuation is the
     same machinery seeded with the EDB delta; this is the resume path even
     for the naive engine, whose from-scratch re-run is exactly what resume
@@ -53,7 +53,28 @@ For the repeated-traffic serving model of the session layer
     ``answer``, and only when the delta touches a predicate the program can
     see.  After ``resume``, answers equal a from-scratch materialization over
     the updated database (asserted per engine and workload family by
-    ``tests/engines/test_incremental_differential.py``).
+    ``tests/engines/test_incremental_differential.py`` and, for negation and
+    aggregation, ``tests/engines/test_stratified_differential.py``).
+
+Stratified programs (negation, aggregation)
+-------------------------------------------
+
+The model engines (naive, seminaive) accept any *stratifiable* program:
+``materialize`` computes the full stratified model (one monotone fixpoint
+per stratum, bottom-up -- see :mod:`repro.engines.runtime`), ``answer``
+remains a relation lookup over it, and a program with negation or
+aggregation through recursion raises :class:`~repro.datalog.errors
+.StratificationError` instead of materializing anything.  ``resume`` on a
+delta is **non-monotone** for stratified programs -- an inserted fact below
+a ``not`` can retract conclusions above it -- so instead of continuing the
+fixpoint the runtime *restarts evaluation at the lowest stratum whose
+inputs the delta touches*, reusing the cached models of every lower stratum
+copy-on-write; positive programs are the 1-stratum special case for which
+this degenerates to the pure seminaive continuation.  The demand-driven
+strategies do not evaluate stratified programs themselves: their
+``applicable`` checks reject non-positive programs (the graph engine's
+planner falls back to the stratified bottom-up model), and the session
+layer serves such programs from the seminaive model materialization.
 
 Deletions are out of scope for this contract (they need DRed-style
 over-deletion; see ROADMAP) -- only insertions can be resumed.
@@ -243,7 +264,7 @@ class ModelMaterialization(Materialization):
         )
 
     def resume(self, edb_delta, counters=None, version=None):
-        from .seminaive import resume_seminaive
+        from .runtime import resume_stratified
 
         pairs = _normalize_delta(self.program, edb_delta)
         applied = self._apply_delta(pairs)
@@ -253,7 +274,11 @@ class ModelMaterialization(Materialization):
             grouped: Dict[str, List[Row]] = {}
             for predicate, row in pairs:
                 grouped.setdefault(predicate, []).append(row)
-            resume_seminaive(
+            # Positive programs are resumed in place (the seminaive
+            # continuation); stratified programs hand back a rebuilt
+            # database with the affected strata recomputed, which simply
+            # replaces this materialization's model.
+            self.database, _ = resume_stratified(
                 self.program, self.database, grouped, target, self._analysis
             )
         finally:

@@ -104,6 +104,10 @@ class MagicSetsEngine(Engine):
     name = "magic"
 
     def applicable(self, program: Program, query: Literal) -> bool:
+        if not program.is_positive:
+            # The rewriting has no story for negation or aggregation: magic
+            # predicates guard positive sideways information passing only.
+            return False
         try:
             adorn(program, query)
             return True
@@ -117,6 +121,11 @@ class MagicSetsEngine(Engine):
         database: Database,
         counters: Counters,
     ) -> EngineResult:
+        if not program.is_positive:
+            raise NotApplicableError(
+                "magic sets handles positive programs only; stratified programs "
+                "are served by the model engines (naive, seminaive)"
+            )
         adorned = adorn(program, query)
         magic_program, rewritten_query, seed = rewrite_magic(adorned)
         database.add_fact(seed.head.predicate, seed.head.constant_values())

@@ -7,6 +7,12 @@ weaknesses are exactly the ones the introduction lists: every round refires
 rules on data already processed (duplication of work) and the whole derived
 relation is computed regardless of the query bindings (a large set of
 potentially relevant facts).
+
+The loop itself lives in the shared stratified runtime
+(:mod:`repro.engines.runtime`): stratified programs run the Jacobi iteration
+once per stratum (negated and aggregated inputs are complete by the time a
+stratum starts), and a positive program is the 1-stratum special case whose
+rounds and counters are bit-identical to the historical global loop.
 """
 
 from __future__ import annotations
@@ -16,33 +22,22 @@ from typing import Optional
 from ..datalog.analysis import analyze
 from ..datalog.database import Database
 from ..datalog.literals import Literal
-from ..datalog.plans import rule_plan
 from ..datalog.rules import Program
 from ..datalog.semantics import answer_against_relation
 from ..instrumentation import Counters
 from .base import Engine, EngineResult, Materialization, ModelMaterialization, register
+from .runtime import evaluate_stratified
 
 
 def evaluate_naive(program: Program, database: Database, counters: Counters) -> int:
     """Run the naive fixpoint in place; returns the number of rounds.
 
     The rules are compiled to join plans once; the refiring of every rule on
-    every round -- the duplication the paper measures -- stays.
+    every round -- the duplication the paper measures -- stays.  The rounds
+    are the shared runtime's Jacobi stratum driver
+    (:func:`repro.engines.runtime.evaluate_stratified` with ``naive=True``).
     """
-    plans = [(rule.head.predicate, rule_plan(rule)) for rule in program.idb_rules()]
-    iterations = 0
-    changed = True
-    while changed:
-        iterations += 1
-        counters.iterations += 1
-        changed = False
-        for head_predicate, plan in plans:
-            for head_row in plan.heads(database):
-                counters.rule_firings += 1
-                if database.add_fact(head_predicate, head_row):
-                    counters.derived_tuples += 1
-                    changed = True
-    return iterations
+    return evaluate_stratified(program, database, counters, naive=True)
 
 
 @register

@@ -1,0 +1,379 @@
+"""The shared stratified fixpoint runtime: one stratum scheduler, two drivers.
+
+Historically every bottom-up engine carried its own fixpoint loop (naive a
+global Jacobi iteration, seminaive a per-SCC differential loop, magic the
+seminaive loop over a rewritten program).  This module is the single home of
+those loops, generalised to *stratified* programs -- negation and
+aggregation included:
+
+* :func:`evaluate_stratified` asks :class:`~repro.datalog.analysis
+  .Stratification` for the ordered strata (raising
+  :class:`~repro.datalog.errors.StratificationError` for programs with
+  negation or aggregation through recursion) and evaluates them bottom-up.
+  Within a stratum every dependency is positive -- negative arcs always
+  cross stratum boundaries -- so each stratum is an ordinary monotone
+  fixpoint over relations whose negated/aggregated inputs are already
+  complete.
+* Two **stratum drivers** reproduce the historical engines exactly:
+  ``naive=True`` runs the Jacobi iteration over the stratum's rules in
+  program order, ``naive=False`` runs the per-component seminaive
+  differential loop on the compiled delta plans of
+  :mod:`repro.datalog.plans`.  A *positive* program stratifies into exactly
+  one stratum whose component order is ``analysis.evaluation_order()``, so
+  both drivers are bit-identical -- answers *and* work counters -- to the
+  pre-stratification engines; the 88 pinned paper-sample counters enforce
+  this.
+* Aggregate rules compile to :class:`~repro.datalog.plans.AggregateFold`
+  operators and fire exactly once when their component is reached: their
+  body predicates live in strictly lower strata, so the fold's inputs cannot
+  change during the stratum's own fixpoint.
+* :func:`resume_stratified` is the incremental path of the
+  materialize/answer/resume contract.  For positive programs it is the PR-3
+  seminaive continuation (a delta computation seeded with the EDB delta).
+  Stratified programs are non-monotone under insertion -- a new ``move``
+  fact can *retract* a ``not win`` consequence -- so the resume restarts
+  evaluation at the lowest stratum whose inputs the delta touches, reusing
+  the cached models of every lower stratum via a copy-on-write overlay that
+  simply drops the affected derived relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.analysis import ProgramAnalysis, Stratification, analyze
+from ..datalog.database import Database, Row
+from ..datalog.plans import aggregate_plan, delta_plans, rule_plan
+from ..datalog.rules import Program, Rule
+from ..instrumentation import Counters
+
+
+# ---------------------------------------------------------------------------
+# Forward evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate_stratified(
+    program: Program,
+    database: Database,
+    counters: Optional[Counters] = None,
+    analysis: Optional[ProgramAnalysis] = None,
+    naive: bool = False,
+) -> int:
+    """Evaluate every stratum of ``program`` bottom-up, in place.
+
+    Returns the total number of outer-loop rounds (the sum of per-stratum
+    Jacobi rounds under the naive driver; the seminaive driver reports its
+    rounds through ``counters.iterations`` as it always has).
+
+    Raises :class:`~repro.datalog.errors.StratificationError` when the
+    program has no stratification.
+    """
+    counters = counters if counters is not None else database.counters
+    analysis = analysis or analyze(program)
+    stratification = Stratification.of(program, analysis)
+    total_rounds = 0
+    for stratum in stratification.strata:
+        rules = stratification.stratum_rules(stratum)
+        if not rules:
+            continue
+        if naive:
+            total_rounds += _jacobi_stratum(rules, database, counters)
+        else:
+            _seminaive_stratum(stratum, program, database, counters)
+    return total_rounds
+
+
+def _jacobi_stratum(rules: List[Rule], database: Database, counters: Counters) -> int:
+    """The naive driver: refire every rule of the stratum until no new tuple.
+
+    This is the historical naive loop verbatim (rules in program order, one
+    plan per rule, full refiring every round -- the duplication the paper
+    measures), preceded by the stratum's aggregate folds, which fire once.
+    """
+    scan_rules = [rule for rule in rules if not rule.is_aggregate]
+    _fire_folds(rules, database, counters)
+    plans = [(rule.head.predicate, rule_plan(rule)) for rule in scan_rules]
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        counters.iterations += 1
+        changed = False
+        for head_predicate, plan in plans:
+            for head_row in plan.heads(database):
+                counters.rule_firings += 1
+                if database.add_fact(head_predicate, head_row):
+                    counters.derived_tuples += 1
+                    changed = True
+    return iterations
+
+
+def _seminaive_stratum(
+    stratum, program: Program, database: Database, counters: Counters
+) -> None:
+    """The seminaive driver: per-component differential fixpoints.
+
+    Components are processed in the stratum's evaluation order (the reverse
+    topological order of the SCCs, filtered to the stratum), exactly as the
+    historical seminaive engine processed ``analysis.evaluation_order()``.
+    """
+    derived_predicates = program.derived_predicates
+    for component in stratum.components:
+        component_predicates = set(component) & derived_predicates
+        if not component_predicates:
+            continue
+        rules = [
+            rule
+            for predicate in component_predicates
+            for rule in program.rules_for(predicate)
+            if rule.body
+        ]
+        evaluate_component(rules, component_predicates, database, counters)
+    return None
+
+
+def _fire_folds(
+    rules: Iterable[Rule],
+    database: Database,
+    counters: Counters,
+    delta: Optional[Database] = None,
+) -> None:
+    """Fire the aggregate folds among ``rules`` once over the current state."""
+    for rule in rules:
+        if not rule.is_aggregate:
+            continue
+        head_predicate = rule.head.predicate
+        for head_row in aggregate_plan(rule).heads(database):
+            counters.rule_firings += 1
+            if database.add_fact(head_predicate, head_row):
+                counters.derived_tuples += 1
+                if delta is not None:
+                    delta.add_fact(head_predicate, head_row)
+
+
+def evaluate_component(
+    rules: List[Rule],
+    recursive_predicates: Set[str],
+    database: Database,
+    counters: Counters,
+) -> None:
+    """Seminaive iteration for one group of mutually recursive predicates.
+
+    Both the round-0 full evaluation and the delta-restricted rounds run on
+    compiled join plans (:mod:`repro.datalog.plans`); the delta rounds use
+    one cached plan variant per recursive body occurrence, whose chosen
+    occurrence reads the delta relation while every other literal reads the
+    full database (including earlier deltas already merged into it).  Plan
+    compilation rejects built-ins that can never become ground and negated
+    literals the positive body never binds, so the deferral semantics cannot
+    diverge from :func:`~repro.datalog.unify.satisfy_body` -- they are the
+    same code path.  Aggregate rules fold once in round 0 (their inputs live
+    in strictly lower strata and cannot change here); negated literals never
+    read the delta (stratification puts them below this component).
+    """
+    scan_rules = [rule for rule in rules if not rule.is_aggregate]
+    recursive_key = frozenset(recursive_predicates)
+    # Round 0: fire every rule once over the current database.
+    delta = Database()
+    _fire_folds(rules, database, counters, delta)
+    round0 = [(rule, rule_plan(rule)) for rule in scan_rules]
+    for rule, plan in round0:
+        head_predicate = rule.head.predicate
+        for head_row in plan.heads(database):
+            counters.rule_firings += 1
+            if database.add_fact(head_predicate, head_row):
+                counters.derived_tuples += 1
+                delta.add_fact(head_predicate, head_row)
+    counters.iterations += 1
+
+    # One plan variant per occurrence of a recursive predicate, with that
+    # occurrence restricted to the delta.  Non-recursive rules have no
+    # variants and cannot produce anything new after round 0.
+    variants = [(rule, delta_plans(rule, recursive_key)) for rule in scan_rules]
+    while delta.total_facts():
+        new_delta = Database()
+        for rule, plans in variants:
+            head_predicate = rule.head.predicate
+            for plan in plans:
+                for head_row in plan.heads(database, derived=delta):
+                    counters.rule_firings += 1
+                    if database.add_fact(head_predicate, head_row):
+                        counters.derived_tuples += 1
+                        new_delta.add_fact(head_predicate, head_row)
+        counters.iterations += 1
+        delta = new_delta
+
+
+# ---------------------------------------------------------------------------
+# Incremental continuation (the resume path of the engine contract)
+# ---------------------------------------------------------------------------
+
+def resume_stratified(
+    program: Program,
+    database: Database,
+    edb_delta: Dict[str, Iterable[Row]],
+    counters: Optional[Counters] = None,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> Tuple[Database, int]:
+    """Bring a materialized model up to date after EDB insertions.
+
+    ``database`` must hold a complete model of ``program`` over its previous
+    extensional state; ``edb_delta`` maps base predicates to the newly
+    inserted rows.  Returns ``(database, newly_derived_count)`` where the
+    database is the *same instance* for positive programs (resumed in place
+    by the seminaive continuation) and a fresh copy-on-write replacement for
+    stratified programs (evaluation restarted at the lowest stratum whose
+    inputs the delta touches; see the module docstring).  Rows on derived
+    predicates are rejected with :class:`ValueError`.
+    """
+    counters = counters if counters is not None else database.counters
+    analysis = analysis or analyze(program)
+    derived_predicates = program.derived_predicates
+
+    # The cross-component changed set: the EDB delta plus, as evaluation
+    # proceeds, every derived tuple added by an earlier component.  The
+    # delta rows are treated as changed even when they are already visible
+    # in ``database`` -- a copy-on-write materialization can see an
+    # insertion made to the database it was built over before its
+    # consequences have been derived, and firing a genuinely old row again
+    # only rediscovers existing facts.
+    changed = Database()
+    for predicate, rows in edb_delta.items():
+        if predicate in derived_predicates:
+            raise ValueError(
+                f"cannot resume with facts for derived predicate {predicate!r}"
+            )
+        for row in rows:
+            database.add_fact(predicate, row)
+            changed.add_fact(predicate, row)
+    if not changed.total_facts():
+        return database, 0
+
+    if program.is_positive:
+        return database, _resume_positive(program, analysis, database, changed, counters)
+    return _restart_from_lowest_affected(program, analysis, database, changed, counters)
+
+
+def _resume_positive(
+    program: Program,
+    analysis: ProgramAnalysis,
+    database: Database,
+    changed: Database,
+    counters: Counters,
+) -> int:
+    """The monotone continuation: seminaive rounds seeded with the delta."""
+    derived_predicates = program.derived_predicates
+    new_tuples = 0
+    for component in analysis.evaluation_order():
+        component_predicates = set(component) & derived_predicates
+        if not component_predicates:
+            continue
+        rules = [
+            rule
+            for predicate in component_predicates
+            for rule in program.rules_for(predicate)
+            if rule.body
+        ]
+        new_tuples += _resume_component(
+            rules, component_predicates, database, changed, counters
+        )
+    return new_tuples
+
+
+def _resume_component(
+    rules: List[Rule],
+    recursive_predicates: Set[str],
+    database: Database,
+    changed: Database,
+    counters: Counters,
+) -> int:
+    """Delta-seeded seminaive iteration for one mutually recursive group.
+
+    ``changed`` holds every row that is new since the materialized fixpoint
+    (EDB delta plus earlier components' derivations); new rows produced here
+    are merged back into it so later components see them as deltas too.
+    """
+    changed_predicates = frozenset(
+        predicate for predicate in changed.predicates() if changed.count(predicate)
+    )
+    new_tuples = 0
+
+    # Incremental round 0: one plan variant per occurrence of an
+    # already-changed predicate, that occurrence restricted to the changed
+    # rows, every other literal reading the full updated database.  A rule
+    # mentioning no changed predicate has no variants and never fires, and
+    # the delta occurrence drives the join (``delta_first``), so the round's
+    # work is proportional to the delta, not to the full relations.
+    delta = Database()
+    fired = False
+    for rule in rules:
+        head_predicate = rule.head.predicate
+        for plan in delta_plans(rule, changed_predicates, delta_first=True):
+            fired = True
+            for head_row in plan.heads(database, derived=changed):
+                counters.rule_firings += 1
+                if database.add_fact(head_predicate, head_row):
+                    counters.derived_tuples += 1
+                    new_tuples += 1
+                    delta.add_fact(head_predicate, head_row)
+    if not fired:
+        return 0
+    counters.iterations += 1
+
+    # Ordinary recursive delta rounds, delta-driven like round 0.
+    recursive_key = frozenset(recursive_predicates)
+    variants = [
+        (rule, delta_plans(rule, recursive_key, delta_first=True)) for rule in rules
+    ]
+    while delta.total_facts():
+        for predicate in delta.predicates():
+            changed.add_facts(predicate, delta.rows(predicate))
+        new_delta = Database()
+        for rule, plans in variants:
+            head_predicate = rule.head.predicate
+            for plan in plans:
+                for head_row in plan.heads(database, derived=delta):
+                    counters.rule_firings += 1
+                    if database.add_fact(head_predicate, head_row):
+                        counters.derived_tuples += 1
+                        new_tuples += 1
+                        new_delta.add_fact(head_predicate, head_row)
+        counters.iterations += 1
+        delta = new_delta
+    return new_tuples
+
+
+def _restart_from_lowest_affected(
+    program: Program,
+    analysis: ProgramAnalysis,
+    database: Database,
+    changed: Database,
+    counters: Counters,
+) -> Tuple[Database, int]:
+    """The non-monotone resume: recompute every stratum the delta can reach.
+
+    Insertions are not monotone through negation or aggregation (a new fact
+    below a ``not`` can retract consequences above it), and the storage
+    kernel is add-only, so the affected strata are recomputed from scratch:
+    the replacement database shares the extensional relations and every
+    derived relation of the strata *below* the restart point copy-on-write
+    (reusing those cached models untouched) and simply omits the rest before
+    re-running the stratum scheduler from the restart point.
+    """
+    stratification = Stratification.of(program, analysis)
+    changed_predicates = {
+        predicate for predicate in changed.predicates() if changed.count(predicate)
+    }
+    restart = stratification.lowest_affected_stratum(changed_predicates)
+    if restart is None:
+        return database, 0
+    derived_predicates = program.derived_predicates
+    dropped: Set[str] = set()
+    for stratum in stratification.strata[restart:]:
+        dropped |= stratum.predicates & derived_predicates
+    rebuilt = Database.overlay(database, counters=counters, exclude=dropped)
+    before = counters.derived_tuples
+    for stratum in stratification.strata[restart:]:
+        if stratification.stratum_rules(stratum):
+            _seminaive_stratum(stratum, program, rebuilt, counters)
+    return rebuilt, counters.derived_tuples - before

@@ -9,20 +9,28 @@ of naive evaluation but, like naive evaluation, it computes the entire
 derived relation: bindings in the query are not exploited, which is why the
 bottom-up methods are usually combined with a rewriting such as magic sets
 (:mod:`repro.engines.magic`).
+
+The fixpoint machinery itself lives in the shared stratified runtime
+(:mod:`repro.engines.runtime`): this module contributes only the engine
+wrapper and the historical entry points.  Stratified programs (negation,
+aggregation) evaluate stratum by stratum; positive programs are the
+1-stratum special case and run bit-identically to the historical
+single-fixpoint loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional
 
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.database import Database, Row
+from ..datalog.errors import EvaluationError
 from ..datalog.literals import Literal
-from ..datalog.plans import delta_plans, rule_plan
-from ..datalog.rules import Program, Rule
+from ..datalog.rules import Program
 from ..datalog.semantics import answer_against_relation
 from ..instrumentation import Counters
 from .base import Engine, EngineResult, Materialization, ModelMaterialization, register
+from .runtime import evaluate_stratified, resume_stratified
 
 
 @register
@@ -54,11 +62,11 @@ class SeminaiveEngine(Engine):
         database: Optional[Database] = None,
         counters: Optional[Counters] = None,
     ) -> Materialization:
-        """Compute the full least model once; answers are relation lookups."""
+        """Compute the full (stratified) model once; answers are lookups."""
         counters = counters if counters is not None else Counters()
         combined, basis_version = self._materialization_base(program, database, counters)
         analysis = analyze(program)
-        evaluate_seminaive(program, combined, counters, analysis)
+        evaluate_stratified(program, combined, counters, analysis)
         return ModelMaterialization(
             self, program, combined, basis_version, counters, analysis=analysis
         )
@@ -74,77 +82,15 @@ def evaluate_seminaive(
 
     The database passed in is extended in place with the derived tuples (it
     already shares the counters), and also returned for convenience.  The
-    derived predicates are processed one strongly connected component at a
-    time, bottom-up, which is the usual stratification by dependency.
+    derived predicates are processed stratum by stratum and, within each
+    stratum, one strongly connected component at a time, bottom-up -- the
+    stratified generalisation of the usual dependency ordering, driven by
+    the shared runtime (:func:`repro.engines.runtime.evaluate_stratified`).
     """
     counters = counters if counters is not None else database.counters
-    analysis = analysis or analyze(program)
-
-    for component in analysis.evaluation_order():
-        component_predicates = set(component) & program.derived_predicates
-        if not component_predicates:
-            continue
-        rules = [
-            rule
-            for predicate in component_predicates
-            for rule in program.rules_for(predicate)
-            if rule.body
-        ]
-        _evaluate_component(rules, component_predicates, database, counters)
+    evaluate_stratified(program, database, counters, analysis)
     return database
 
-
-def _evaluate_component(
-    rules: List[Rule],
-    recursive_predicates: Set[str],
-    database: Database,
-    counters: Counters,
-) -> None:
-    """Seminaive iteration for one group of mutually recursive predicates.
-
-    Both the round-0 full evaluation and the delta-restricted rounds run on
-    compiled join plans (:mod:`repro.datalog.plans`); the delta rounds use
-    one cached plan variant per recursive body occurrence, whose chosen
-    occurrence reads the delta relation while every other literal reads the
-    full database (including earlier deltas already merged into it).  Plan
-    compilation rejects built-ins that can never become ground, so the
-    deferral semantics cannot diverge from :func:`~repro.datalog.unify
-    .satisfy_body` -- they are the same code path.
-    """
-    recursive_key = frozenset(recursive_predicates)
-    # Round 0: fire every rule once over the current database.
-    delta = Database()
-    round0 = [(rule, rule_plan(rule)) for rule in rules]
-    for rule, plan in round0:
-        head_predicate = rule.head.predicate
-        for head_row in plan.heads(database):
-            counters.rule_firings += 1
-            if database.add_fact(head_predicate, head_row):
-                counters.derived_tuples += 1
-                delta.add_fact(head_predicate, head_row)
-    counters.iterations += 1
-
-    # One plan variant per occurrence of a recursive predicate, with that
-    # occurrence restricted to the delta.  Non-recursive rules have no
-    # variants and cannot produce anything new after round 0.
-    variants = [(rule, delta_plans(rule, recursive_key)) for rule in rules]
-    while delta.total_facts():
-        new_delta = Database()
-        for rule, plans in variants:
-            head_predicate = rule.head.predicate
-            for plan in plans:
-                for head_row in plan.heads(database, derived=delta):
-                    counters.rule_firings += 1
-                    if database.add_fact(head_predicate, head_row):
-                        counters.derived_tuples += 1
-                        new_delta.add_fact(head_predicate, head_row)
-        counters.iterations += 1
-        delta = new_delta
-
-
-# ---------------------------------------------------------------------------
-# Incremental continuation (the resume path of the engine contract)
-# ---------------------------------------------------------------------------
 
 def resume_seminaive(
     program: Program,
@@ -153,120 +99,22 @@ def resume_seminaive(
     counters: Optional[Counters] = None,
     analysis: Optional[ProgramAnalysis] = None,
 ) -> int:
-    """Continue a materialized fixpoint after EDB insertions.
+    """Continue a materialized fixpoint of a *positive* program in place.
 
-    ``database`` must hold a complete least model of ``program`` over its
-    previous extensional state; ``edb_delta`` maps base predicates to the
-    newly inserted rows.  Seminaive evaluation is already a delta
-    computation, so the continuation is the same machinery seeded with the
-    EDB delta instead of round-0 firings: for every strongly connected
-    component, each rule is first fired once per occurrence of an
-    already-changed predicate with that occurrence restricted to the changed
-    rows (the incremental round 0), then the ordinary recursive delta rounds
-    run until the fixpoint is re-reached.  Components whose rules mention no
-    changed predicate cost nothing.
-
-    The delta rows are treated as changed even when they are already visible
-    in ``database`` -- a copy-on-write materialization can see an insertion
-    made to the database it was built over before its consequences have been
-    derived, and firing an genuinely old row again only rediscovers existing
-    facts.  Rows on derived predicates are rejected with :class:`ValueError`.
-
-    Returns the number of newly derived tuples.
+    Seminaive evaluation is already a delta computation, so the continuation
+    is the same machinery seeded with the EDB delta instead of round-0
+    firings; see :func:`repro.engines.runtime.resume_stratified`, which this
+    wraps.  Returns the number of newly derived tuples.  Stratified programs
+    cannot be resumed in place (insertions are non-monotone through negation
+    and aggregation and the runtime swaps in a rebuilt database), so they are
+    rejected here *before* anything is mutated; callers that may see them --
+    the model materializations -- use
+    :func:`~repro.engines.runtime.resume_stratified` directly.
     """
-    counters = counters if counters is not None else database.counters
-    analysis = analysis or analyze(program)
-    derived_predicates = program.derived_predicates
-
-    # The cross-component changed set: the EDB delta plus, as evaluation
-    # proceeds, every derived tuple added by an earlier component.
-    changed = Database()
-    for predicate, rows in edb_delta.items():
-        if predicate in derived_predicates:
-            raise ValueError(
-                f"cannot resume with facts for derived predicate {predicate!r}"
-            )
-        for row in rows:
-            database.add_fact(predicate, row)
-            changed.add_fact(predicate, row)
-    if not changed.total_facts():
-        return 0
-
-    new_tuples = 0
-    for component in analysis.evaluation_order():
-        component_predicates = set(component) & derived_predicates
-        if not component_predicates:
-            continue
-        rules = [
-            rule
-            for predicate in component_predicates
-            for rule in program.rules_for(predicate)
-            if rule.body
-        ]
-        new_tuples += _resume_component(
-            rules, component_predicates, database, changed, counters
+    if not program.is_positive:
+        raise EvaluationError(
+            "stratified resume replaces the database; call "
+            "repro.engines.runtime.resume_stratified for non-positive programs"
         )
-    return new_tuples
-
-
-def _resume_component(
-    rules: List[Rule],
-    recursive_predicates: Set[str],
-    database: Database,
-    changed: Database,
-    counters: Counters,
-) -> int:
-    """Delta-seeded seminaive iteration for one mutually recursive group.
-
-    ``changed`` holds every row that is new since the materialized fixpoint
-    (EDB delta plus earlier components' derivations); new rows produced here
-    are merged back into it so later components see them as deltas too.
-    """
-    changed_predicates = frozenset(
-        predicate for predicate in changed.predicates() if changed.count(predicate)
-    )
-    new_tuples = 0
-
-    # Incremental round 0: one plan variant per occurrence of an
-    # already-changed predicate, that occurrence restricted to the changed
-    # rows, every other literal reading the full updated database.  A rule
-    # mentioning no changed predicate has no variants and never fires, and
-    # the delta occurrence drives the join (``delta_first``), so the round's
-    # work is proportional to the delta, not to the full relations.
-    delta = Database()
-    fired = False
-    for rule in rules:
-        head_predicate = rule.head.predicate
-        for plan in delta_plans(rule, changed_predicates, delta_first=True):
-            fired = True
-            for head_row in plan.heads(database, derived=changed):
-                counters.rule_firings += 1
-                if database.add_fact(head_predicate, head_row):
-                    counters.derived_tuples += 1
-                    new_tuples += 1
-                    delta.add_fact(head_predicate, head_row)
-    if not fired:
-        return 0
-    counters.iterations += 1
-
-    # Ordinary recursive delta rounds, delta-driven like round 0.
-    recursive_key = frozenset(recursive_predicates)
-    variants = [
-        (rule, delta_plans(rule, recursive_key, delta_first=True)) for rule in rules
-    ]
-    while delta.total_facts():
-        for predicate in delta.predicates():
-            changed.add_facts(predicate, delta.rows(predicate))
-        new_delta = Database()
-        for rule, plans in variants:
-            head_predicate = rule.head.predicate
-            for plan in plans:
-                for head_row in plan.heads(database, derived=delta):
-                    counters.rule_firings += 1
-                    if database.add_fact(head_predicate, head_row):
-                        counters.derived_tuples += 1
-                        new_tuples += 1
-                        new_delta.add_fact(head_predicate, head_row)
-        counters.iterations += 1
-        delta = new_delta
+    _, new_tuples = resume_stratified(program, database, edb_delta, counters, analysis)
     return new_tuples

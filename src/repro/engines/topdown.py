@@ -41,6 +41,11 @@ class TopDownEngine(Engine):
 
     name = "topdown"
 
+    def applicable(self, program: Program, query: Literal) -> bool:
+        # QSQR resolution as implemented here has no negation-as-failure
+        # tabling; stratified programs go to the bottom-up model engines.
+        return program.is_positive
+
     def _run(
         self,
         program: Program,
@@ -48,6 +53,12 @@ class TopDownEngine(Engine):
         database: Database,
         counters: Counters,
     ) -> EngineResult:
+        if not program.is_positive:
+            from ..datalog.errors import NotApplicableError
+
+            raise NotApplicableError(
+                "top-down evaluation handles positive programs only"
+            )
         evaluator = _TopDown(program, database, counters)
         rows = evaluator.solve(query)
         from ..datalog.semantics import answer_against_relation

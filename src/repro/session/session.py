@@ -70,6 +70,12 @@ def select_engine(
     * everything else falls back to the model.
     """
     analysis = analysis or analyze(program)
+    if not program.is_positive:
+        # Stratified programs are served by the model materialization: it
+        # answers every query by lookup and its resume path knows how to
+        # restart at the lowest affected stratum (the demand strategies all
+        # reject non-positive programs).
+        return _MODEL_FALLBACK
     classification = classify_query(program, query, analysis)
     if classification == "base":
         return _MODEL_FALLBACK

@@ -5,12 +5,25 @@
 * :mod:`~repro.workloads.flight` -- the Section 4 airline-connections
   database (corridors and hub-and-spoke networks);
 * :mod:`~repro.workloads.graphs` -- chains, trees, cycles, DAGs and grids for
-  the transitive-closure (regular-case) experiments.
+  the transitive-closure (regular-case) experiments;
+* :mod:`~repro.workloads.games` -- stratified negation and aggregation:
+  the bounded-lookahead win/move game, non-reachability, and
+  shortest-paths-via-min (plus the unstratifiable win program as the
+  :class:`~repro.datalog.errors.StratificationError` witness).
 
 Every generator returns ``(program, database, query)``.
 """
 
 from .flight import corridor, flight_program, hub_and_spoke
+from .games import (
+    non_reachability,
+    non_reachability_program,
+    shortest_path_program,
+    shortest_paths,
+    unstratifiable_win_program,
+    win_move_rules,
+    win_not_move,
+)
 from .graphs import (
     binary_tree,
     chain,
@@ -38,6 +51,8 @@ __all__ = [
     "flight_program",
     "grid",
     "hub_and_spoke",
+    "non_reachability",
+    "non_reachability_program",
     "random_dag",
     "random_genealogy",
     "random_graph",
@@ -46,4 +61,9 @@ __all__ = [
     "sample_b",
     "sample_c",
     "sample_cyclic",
+    "shortest_path_program",
+    "shortest_paths",
+    "unstratifiable_win_program",
+    "win_move_rules",
+    "win_not_move",
 ]

@@ -1,0 +1,177 @@
+"""Stratified-game workloads: negation and aggregation over recursion.
+
+Three families exercise the stratified runtime end to end, each returning
+the usual ``(program, database, query)`` triple:
+
+* :func:`win_not_move` -- the *bounded-lookahead* win/move game.  The
+  classic one-rule formulation ``win(X) :- move(X, Y), not win(Y).``
+  (:func:`unstratifiable_win_program`) negates through its own recursion
+  and has **no** stratification -- it is kept as the canonical
+  :class:`~repro.datalog.errors.StratificationError` witness.  The workload
+  instead stratifies the game by lookahead depth: ``lose0`` is the stuck
+  positions, ``win_k`` can move to a position lost within ``k-1``, and
+  ``lose_k`` has no move avoiding ``win_{k-1}`` -- two fresh strata per
+  level, converging to the true game value on bounded-depth move graphs.
+* :func:`non_reachability` -- negation directly over a recursive stratum:
+  transitive closure below, ``unreachable(X, Y) :- node(X), node(Y),
+  not tc(X, Y).`` above.
+* :func:`shortest_paths` -- aggregation over a recursive stratum: bounded
+  hop-count distances through an EDB successor relation (the standard
+  arithmetic-free encoding), folded by ``sp(X, Y, min(N))``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..datalog.database import Database
+from ..datalog.literals import Literal
+from ..datalog.parser import parse_literal, parse_program
+from ..datalog.rules import Program
+
+Workload = Tuple[Program, Database, Literal]
+
+
+# ---------------------------------------------------------------------------
+# Win/move
+# ---------------------------------------------------------------------------
+
+def unstratifiable_win_program() -> Program:
+    """The classic game program that stratification must reject.
+
+    ``win`` depends on itself through negation, so
+    :meth:`repro.datalog.analysis.Stratification.of` raises
+    :class:`~repro.datalog.errors.StratificationError` -- the pinned
+    counterexample of the stratification tests.
+    """
+    return parse_program("win(X) :- move(X, Y), not win(Y).")
+
+
+def win_move_rules(depth: int) -> str:
+    """The bounded-lookahead game rules, two strata per level.
+
+    ``lose0`` holds the stuck positions; for ``k >= 1``:
+
+    * ``win_k(X)``: some move from ``X`` reaches a position lost within
+      ``k - 1`` plies;
+    * ``escape_k(X)``: some move from ``X`` avoids every ``win_{k-1}``
+      position;
+    * ``lose_k(X)``: ``X`` has no escaping move (stuck positions included).
+
+    On a move graph whose longest play is shorter than ``depth`` plies,
+    ``win_<depth>`` / ``lose_<depth>`` are the true game values.
+    """
+    lines: List[str] = [
+        "has_move(X) :- move(X, Y).",
+        "lose0(X) :- position(X), not has_move(X).",
+    ]
+    previous = "lose0"
+    for level in range(1, depth + 1):
+        lines.append(f"win{level}(X) :- move(X, Y), {previous}(Y).")
+        lines.append(f"escape{level}(X) :- move(X, Y), not win{level}(Y).")
+        lines.append(f"lose{level}(X) :- position(X), not escape{level}(X).")
+        previous = f"lose{level}"
+    return "\n".join(lines)
+
+
+def win_not_move(levels: int, fanout: int = 2, depth: Optional[int] = None) -> Workload:
+    """A layered game tree: ``levels`` plies deep, ``fanout`` moves per node.
+
+    Positions are ``(level, index)`` pairs encoded as strings; every
+    position at level ``l < levels`` moves to ``fanout`` positions at level
+    ``l + 1``, and the leaf level is stuck.  The query asks for the
+    positions winning within the full lookahead.
+    """
+    depth = depth if depth is not None else levels
+    positions: List[Tuple[str]] = []
+    moves: List[Tuple[str, str]] = []
+    for level in range(levels + 1):
+        width = fanout ** level
+        for index in range(width):
+            name = f"p{level}_{index}"
+            positions.append((name,))
+            if level < levels:
+                for child in range(fanout):
+                    moves.append((name, f"p{level + 1}_{index * fanout + child}"))
+    program = parse_program(win_move_rules(depth))
+    database = Database.from_dict({"position": positions, "move": moves})
+    return program, database, parse_literal(f"win{depth}(X)")
+
+
+# ---------------------------------------------------------------------------
+# Non-reachability
+# ---------------------------------------------------------------------------
+
+NON_REACHABILITY_RULES = """
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+    unreachable(X, Y) :- node(X), node(Y), not tc(X, Y).
+"""
+
+
+def non_reachability_program() -> Program:
+    """Transitive closure below, its complement above: 2 strata."""
+    return parse_program(NON_REACHABILITY_RULES)
+
+
+def non_reachability(n: int, extra_edges: int = 0, seed: int = 0) -> Workload:
+    """A chain of ``n`` nodes (plus optional random edges); who cannot reach whom?
+
+    The query is bound on the source: ``unreachable(0, Y)``.
+    """
+    edges = {(i, i + 1) for i in range(n - 1)}
+    if extra_edges:
+        rng = random.Random(seed)
+        while len(edges) < n - 1 + extra_edges:
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                edges.add((a, b))
+    database = Database.from_dict(
+        {"edge": sorted(edges), "node": [(i,) for i in range(n)]}
+    )
+    return non_reachability_program(), database, parse_literal("unreachable(0, Y)")
+
+
+# ---------------------------------------------------------------------------
+# Shortest paths via min
+# ---------------------------------------------------------------------------
+
+SHORTEST_PATH_RULES = """
+    dist(X, Y, N) :- edge(X, Y), succ(zero, N).
+    dist(X, Z, N1) :- dist(X, Y, N), edge(Y, Z), succ(N, N1).
+    sp(X, Y, min(N)) :- dist(X, Y, N).
+"""
+
+
+def shortest_path_program() -> Program:
+    """Bounded hop counts through an EDB successor relation, folded by min.
+
+    ``succ`` enumerates ``zero -> 1 -> 2 -> ... -> bound`` so hop counts
+    need no arithmetic built-ins; the recursion is bounded by the successor
+    chain, and the aggregate stratum folds the minimum per node pair.
+    """
+    return parse_program(SHORTEST_PATH_RULES)
+
+
+def successor_facts(bound: int) -> List[Tuple[object, object]]:
+    """The ``succ`` chain ``zero -> 1 -> ... -> bound``."""
+    chain: List[Tuple[object, object]] = [("zero", 1)]
+    chain.extend((k, k + 1) for k in range(1, bound))
+    return chain
+
+
+def shortest_paths(n: int, extra_edges: int = 0, seed: int = 0) -> Workload:
+    """Shortest hop counts from node 0 over a chain with shortcut edges."""
+    edges = {(i, i + 1) for i in range(n - 1)}
+    if extra_edges:
+        rng = random.Random(seed)
+        while len(edges) < n - 1 + extra_edges:
+            a = rng.randrange(n - 1)
+            b = rng.randrange(a + 1, n)
+            if a != b:
+                edges.add((a, b))
+    database = Database.from_dict(
+        {"edge": sorted(edges), "succ": successor_facts(n)}
+    )
+    return shortest_path_program(), database, parse_literal("sp(0, Y, N)")

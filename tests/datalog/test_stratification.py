@@ -1,0 +1,127 @@
+"""The stratification pass and the memoized program analysis."""
+
+import pytest
+
+from repro.datalog.analysis import ProgramAnalysis, Stratification, analyze
+from repro.datalog.errors import StratificationError
+from repro.datalog.parser import parse_program
+from repro.workloads import (
+    non_reachability_program,
+    sample_a,
+    shortest_path_program,
+    unstratifiable_win_program,
+    win_move_rules,
+)
+
+
+class TestStratification:
+    def test_positive_program_is_a_single_stratum(self):
+        program, _, _ = sample_a(4)
+        stratification = Stratification.of(program)
+        assert stratification.height == 1
+        assert stratification.is_single_stratum
+        # ... whose component order is exactly the analysis evaluation order,
+        # which is why the stratified runtime is bit-identical on positive
+        # programs.
+        analysis = analyze(program)
+        assert list(stratification.strata[0].components) == analysis.evaluation_order()
+
+    def test_negation_above_recursion_makes_two_strata(self):
+        program = non_reachability_program()
+        stratification = Stratification.of(program)
+        assert stratification.height == 2
+        assert stratification.stratum_of["tc"] == 0
+        assert stratification.stratum_of["edge"] == 0
+        assert stratification.stratum_of["unreachable"] == 1
+
+    def test_aggregation_counts_as_a_negative_dependency(self):
+        program = shortest_path_program()
+        stratification = Stratification.of(program)
+        assert stratification.stratum_of["sp"] == stratification.stratum_of["dist"] + 1
+        analysis = analyze(program)
+        assert analysis.depends_negatively("sp", "dist")
+        assert not analysis.depends_negatively("dist", "edge")
+
+    def test_bounded_game_builds_a_tower_of_strata(self):
+        program = parse_program(win_move_rules(3))
+        stratification = Stratification.of(program)
+        assert stratification.height >= 6  # two fresh strata per lookahead level
+        for level in range(1, 4):
+            win, lose = f"win{level}", f"lose{level}"
+            assert stratification.stratum_of[lose] > stratification.stratum_of[win]
+
+    def test_negation_through_recursion_is_rejected_precisely(self):
+        with pytest.raises(StratificationError) as excinfo:
+            Stratification.of(unstratifiable_win_program())
+        message = str(excinfo.value)
+        assert "win" in message and "negation" in message
+        assert "not win(Y)" in message  # the offending rule is named
+
+    def test_aggregation_through_recursion_is_rejected(self):
+        program = parse_program(
+            """
+            p(X, N) :- base(X, N).
+            p(X, min(N)) :- p(X, N), link(X, Y).
+            """
+        )
+        with pytest.raises(StratificationError) as excinfo:
+            Stratification.of(program)
+        assert "aggregate" in str(excinfo.value)
+
+    def test_mutual_recursion_through_negation_is_rejected(self):
+        program = parse_program(
+            """
+            p(X) :- a(X), not q(X).
+            q(X) :- a(X), not p(X).
+            """
+        )
+        with pytest.raises(StratificationError):
+            Stratification.of(program)
+
+    def test_lowest_affected_stratum(self):
+        stratification = Stratification.of(non_reachability_program())
+        assert stratification.lowest_affected_stratum({"edge"}) == 0
+        assert stratification.lowest_affected_stratum({"node"}) == 1
+        assert stratification.lowest_affected_stratum({"unrelated"}) is None
+        assert stratification.lowest_affected_stratum(set()) is None
+
+    def test_stratification_is_memoized_per_program(self):
+        program = non_reachability_program()
+        assert Stratification.of(program) is Stratification.of(program)
+
+
+class TestAnalysisMemoization:
+    def test_single_construction_per_program(self, monkeypatch):
+        """`ProgramAnalysis.of` is recomputed on hot per-query paths; it must
+        build exactly once per program instance."""
+        builds = []
+        original = ProgramAnalysis._build.__func__
+
+        def counting_build(cls, program):
+            builds.append(program)
+            return original(cls, program)
+
+        monkeypatch.setattr(
+            ProgramAnalysis, "_build", classmethod(counting_build)
+        )
+        program, database, query = sample_a(4)
+        first = analyze(program)
+        assert analyze(program) is first
+        assert ProgramAnalysis.of(program) is first
+
+        # The hot paths -- engine answers and session queries -- reuse it too.
+        from repro.engines import run_engine
+        from repro.session import QuerySession
+
+        run_engine("seminaive", program, query, database.copy())
+        run_engine("naive", program, query, database.copy())
+        session = QuerySession(program, database.copy())
+        session.query(query)
+        session.query(query)
+        assert builds == [program]
+
+    def test_distinct_program_instances_get_distinct_analyses(self):
+        one, _, _ = sample_a(4)
+        other, _, _ = sample_a(4)
+        assert analyze(one) is not analyze(other)
+        assert analyze(one).program is one

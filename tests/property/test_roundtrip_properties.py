@@ -1,0 +1,119 @@
+"""Parser / pretty-printer round-trip: ``parse_literal(str(lit)) == lit``.
+
+Every literal form the language supports must survive a print-and-reparse
+cycle: plain atoms over identifiers, quoted strings, integers and tuple
+constants; zero-arity atoms; infix built-in comparisons; negated literals;
+and aggregate heads.  Rules and whole programs round-trip literal by
+literal, so the same holds for them.
+
+Known representational limits (documented in the parser): floating-point
+and boolean payloads, and strings containing both quote characters, have no
+parseable rendering -- the generators below stay inside the parseable
+constant alphabet, which is what every workload and paper sample uses.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.literals import BUILTIN_PREDICATES, Literal
+from repro.datalog.parser import parse_literal, parse_rules
+from repro.datalog.rules import Rule
+from repro.datalog.terms import AGGREGATE_FUNCTIONS, AggregateTerm, Constant, Variable
+
+# -- value alphabet ---------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s != "not"
+)
+quoted_strings = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters="'\"\\\n\r", exclude_categories=("Cc",)
+    ),
+    max_size=8,
+).filter(lambda s: not _renders_bare(s))
+
+
+def _renders_bare(value: str) -> bool:
+    """True when format_constant_value would print the string unquoted."""
+    return bool(
+        value
+        and (value[0].islower() or value[0].isdigit())
+        and all(ch.isalnum() or ch == "_" for ch in value)
+    )
+
+
+integers = st.integers(min_value=-999, max_value=999)
+scalar_values = st.one_of(identifiers, integers, quoted_strings)
+constant_values = st.recursive(
+    scalar_values,
+    lambda children: st.tuples(children).map(tuple)
+    | st.tuples(children, children).map(tuple),
+    max_leaves=4,
+)
+
+variables = st.from_regex(r"[A-Z][a-z0-9_]{0,4}", fullmatch=True).map(Variable)
+terms = st.one_of(constant_values.map(Constant), variables)
+predicates = identifiers.filter(
+    lambda s: s not in AGGREGATE_FUNCTIONS and s != "t"
+)
+
+plain_literals = st.builds(
+    Literal,
+    predicates,
+    st.lists(terms, min_size=0, max_size=4),
+)
+negated_literals = st.builds(
+    lambda predicate, args: Literal(predicate, args, negated=True),
+    predicates,
+    st.lists(terms, min_size=0, max_size=3),
+)
+builtin_literals = st.builds(
+    Literal,
+    st.sampled_from(sorted(BUILTIN_PREDICATES)),
+    st.lists(st.one_of(integers.map(Constant), variables), min_size=2, max_size=2),
+)
+aggregate_heads = st.builds(
+    Literal,
+    predicates,
+    st.lists(
+        st.one_of(
+            variables,
+            st.builds(
+                AggregateTerm, st.sampled_from(sorted(AGGREGATE_FUNCTIONS)), variables
+            ),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+
+all_literals = st.one_of(
+    plain_literals, negated_literals, builtin_literals, aggregate_heads
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(all_literals)
+def test_literal_round_trip(literal):
+    assert parse_literal(str(literal)) == literal
+
+
+@settings(max_examples=100, deadline=None)
+@given(plain_literals, st.lists(all_literals, min_size=0, max_size=4))
+def test_rule_round_trip(head_shape, body):
+    """Any printable rule reparses to itself (safety not required here)."""
+    head = Literal(
+        head_shape.predicate,
+        [t for t in head_shape.args],
+    )
+    rule = Rule(head, [lit for lit in body if not lit.has_aggregate])
+    (reparsed,) = parse_rules(str(rule))
+    assert reparsed == rule
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(plain_literals, st.lists(plain_literals, max_size=3)), min_size=1, max_size=4))
+def test_program_text_round_trip(shapes):
+    rules = [Rule(head, body) for head, body in shapes]
+    text = "\n".join(str(rule) for rule in rules)
+    assert parse_rules(text) == rules

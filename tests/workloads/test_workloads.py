@@ -178,3 +178,39 @@ class TestGraphWorkloads:
         program, database, query = workload
         result, _ = graph_run(workload)
         assert result.answers == answer_query(program, query, database)
+
+
+class TestGameWorkloads:
+    def test_win_not_move_tree_game_values(self):
+        from repro.workloads import win_not_move
+
+        program, database, query = win_not_move(3)
+        answers = {v[0] for v in answer_query(program, query, database)}
+        # leaves are stuck: their parents (level 2) win, level 1 loses, the
+        # root escapes to a losing level-1 position and wins
+        assert "p0_0" in answers
+        assert all(f"p2_{i}" in answers for i in range(4))
+        assert not any(f"p1_{i}" in answers for i in range(2))
+
+    def test_non_reachability_on_a_plain_chain(self):
+        from repro.workloads import non_reachability
+
+        program, database, query = non_reachability(5)
+        answers = {v[0] for v in answer_query(program, query, database)}
+        assert answers == {0}  # only the start itself is unreachable from 0
+
+    def test_shortest_paths_prefer_shortcuts(self):
+        from repro.workloads import shortest_paths
+
+        program, database, query = shortest_paths(6)
+        database.add_fact("edge", (0, 4))
+        hops = dict(answer_query(program, query, database))
+        assert hops[4] == 1 and hops[5] == 2 and hops[1] == 1
+
+    def test_unstratifiable_witness_stays_rejected(self):
+        from repro.datalog.analysis import Stratification
+        from repro.datalog.errors import StratificationError
+        from repro.workloads import unstratifiable_win_program
+
+        with pytest.raises(StratificationError):
+            Stratification.of(unstratifiable_win_program())
