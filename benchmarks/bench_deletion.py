@@ -1,0 +1,157 @@
+"""Deletion benchmark: DRed resume vs from-scratch rematerialization.
+
+The delete-rederive resume path (:func:`repro.engines.runtime.resume_stratified`
+with a delete delta) must do work proportional to the *affected region* of
+the model, not to the model.  Measured on the transitive-closure workload
+over binary trees, written to ``BENCH_deletion.json``:
+
+* **deletion-resume** -- retract 5% of the EDB rows (leaf edges, whose
+  consequences are a thin slice of the closure), then bring the cached
+  seminaive model up to date: DRed resume vs ``materialize`` from scratch
+  over the reduced database.  The resume must win by at least
+  ``DELETION_THRESHOLD`` (2x); in practice it wins by more, and the margin
+  grows as the deleted slice shrinks (a 1% cell is reported too).
+* **adversarial-tracking** -- the same measurement with *random* edge
+  retractions, which on a tree can invalidate half the closure.  DRed
+  honestly degrades toward (and below) scratch there; the cell is reported
+  without a threshold so the regime boundary stays visible across PRs.
+
+Every cell cross-checks the maintained model against the from-scratch model
+relation by relation before timing is trusted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_deletion.py \
+        [--output BENCH_deletion.json] [--rounds 3] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+#: DRed resume after retracting <=5% of EDB rows must beat scratch by this.
+DELETION_THRESHOLD = 2.0
+
+
+def _leaf_edges(rows):
+    sources = {row[0] for row in rows}
+    return [row for row in rows if row[1] not in sources]
+
+
+def _pick_retractions(database, predicate, fraction, leaves_only, seed):
+    rows = list(database.relations[predicate].table.all_rows())
+    pool = _leaf_edges(rows) if leaves_only else rows
+    count = max(1, int(len(rows) * fraction))
+    return random.Random(seed).sample(pool, min(count, len(pool)))
+
+
+def _assert_model_matches(program, maintained, scratch):
+    for predicate in sorted(program.derived_predicates | program.base_predicates):
+        if maintained.rows(predicate) != scratch.rows(predicate):
+            raise SystemExit(
+                f"DRed-maintained relation {predicate!r} differs from scratch"
+            )
+
+
+def deletion_cells(rounds):
+    from repro.datalog.database import Delta
+    from repro.engines import get_engine
+    from repro.workloads import binary_tree
+
+    engine = get_engine("seminaive")
+    cells = {}
+    scenarios = {
+        "deletion-resume/tc-tree-d10/leaf-5pct": (10, 0.05, True, True),
+        "deletion-resume/tc-tree-d11/leaf-5pct": (11, 0.05, True, True),
+        "deletion-resume/tc-tree-d11/leaf-1pct": (11, 0.01, True, True),
+        "adversarial-tracking/tc-tree-d10/random-5pct": (10, 0.05, False, False),
+    }
+    for name, (depth, fraction, leaves_only, thresholded) in scenarios.items():
+        program, database, _query = binary_tree(depth)
+        (predicate,) = database.predicates()
+        deleted = _pick_retractions(database, predicate, fraction, leaves_only, seed=7)
+        delta = Delta(deletes={predicate: deleted})
+
+        reduced = database.copy()
+        reduced.remove_facts(predicate, deleted)
+
+        scratch_seconds = float("inf")
+        scratch_model = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            scratch_model = engine.materialize(program, reduced.copy())
+            scratch_seconds = min(scratch_seconds, time.perf_counter() - started)
+
+        resume_seconds = float("inf")
+        for _ in range(rounds):
+            materialization = engine.materialize(program, database.copy())
+            started = time.perf_counter()
+            engine.resume(materialization, delta)
+            resume_seconds = min(resume_seconds, time.perf_counter() - started)
+            _assert_model_matches(
+                program, materialization.database, scratch_model.database
+            )
+
+        cell = {
+            "edb_rows": database.count(predicate),
+            "retracted_rows": len(deleted),
+            "retracted_fraction": round(len(deleted) / database.count(predicate), 4),
+            "scratch_seconds": round(scratch_seconds, 6),
+            "resume_seconds": round(resume_seconds, 6),
+            "speedup": round(scratch_seconds / resume_seconds, 3),
+        }
+        if thresholded:
+            cell["threshold"] = DELETION_THRESHOLD
+        cells[name] = cell
+    return cells
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_deletion.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when a thresholded cell misses its speedup target",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "meta": {
+            "baseline": "from-scratch seminaive materialization over the reduced EDB",
+            "rounds": args.rounds,
+            "python": sys.version.split()[0],
+            "threshold": DELETION_THRESHOLD,
+        },
+        "results": deletion_cells(args.rounds),
+    }
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    failures = []
+    for name, cell in sorted(report["results"].items()):
+        line = (
+            f"{name}: resume {cell['resume_seconds']:.4f}s vs "
+            f"scratch {cell['scratch_seconds']:.4f}s ({cell['speedup']:.1f}x"
+            + (f", threshold {cell['threshold']}x)" if "threshold" in cell else ")")
+        )
+        print(line)
+        if "threshold" in cell and cell["speedup"] < cell["threshold"]:
+            failures.append(line)
+
+    if failures:
+        print("\nBELOW THRESHOLD:", *failures, sep="\n  ", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("\nall thresholded cells meet the deletion-resume target")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,13 @@
-"""Incremental query sessions: materialize once, answer many, resume on growth.
+"""Incremental query sessions: materialize once, answer many, resume on change.
 
 A ``QuerySession`` binds a program to a versioned database and serves
-repeated queries from cached materializations.  Inserting facts does *not*
-recompute anything from scratch: the session reads the database's append
-journal (``delta_since``) and continues each cached fixpoint seminaively
-from exactly the new facts.
+repeated queries from cached materializations.  Neither inserting nor
+retracting facts recomputes anything from scratch: the session reads the
+database's signed journal (``delta_since``) and maintains each cached
+fixpoint incrementally -- insertions continue it seminaively from exactly
+the new facts, retractions run delete-rederive (DRed) maintenance:
+overdelete every tuple with a derivation through a deleted fact, then
+rederive the ones that survive via other derivations.
 
 Run with an optional size argument::
 
@@ -47,7 +50,7 @@ def main() -> None:
     version_before = session.database.version
     session.insert_facts("link", [(n, n + 1), (n + 1, n + 2)])
     delta = session.database.delta_since(version_before)
-    print(f"\ninserted {sum(map(len, delta.values()))} facts "
+    print(f"\ninserted {sum(map(len, delta.inserts.values()))} facts "
           f"-> version {session.database.version}, delta {delta}")
 
     refreshed = reachable(0)
@@ -59,6 +62,30 @@ def main() -> None:
     # duplicate inserts advance neither the version nor any fixpoint
     session.insert_facts("link", [(0, 1)])
     print(f"duplicate insert left the version at {session.database.version}")
+
+    # -- retracting runs delete-rederive, never rematerializes ---------------
+    version_before = session.database.version
+    cut = n // 2
+    session.retract_facts("link", [(cut, cut + 1)])
+    delta = session.database.delta_since(version_before)
+    print(f"\nretracted link({cut}, {cut + 1}) "
+          f"-> version {session.database.version}, delta {delta}")
+
+    shrunk = reachable(0)
+    expected = answer_query(program, parse_literal("tc(0, Y)"), session.database)
+    assert shrunk.answers == expected
+    print(f"tc(0, Y) shrank to {len(shrunk.answers)} answers "
+          f"(matches the least model: {shrunk.answers == expected})")
+
+    # re-inserting the cut edge restores the old fixpoint incrementally
+    session.insert_facts("link", [(cut, cut + 1)])
+    restored = reachable(0)
+    assert restored.answers == refreshed.answers
+    print(f"re-inserting the edge restored all {len(restored.answers)} answers")
+
+    # retracting an absent fact is a no-op
+    session.retract_facts("link", [(999, 1000)])
+    print(f"absent retraction left the version at {session.database.version}")
 
     print(f"\nsession stats: {session.stats}")
 

@@ -45,6 +45,7 @@ Quickstart
 from .datalog import (
     Constant,
     Database,
+    Delta,
     Literal,
     Program,
     ProgramAnalysis,
@@ -66,6 +67,7 @@ __all__ = [
     "Constant",
     "Counters",
     "Database",
+    "Delta",
     "Literal",
     "Program",
     "ProgramAnalysis",

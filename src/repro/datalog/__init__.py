@@ -29,7 +29,7 @@ This subpackage is the foundation everything else builds on:
   (perfect) model, used as ground truth in the test suite.
 """
 
-from .database import Database, Relation
+from .database import Database, Delta, Relation
 from .errors import (
     DatalogSyntaxError,
     EvaluationError,
@@ -78,6 +78,7 @@ __all__ = [
     "AggregateTerm",
     "Constant",
     "Database",
+    "Delta",
     "DatalogSyntaxError",
     "EvaluationError",
     "JoinPlan",

@@ -36,6 +36,83 @@ Row = Tuple[object, ...]
 _NO_BINDINGS: Dict[int, object] = {}
 
 
+def normalize_row(values: Iterable[object]) -> Row:
+    """The canonical stored form of a row: ``Constant`` wrappers unwrapped.
+
+    Every write path (:meth:`Database.add_fact`, :meth:`Database.remove_fact`)
+    and every membership probe that must agree with them normalizes through
+    this one helper, so the journal, the stored tuples and the resume-path
+    accounting can never drift apart on wrapper handling.
+    """
+    return tuple(v.value if isinstance(v, Constant) else v for v in values)
+
+
+class Delta:
+    """A signed extensional delta: rows inserted and rows deleted.
+
+    This is the shape :meth:`Database.delta_since` returns and every resume
+    path (:meth:`repro.engines.base.Engine.resume`,
+    :func:`repro.engines.runtime.resume_stratified`) consumes.  ``inserts``
+    and ``deletes`` map predicate names to row lists in journal order; a row
+    appearing in one side never appears in the other (``delta_since`` nets
+    the journal per row).  A plain ``{predicate: rows}`` mapping coerces to
+    an insert-only delta, so callers written against the pre-deletion
+    contract keep working unchanged.
+    """
+
+    __slots__ = ("inserts", "deletes")
+
+    def __init__(
+        self,
+        inserts: Optional[Dict[str, Iterable[Iterable[object]]]] = None,
+        deletes: Optional[Dict[str, Iterable[Iterable[object]]]] = None,
+    ):
+        self.inserts: Dict[str, List[Row]] = {
+            predicate: [tuple(row) for row in rows]
+            for predicate, rows in (inserts or {}).items()
+        }
+        self.deletes: Dict[str, List[Row]] = {
+            predicate: [tuple(row) for row in rows]
+            for predicate, rows in (deletes or {}).items()
+        }
+
+    @classmethod
+    def coerce(cls, delta: object) -> "Delta":
+        """``delta`` itself when already a :class:`Delta`, else insert-only."""
+        if isinstance(delta, Delta):
+            return delta
+        return cls(inserts=delta)  # type: ignore[arg-type]
+
+    def predicates(self) -> Set[str]:
+        """Every predicate the delta touches, on either side."""
+        return set(self.inserts) | set(self.deletes)
+
+    @property
+    def has_deletes(self) -> bool:
+        return any(self.deletes.values())
+
+    @property
+    def has_inserts(self) -> bool:
+        return any(self.inserts.values())
+
+    def total(self) -> int:
+        """Number of rows in the delta, both signs combined."""
+        return sum(len(rows) for rows in self.inserts.values()) + sum(
+            len(rows) for rows in self.deletes.values()
+        )
+
+    def __bool__(self) -> bool:
+        return self.has_inserts or self.has_deletes
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return self.inserts == other.inserts and self.deletes == other.deletes
+
+    def __repr__(self) -> str:
+        return f"Delta(inserts={self.inserts!r}, deletes={self.deletes!r})"
+
+
 class Relation:
     """A single stored relation: an arity-checking adapter over an IntTable."""
 
@@ -53,6 +130,14 @@ class Relation:
                 f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
             )
         return self.table.add(row)
+
+    def remove(self, row: Row) -> bool:
+        """Delete a tuple; returns True when it was present."""
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
+            )
+        return self.table.remove(row)
 
     @property
     def rows(self) -> FrozenSet[Row]:
@@ -96,21 +181,24 @@ class Database:
     engines, so that intermediate results enjoy the same indexing.
 
     Every database carries a monotonically increasing **version**: the number
-    of facts ever inserted into it (duplicate inserts do not advance it),
-    offset so that derived databases (:meth:`overlay`, :meth:`copy`) continue
-    the numbering of their source.  An append journal records each new fact
-    in insertion order, so :meth:`delta_since` can hand back exactly the
-    facts added after any previously observed version -- the primitive the
+    of effective mutations ever applied to it -- insertions of new rows and
+    deletions of present rows; duplicate inserts and absent-row deletes do
+    not advance it -- offset so that derived databases (:meth:`overlay`,
+    :meth:`copy`) continue the numbering of their source.  A *signed* append
+    journal records each mutation in order, so :meth:`delta_since` can hand
+    back exactly the insert and delete deltas accumulated after any
+    previously observed version (netted per row) -- the primitive the
     incremental session layer (:mod:`repro.session`) builds on.
     """
 
     def __init__(self, counters: Optional[Counters] = None):
         self.relations: Dict[str, Relation] = {}
         self.counters = counters if counters is not None else Counters()
-        # Append journal of (predicate, row) for every *new* fact, plus the
-        # version number the journal starts at (non-zero for databases derived
-        # from another one, whose earlier history is not replayed here).
-        self._journal: List[Tuple[str, Row]] = []
+        # Signed append journal of (predicate, row, inserted) for every
+        # effective mutation, plus the version number the journal starts at
+        # (non-zero for databases derived from another one, whose earlier
+        # history is not replayed here).
+        self._journal: List[Tuple[str, Row, bool]] = []
         self._journal_base: int = 0
         # Program-facts memo used by the session layer (and through it the
         # bare ``Engine.answer`` path): Program -> (version, combined
@@ -120,12 +208,16 @@ class Database:
         # Predicates whose Relation object is shared with a base database
         # (copy-on-write overlays); cloned on the first mutation.
         self._shared: Set[str] = set()
-        # Bucket-level charging memo: predicate -> bucket token -> the bucket
-        # size when it was last charged row by row.  Once a whole bucket has
-        # been charged, re-retrieving it only bumps ``fact_retrievals`` by its
-        # length -- every row is already in ``_touched``, so the per-row walk
-        # would change nothing.  Entries are dropped when the predicate gains
-        # a row (buckets only ever grow) and on instrumentation resets.
+        # Bucket-level charging memo: predicate -> bucket token -> the
+        # (bucket size, table mutation epoch) when it was last charged row
+        # by row.  Once a whole bucket has been charged, re-retrieving it
+        # only bumps ``fact_retrievals`` by its length -- every row is
+        # already in ``_touched``, so the per-row walk would change nothing.
+        # Validity is tied to the table's mutation epoch, so a mutation made
+        # through *any* database sharing the relation copy-on-write (even a
+        # delete followed by a same-size refill) forces a fresh row walk;
+        # entries are also dropped eagerly on local mutations and on
+        # instrumentation resets.
         self._charged: Dict[str, Dict[BucketToken, int]] = {}
         # Per-(predicate, position) image context: the adjacency dict, the
         # interner lookup and the charged-bucket memo for :meth:`image`,
@@ -173,7 +265,7 @@ class Database:
 
     def add_fact(self, predicate: str, values: Iterable[object]) -> bool:
         """Add a single fact; returns True when it is new."""
-        row = tuple(v.value if isinstance(v, Constant) else v for v in values)
+        row = normalize_row(values)
         relation = self.relations.get(predicate)
         if relation is None:
             relation = Relation(predicate, len(row))
@@ -186,7 +278,7 @@ class Database:
             self._shared.discard(predicate)
         added = relation.add(row)
         if added:
-            self._journal.append((predicate, row))
+            self._journal.append((predicate, row, True))
             if self._charged:
                 self._charged.pop(predicate, None)
         return added
@@ -198,6 +290,51 @@ class Database:
             if self.add_fact(predicate, row):
                 added += 1
         return added
+
+    def remove_fact(self, predicate: str, values: Iterable[object]) -> bool:
+        """Delete a single fact; returns True when it was present.
+
+        Deleting from a relation shared copy-on-write with a base database
+        clones it first, exactly like :meth:`add_fact`, so the base never
+        loses the row.  An effective deletion advances :attr:`version`, is
+        journaled with a negative sign, and invalidates the bucket-level
+        charging memos for the predicate (buckets no longer only grow, so
+        the "same size means fully charged" shortcut would turn stale).
+        """
+        row = normalize_row(values)
+        relation = self.relations.get(predicate)
+        if relation is None:
+            return False
+        if len(row) != relation.arity:
+            # Fail fast like add_fact does -- a silent False would make an
+            # arity typo look like an absent-row no-op.
+            raise ValueError(
+                f"relation {predicate!r} has arity {relation.arity}, "
+                f"got tuple of length {len(row)}"
+            )
+        if row not in relation:
+            return False
+        if predicate in self._shared:
+            relation = relation.clone()
+            self.relations[predicate] = relation
+            self._shared.discard(predicate)
+        removed = relation.remove(row)
+        if removed:
+            self._journal.append((predicate, row, False))
+            if self._charged:
+                self._charged.pop(predicate, None)
+            if self._image_ctx:
+                self._image_ctx.pop((predicate, 0), None)
+                self._image_ctx.pop((predicate, 1), None)
+        return removed
+
+    def remove_facts(self, predicate: str, rows: Iterable[Iterable[object]]) -> int:
+        """Delete many facts; returns the number actually present."""
+        removed = 0
+        for row in rows:
+            if self.remove_fact(predicate, row):
+                removed += 1
+        return removed
 
     def load_program_facts(self, program: Program) -> int:
         """Copy every fact embedded in a program into this database."""
@@ -228,23 +365,29 @@ class Database:
 
     @property
     def version(self) -> int:
-        """The monotone version: facts ever inserted (duplicates excluded).
+        """The monotone version: effective mutations ever applied.
 
-        Derived databases (:meth:`overlay`, :meth:`copy`) continue the
-        numbering of their source, so a version observed on the source can be
-        compared with versions of the derivative -- but only insertions made
-        through *this* instance are recorded in its own journal.
+        New-row insertions and present-row deletions both advance it by one;
+        duplicate inserts and absent-row deletes do not.  Derived databases
+        (:meth:`overlay`, :meth:`copy`) continue the numbering of their
+        source, so a version observed on the source can be compared with
+        versions of the derivative -- but only mutations made through *this*
+        instance are recorded in its own journal.
         """
         return self._journal_base + len(self._journal)
 
-    def delta_since(self, version: int) -> Dict[str, List[Row]]:
-        """Facts inserted after ``version``, grouped by predicate.
+    def delta_since(self, version: int) -> Delta:
+        """The signed delta accumulated after ``version``.
 
         ``version`` must be a value previously read from :attr:`version` of
         this database (or of the database it was derived from, down to its
-        handoff point).  Rows are listed in insertion order.  Asking for
-        history older than this instance records, or from the future, raises
-        :class:`ValueError`.
+        handoff point).  The journal window is *netted per row*: a row
+        deleted and later re-inserted (or vice versa) within the window
+        contributes to neither side, so applying ``delta.deletes`` then
+        ``delta.inserts`` to a snapshot at ``version`` reproduces the
+        current state exactly.  Rows are listed in journal order.  Asking
+        for history older than this instance records, or from the future,
+        raises :class:`ValueError`.
         """
         if version > self.version:
             raise ValueError(
@@ -255,9 +398,25 @@ class Database:
                 f"history before version {self._journal_base} is not recorded "
                 f"in this database (asked for {version})"
             )
-        delta: Dict[str, List[Row]] = {}
-        for predicate, row in self._journal[version - self._journal_base :]:
-            delta.setdefault(predicate, []).append(row)
+        window = self._journal[version - self._journal_base :]
+        # Signs for one row strictly alternate (a duplicate insert or an
+        # absent delete is never journaled), so the net per row is -1/0/+1.
+        net: Dict[Tuple[str, Row], int] = {}
+        for predicate, row, inserted in window:
+            key = (predicate, row)
+            net[key] = net.get(key, 0) + (1 if inserted else -1)
+        delta = Delta()
+        emitted: Set[Tuple[str, Row]] = set()
+        for predicate, row, _ in window:
+            key = (predicate, row)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            sign = net[key]
+            if sign > 0:
+                delta.inserts.setdefault(predicate, []).append(row)
+            elif sign < 0:
+                delta.deletes.setdefault(predicate, []).append(row)
         return delta
 
     # -- retrieval ---------------------------------------------------------------
@@ -345,19 +504,20 @@ class Database:
             # Bucket-level charging memo (kernel mode): once a whole bucket
             # has been charged, every row is already in ``_touched``, so a
             # repeat retrieval can bump ``fact_retrievals`` by the bucket
-            # size directly.  A grown bucket fails the size check and is
-            # re-charged row by row; inserts invalidate the predicate's
-            # entries anyway.
+            # size directly.  Any table mutation since the charge -- growth,
+            # or a delete-then-refill restoring the size, by this database
+            # or by a sibling sharing the relation -- fails the epoch check
+            # and the bucket is re-charged row by row.
             if _storage_runtime._mode == MODE_KERNEL:
                 charged = self._charged.get(predicate)
                 if charged is None:
                     charged = self._charged[predicate] = {}
-                size = len(result)
-                if charged.get(token) == size:
-                    self.counters.fact_retrievals += size
+                stamp = (len(result), relation.table.mutations)
+                if charged.get(token) == stamp:
+                    self.counters.fact_retrievals += stamp[0]
                 else:
                     self._charge(predicate, result)
-                    charged[token] = size
+                    charged[token] = stamp
             else:
                 self._charge(predicate, result)
         return result
@@ -392,6 +552,7 @@ class Database:
             self._image_ctx[key] = ctx
         adjacency, code_of, charged = ctx
         counters = self.counters
+        mutations = relation.table.mutations
         buckets: List[set] = []
         for value in values:
             code = code_of(value)
@@ -401,15 +562,17 @@ class Database:
             if entry is None:
                 continue
             targets, rows = entry
-            size = len(rows)
-            # The memo records the bucket size at full charge; a grown bucket
-            # fails the size check and is re-charged row by row, so inserts
-            # (even by another overlay sharing this relation) stay counted.
-            if charged.get(code) == size:
-                counters.fact_retrievals += size
+            stamp = (len(rows), mutations)
+            # The memo records (bucket size, table mutation epoch) at full
+            # charge; any later mutation -- growth, or a delete-then-refill
+            # restoring the size, by this database or by another one sharing
+            # the relation copy-on-write -- fails the check and the bucket
+            # is re-charged row by row.
+            if charged.get(code) == stamp:
+                counters.fact_retrievals += stamp[0]
             else:
                 self._charge(predicate, rows)
-                charged[code] = size
+                charged[code] = stamp
             buckets.append(targets)
         if not buckets:
             return set()

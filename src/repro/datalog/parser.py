@@ -12,10 +12,15 @@ The accepted syntax mirrors the notation of the paper closely::
 Conventions
 -----------
 * identifiers starting with an upper-case letter or ``_`` are **variables**;
+  a bare ``_`` is an **anonymous variable** -- every occurrence is a fresh
+  variable that never unifies with any other ``_`` (``p(X) :- q(X, _, _).``
+  projects the last two columns away independently);
 * identifiers starting with a lower-case letter are **constant symbols**
   (their payload is the identifier string);
 * integer literals are constants with an ``int`` payload;
 * single- or double-quoted strings are constants with a ``str`` payload;
+  ``\\"``, ``\\'``, ``\\\\``, ``\\n``, ``\\t`` and ``\\r`` escape sequences
+  are resolved, so quotes can appear inside either quoting style;
 * the infix comparisons ``<  <=  >  >=  =  !=`` are built-in literals
   (``AT1 < DT1`` in the flight example of Section 4);
 * ``not`` before a body literal negates it (stratified negation); ``not`` is
@@ -40,7 +45,43 @@ from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 from .errors import DatalogSyntaxError
 from .literals import BUILTIN_PREDICATES, Literal
 from .rules import Program, Rule
-from .terms import AGGREGATE_FUNCTIONS, AggregateTerm, Constant, Term, Variable
+from .terms import (
+    AGGREGATE_FUNCTIONS,
+    ANONYMOUS_PREFIX,
+    AggregateTerm,
+    Constant,
+    Term,
+    Variable,
+)
+
+#: Escape sequences accepted inside quoted strings (the inverse of
+#: :data:`repro.datalog.terms.STRING_ESCAPES`, plus ``\'``).
+_STRING_UNESCAPES = {"\\": "\\", '"': '"', "'": "'", "n": "\n", "t": "\t", "r": "\r"}
+
+
+def _unquote_string(text: str, line: int) -> str:
+    """Decode a STRING token's payload, resolving its escape sequences."""
+    body = text[1:-1]
+    if "\\" not in body:
+        return body
+    out: List[str] = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\":
+            # The token regex guarantees a character follows every backslash.
+            escape = body[index + 1]
+            resolved = _STRING_UNESCAPES.get(escape)
+            if resolved is None:
+                raise DatalogSyntaxError(
+                    f"unknown string escape \\{escape!s}", line=line
+                )
+            out.append(resolved)
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
 
 _TOKEN_SPEC = [
     ("COMMENT", r"(%|#|//)[^\n]*"),
@@ -49,7 +90,7 @@ _TOKEN_SPEC = [
     ("COMPARE", r"<=|>=|!=|==|<|>|="),
     ("NUMBER", r"-?\d+"),
     ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
-    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("STRING", r"'(?:\\.|[^'\\])*'|\"(?:\\.|[^\"\\])*\""),
     ("LPAREN", r"\("),
     ("RPAREN", r"\)"),
     ("COMMA", r","),
@@ -90,6 +131,15 @@ class _Parser:
     def __init__(self, tokens: Sequence[Token]):
         self.tokens = list(tokens)
         self.index = 0
+        # Per-clause counter for anonymous variables: every `_` becomes a
+        # fresh variable (never unified with another `_`), numbered in
+        # occurrence order so a printed clause reparses to equal structure.
+        self._anonymous = 0
+
+    def _fresh_anonymous(self) -> Variable:
+        variable = Variable(f"{ANONYMOUS_PREFIX}{self._anonymous}")
+        self._anonymous += 1
+        return variable
 
     # -- token stream helpers ------------------------------------------------
 
@@ -125,6 +175,7 @@ class _Parser:
         return rules
 
     def parse_rule(self) -> Rule:
+        self._anonymous = 0  # wildcard numbering restarts per clause
         head = self.parse_literal()
         if head.is_builtin:
             raise DatalogSyntaxError(
@@ -199,13 +250,15 @@ class _Parser:
                 atom = Literal(token.text, args)
                 self._pending_atom = atom
                 raise _AtomParsed(atom)
+            if token.text == "_":
+                return self._fresh_anonymous(), True
             if token.text[0].isupper() or token.text[0] == "_":
                 return Variable(token.text), True
             return Constant(token.text), True
         if token.kind == "NUMBER":
             return Constant(int(token.text)), True
         if token.kind == "STRING":
-            return Constant(token.text[1:-1]), True
+            return Constant(_unquote_string(token.text, token.line)), True
         raise DatalogSyntaxError(f"unexpected token {token.text!r}", line=token.line)
 
     def parse_term(self) -> Term:
@@ -222,13 +275,15 @@ class _Parser:
                     "(only t(...) tuples and aggregate terms may nest)",
                     line=token.line,
                 )
+            if token.text == "_":
+                return self._fresh_anonymous()
             if token.text[0].isupper() or token.text[0] == "_":
                 return Variable(token.text)
             return Constant(token.text)
         if token.kind == "NUMBER":
             return Constant(int(token.text))
         if token.kind == "STRING":
-            return Constant(token.text[1:-1])
+            return Constant(_unquote_string(token.text, token.line))
         raise DatalogSyntaxError(f"expected a term, found {token.text!r}", line=token.line)
 
     def _parse_aggregate(self, token: Token) -> AggregateTerm:

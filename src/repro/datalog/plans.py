@@ -134,36 +134,53 @@ class NegationCheck:
     """A negated body literal compiled to an anti-join existence probe.
 
     Placed -- exactly like a built-in comparison -- at the earliest point by
-    which all of its variables are bound (stratification guarantees the
-    negated relation is fully evaluated by then), the check scans the *main*
-    database for rows matching the bound argument vector and fails the
-    current slot assignment when any exist.  The scan charges retrievals the
-    same way a positive scan of the same bound literal would, so the compiled
-    and interpreted executors stay counter-identical.
+    which all of its *named* variables are bound (stratification guarantees
+    the negated relation is fully evaluated by then), the check scans the
+    *main* database for rows matching the bound argument vector and fails
+    the current slot assignment when any exist.  Anonymous variables that
+    the positive body does not bind are existentially quantified inside the
+    anti-join: their positions are simply unconstrained in the scan
+    (``not e(X, _)`` asks that no ``e(X, *)`` row exist), with repeated
+    occurrences of one variable still constraining each other, mirroring
+    :meth:`~repro.datalog.database.Database.match`.  The scan charges
+    retrievals the same way a positive scan of the same bound literal would,
+    so the compiled and interpreted executors stay counter-identical.
     """
 
-    __slots__ = ("literal", "predicate", "const_bindings", "slot_bindings")
+    __slots__ = ("literal", "predicate", "const_bindings", "slot_bindings", "intra_eq")
 
-    def __init__(self, literal: Literal, slot_of: Dict[Variable, int]):
+    def __init__(
+        self,
+        literal: Literal,
+        slot_of: Dict[Variable, int],
+        bound_at_placement: Set[Variable],
+    ):
         self.literal = literal
         self.predicate = literal.predicate
         const_bindings: List[Tuple[int, object]] = []
         slot_bindings: List[Tuple[int, int]] = []
+        intra_eq: List[Tuple[int, int]] = []
+        first_position: Dict[Variable, int] = {}
         for position, term in enumerate(literal.args):
             if isinstance(term, Constant):
                 const_bindings.append((position, term.value))
-            else:
-                # Every variable is bound at placement time, so every
-                # position gets a binding and no intra-row equalities remain.
+            elif term in bound_at_placement:
                 slot_bindings.append((position, slot_of[term]))
+            else:
+                # Unbound (necessarily anonymous, by the placement rule):
+                # existential within the anti-join.
+                first = first_position.setdefault(term, position)
+                if first != position:
+                    intra_eq.append((position, first))
         self.const_bindings = tuple(const_bindings)
         self.slot_bindings = tuple(slot_bindings)
+        self.intra_eq = tuple(intra_eq)
 
     def holds(self, slots: List[object], database: Database) -> bool:
         bindings = dict(self.const_bindings)
         for position, slot in self.slot_bindings:
             bindings[position] = slots[slot]
-        return not database.scan(self.predicate, bindings)
+        return not database.scan(self.predicate, bindings, self.intra_eq)
 
 
 class ScanStep:
@@ -600,6 +617,9 @@ def compile_plan(
     # anything, so -- like built-ins -- they attach to the first point at
     # which the positive body has bound their argument vector, and a negated
     # literal that can never become ground is rejected at plan time.
+    # Anonymous variables under negation are exempt from that requirement:
+    # they are existentially quantified inside the anti-join, so only the
+    # *named* variables of a negated literal must be positively bound.
     available: List[Set[Variable]] = [set(bound_vars)]
     for _, literal in ordered:
         available.append(available[-1] | set(literal.variables()))
@@ -614,7 +634,7 @@ def compile_plan(
             raise EvaluationError(f"built-in literal {literal} never becomes ground")
     neg_placement: Dict[int, List[Tuple[int, Literal]]] = {}
     for index, literal in negations:
-        variables = set(literal.variables())
+        variables = {v for v in literal.variables() if not v.is_anonymous}
         for position, known in enumerate(available):
             if variables <= known:
                 neg_placement.setdefault(position, []).append((index, literal))
@@ -642,7 +662,7 @@ def compile_plan(
         for _, literal in sorted(placement.get(0, []), key=lambda e: e[0])
     )
     pre_negs = tuple(
-        NegationCheck(literal, slot_of)
+        NegationCheck(literal, slot_of, available[0])
         for _, literal in sorted(neg_placement.get(0, []), key=lambda e: e[0])
     )
     steps: List[ScanStep] = []
@@ -664,7 +684,7 @@ def compile_plan(
             )
         )
         step.neg_checks = tuple(
-            NegationCheck(neg_literal, slot_of)
+            NegationCheck(neg_literal, slot_of, available[position + 1])
             for _, neg_literal in sorted(
                 neg_placement.get(position + 1, []), key=lambda e: e[0]
             )

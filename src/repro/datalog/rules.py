@@ -113,6 +113,13 @@ class Rule:
         usual range-restriction on head variables, on the variables of
         negated body literals (so anti-joins range over bound tuples only)
         and on the grouped and aggregated variables of aggregate heads.
+
+        Anonymous variables (``_``) inside *negated* literals are exempt:
+        they are existentially quantified within the anti-join
+        (``s(X) :- n(X), not e(X, _).`` asks that no ``e(X, *)`` row exist),
+        so they need no positive binding.  Everywhere else -- heads,
+        built-ins, aggregates -- an anonymous variable is as unsafe as any
+        other unbound variable.
         """
         bound: Set[Variable] = set()
         for lit in self.positive_body():
@@ -127,7 +134,8 @@ class Rule:
             all(v in bound for v in lit.variables()) for lit in self.builtin_body()
         )
         negated_ok = all(
-            all(v in bound for v in lit.variables()) for lit in self.negated_body()
+            all(v in bound for v in lit.variables() if not v.is_anonymous)
+            for lit in self.negated_body()
         )
         return head_ok and aggregate_ok and builtin_ok and negated_ok
 

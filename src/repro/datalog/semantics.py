@@ -87,7 +87,12 @@ def _reference_substitutions(
         return
     for index, literal in enumerate(body):
         if literal.is_builtin or literal.negated:
-            if not all(v in substitution for v in literal.variables()):
+            required = [
+                v
+                for v in literal.variables()
+                if literal.is_builtin or not v.is_anonymous
+            ]
+            if not all(v in substitution for v in required):
                 continue
             rest = body[:index] + body[index + 1 :]
             if literal.is_builtin:
@@ -101,11 +106,16 @@ def _reference_substitutions(
                 if grounded.evaluate_builtin():
                     yield from _reference_substitutions(rest, database, substitution)
                 return
-            probe = tuple(
-                substitution[t] if isinstance(t, Variable) else t.value  # type: ignore[union-attr]
-                for t in literal.args
+            # Anti-join: fail when any stored row matches the (partially
+            # bound) literal.  Anonymous variables left unbound by the
+            # positive body are existentially quantified here -- any value
+            # matches -- while repeated variables still constrain each other.
+            positive = literal.positive()
+            exists = any(
+                match_literal(positive, row, substitution) is not None
+                for row in database.rows(literal.predicate)
             )
-            if probe not in database.rows(literal.predicate):
+            if not exists:
                 yield from _reference_substitutions(rest, database, substitution)
             return
         rest = body[:index] + body[index + 1 :]

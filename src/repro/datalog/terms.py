@@ -31,6 +31,12 @@ class Term:
         return not self.is_variable
 
 
+#: Name prefix of parser-generated anonymous variables.  ``#`` cannot occur
+#: in a lexed identifier, so these names can never collide with (or be
+#: written as) user variables.
+ANONYMOUS_PREFIX = "_#"
+
+
 class Variable(Term):
     """A logical variable, identified by its name.
 
@@ -38,6 +44,14 @@ class Variable(Term):
     convention of :mod:`repro.datalog.parser`, variable names start with an
     upper-case letter or an underscore, but the class itself accepts any
     non-empty string.
+
+    **Anonymous variables.**  Each ``_`` in program text parses to a *fresh*
+    anonymous variable (named ``_#0``, ``_#1``, ... in occurrence order, per
+    clause), so two wildcards never unify with each other -- ``q(X, _, _)``
+    matches rows whose last two components differ.  Anonymous variables
+    print back as ``_``, are exempt from the range restriction inside
+    negated literals (they are existentially quantified within the
+    anti-join) and otherwise behave as ordinary variables.
     """
 
     __slots__ = ("name",)
@@ -51,6 +65,11 @@ class Variable(Term):
     def is_variable(self) -> bool:
         return True
 
+    @property
+    def is_anonymous(self) -> bool:
+        """True for ``_`` and the parser's per-occurrence ``_#k`` variables."""
+        return self.name == "_" or self.name.startswith(ANONYMOUS_PREFIX)
+
     def __eq__(self, other) -> bool:
         return isinstance(other, Variable) and self.name == other.name
 
@@ -61,7 +80,7 @@ class Variable(Term):
         return f"Variable({self.name!r})"
 
     def __str__(self) -> str:
-        return self.name
+        return "_" if self.is_anonymous else self.name
 
 
 class Constant(Term):
@@ -158,6 +177,22 @@ class AggregateTerm(Term):
 TermLike = Union[Term, str, int, float, tuple]
 
 
+#: Escape table shared by :func:`quote_string` and the lexer's unescaper.
+STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t", "\r": "\\r"}
+
+
+def quote_string(value: str) -> str:
+    """A double-quoted rendering the parser reads back to exactly ``value``.
+
+    Backslashes, double quotes and the common control characters are escaped
+    (``\\\\``, ``\\"``, ``\\n``, ``\\t``, ``\\r``), so strings containing
+    quotes -- or both quote characters at once -- survive a print/reparse
+    cycle, which plain ``repr`` quoting did not guarantee.
+    """
+    escaped = "".join(STRING_ESCAPES.get(ch, ch) for ch in value)
+    return f'"{escaped}"'
+
+
 def format_constant_value(value) -> str:
     """Render a constant payload the way the parser would accept it back."""
     if isinstance(value, tuple):
@@ -168,7 +203,7 @@ def format_constant_value(value) -> str:
             ch.isalnum() or ch == "_" for ch in value
         ):
             return value
-        return repr(value)
+        return quote_string(value)
     return repr(value)
 
 

@@ -37,23 +37,31 @@ For the repeated-traffic serving model of the session layer
     set ``details["cached"]``.
 
 ``resume(materialization, edb_delta) -> Materialization``
-    Bring the materialization up to date after EDB *insertions* (``edb_delta``
-    is ``{predicate: [row, ...]}``, the shape of :meth:`~repro.datalog
-    .database.Database.delta_since`).  Model materializations continue the
-    fixpoint seminaively from the inserted facts
-    (:func:`repro.engines.runtime.resume_stratified`) -- seminaive
-    evaluation is already a delta computation, so the continuation is the
-    same machinery seeded with the EDB delta; this is the resume path even
-    for the naive engine, whose from-scratch re-run is exactly what resume
-    exists to avoid.  The magic engine continues each cached query's
-    rewritten-program fixpoint the same way.  The set-at-a-time traversal
-    strategies (counting, Henschen-Naqvi, graph) keep no arc-set state that
-    a later insertion could extend, so their cached queries are refreshed by
-    re-running the traversal over the updated base -- lazily, on the next
-    ``answer``, and only when the delta touches a predicate the program can
-    see.  After ``resume``, answers equal a from-scratch materialization over
-    the updated database (asserted per engine and workload family by
-    ``tests/engines/test_incremental_differential.py`` and, for negation and
+    Bring the materialization up to date after an EDB delta.  ``edb_delta``
+    is either a plain ``{predicate: [row, ...]}`` mapping of insertions (the
+    historical contract) or a signed :class:`~repro.datalog.database.Delta`
+    carrying insertions *and* deletions -- the shape :meth:`~repro.datalog
+    .database.Database.delta_since` returns.  Model materializations
+    maintain the model in place: insertions continue the fixpoint
+    seminaively from the inserted facts (seminaive evaluation is already a
+    delta computation, so the continuation is the same machinery seeded
+    with the EDB delta; this is the resume path even for the naive engine,
+    whose from-scratch re-run is exactly what resume exists to avoid) and
+    deletions run delete-rederive (DRed) maintenance -- overdelete every
+    tuple with a derivation through a deleted fact, then rederive the
+    survivors; both live in :func:`repro.engines.runtime.resume_stratified`.
+    The magic engine continues each cached query's rewritten-program
+    fixpoint for insertions and recomputes the entry when a visible
+    deletion arrives (over-deleted magic seeds are not continuable).  The
+    set-at-a-time traversal strategies (counting, Henschen-Naqvi, graph)
+    keep no arc-set state that a later mutation could patch, so their
+    cached queries are refreshed by re-running the traversal over the
+    updated base -- lazily, on the next ``answer``, and only when the delta
+    (of either sign) touches a predicate the program can see.  After
+    ``resume``, answers equal a from-scratch materialization over the
+    updated database (asserted per engine and workload family by
+    ``tests/engines/test_incremental_differential.py``,
+    ``tests/engines/test_deletion_differential.py`` and, for negation and
     aggregation, ``tests/engines/test_stratified_differential.py``).
 
 Stratified programs (negation, aggregation)
@@ -75,9 +83,8 @@ strategies do not evaluate stratified programs themselves: their
 ``applicable`` checks reject non-positive programs (the graph engine's
 planner falls back to the stratified bottom-up model), and the session
 layer serves such programs from the seminaive model materialization.
-
-Deletions are out of scope for this contract (they need DRed-style
-over-deletion; see ROADMAP) -- only insertions can be resumed.
+Deletions restart the affected strata the same way -- a deleted fact below
+a ``not`` is as non-monotone as an inserted one.
 """
 
 from __future__ import annotations
@@ -85,7 +92,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Type
 
-from ..datalog.database import Database, Row
+from ..datalog.database import Database, Delta, Row, normalize_row
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
 from ..datalog.rules import Program
@@ -154,20 +161,16 @@ def _canonical_query_key(query: Literal) -> Tuple[str, Tuple[Tuple[str, object],
     return (query.predicate, tuple(shape))
 
 
-def _normalize_delta(
-    program: Program, edb_delta: Dict[str, Iterable[Row]]
-) -> List[Tuple[str, Row]]:
-    """Flatten a ``{predicate: rows}`` delta, rejecting derived predicates."""
+def _coerce_delta(program: Program, edb_delta: object) -> Delta:
+    """Coerce a resume delta to :class:`Delta`, rejecting derived predicates."""
+    delta = Delta.coerce(edb_delta)
     derived = program.derived_predicates
-    pairs: List[Tuple[str, Row]] = []
-    for predicate, rows in edb_delta.items():
+    for predicate in delta.predicates():
         if predicate in derived:
             raise ValueError(
                 f"cannot resume with facts for derived predicate {predicate!r}"
             )
-        for row in rows:
-            pairs.append((predicate, tuple(row)))
-    return pairs
+    return delta
 
 
 class Materialization:
@@ -203,31 +206,58 @@ class Materialization:
 
     def resume(
         self,
-        edb_delta: Dict[str, Iterable[Row]],
+        edb_delta,
         counters: Optional[Counters] = None,
         version: Optional[int] = None,
     ) -> "Materialization":
-        """Apply an EDB insertion delta; see :meth:`Engine.resume`."""
+        """Apply a (possibly signed) EDB delta; see :meth:`Engine.resume`."""
         raise NotImplementedError
 
-    def _apply_delta(self, pairs: List[Tuple[str, Row]]) -> int:
-        """Insert the delta rows into the base; count the genuinely new ones."""
+    def _effective_size(self, delta: Delta) -> int:
+        """How many delta rows would mutate the base: new inserts + present deletes.
+
+        Computed *before* the delta is applied, with uncharged O(1)
+        membership probes per row (never a whole-relation snapshot -- the
+        streaming resume path calls this once per batch).  Rows are
+        normalized exactly as :meth:`Database.add_fact` normalizes them, so
+        ``Constant``-wrapped duplicates are recognised as duplicates, and
+        repeats *within* the delta count once -- overshooting would move the
+        basis version past the source database and make the next
+        ``delta_since`` raise.
+        """
         applied = 0
-        for predicate, row in pairs:
-            if self.database.add_fact(predicate, row):
-                applied += 1
+        relations = self.database.relations
+        for predicate, rows in delta.inserts.items():
+            relation = relations.get(predicate)
+            new_rows: Set[Row] = set()
+            for row in rows:
+                row = normalize_row(row)
+                if (relation is None or row not in relation) and row not in new_rows:
+                    new_rows.add(row)
+                    applied += 1
+        for predicate, rows in delta.deletes.items():
+            relation = relations.get(predicate)
+            if relation is None:
+                continue
+            gone_rows: Set[Row] = set()
+            for row in rows:
+                row = normalize_row(row)
+                if row in relation and row not in gone_rows:
+                    gone_rows.add(row)
+                    applied += 1
         return applied
 
     def _advance(self, version: Optional[int], applied: int) -> None:
         """Move the basis version after a resume.
 
         Without an explicit ``version`` the basis advances by the number of
-        rows *newly added* to the materialization's database -- never by the
-        raw delta length: rows already visible (duplicates, or insertions
-        that leaked through copy-on-write sharing before the resume) do not
-        advance the source database's version either, and overshooting it
-        would make a later ``delta_since(basis_version)`` raise.  Advancing
-        too little is safe -- re-applying a delta row is idempotent.
+        rows that *effectively mutated* the materialization's database --
+        never by the raw delta length: rows already visible (duplicate
+        inserts) or already gone (absent deletes, or mutations that leaked
+        through copy-on-write sharing before the resume) do not advance the
+        source database's version either, and overshooting it would make a
+        later ``delta_since(basis_version)`` raise.  Advancing too little is
+        safe -- re-applying a delta row is idempotent.
         """
         if version is not None:
             self.basis_version = version
@@ -266,20 +296,18 @@ class ModelMaterialization(Materialization):
     def resume(self, edb_delta, counters=None, version=None):
         from .runtime import resume_stratified
 
-        pairs = _normalize_delta(self.program, edb_delta)
-        applied = self._apply_delta(pairs)
+        delta = _coerce_delta(self.program, edb_delta)
+        applied = self._effective_size(delta)
         target = counters if counters is not None else self.counters
         previous, self.database.counters = self.database.counters, target
         try:
-            grouped: Dict[str, List[Row]] = {}
-            for predicate, row in pairs:
-                grouped.setdefault(predicate, []).append(row)
-            # Positive programs are resumed in place (the seminaive
-            # continuation); stratified programs hand back a rebuilt
-            # database with the affected strata recomputed, which simply
-            # replaces this materialization's model.
+            # Positive programs are maintained in place (DRed for the
+            # deletions, then the seminaive continuation for the
+            # insertions); stratified programs hand back a rebuilt database
+            # with the affected strata recomputed, which simply replaces
+            # this materialization's model.
             self.database, _ = resume_stratified(
-                self.program, self.database, grouped, target, self._analysis
+                self.program, self.database, delta, target, self._analysis
             )
         finally:
             self.database.counters = previous
@@ -309,9 +337,10 @@ class DemandMaterialization(Materialization):
     Henschen-Naqvi, graph traversal, top-down), whose work is driven by the
     query constants.  ``database`` holds the extensional relations plus the
     program facts; each cached query computed over it gets its own overlay.
-    :meth:`resume` applies the delta to the base immediately and logs it;
-    cache entries are brought up to date lazily on their next :meth:`answer`
-    -- the magic engine by continuing the entry's rewritten-program fixpoint,
+    :meth:`resume` applies the (possibly signed) delta to the base
+    immediately and logs it; cache entries are brought up to date lazily on
+    their next :meth:`answer` -- the magic engine by continuing the entry's
+    rewritten-program fixpoint (insertions) or recomputing it (deletions),
     the traversal engines by re-running the traversal -- and only when the
     delta touches a predicate the entry can see.
     """
@@ -321,12 +350,13 @@ class DemandMaterialization(Materialization):
     def __init__(self, engine, program, database, basis_version, counters):
         super().__init__(engine, program, database, basis_version, counters)
         self._entries: Dict[object, _DemandEntry] = {}
-        # Pending delta rows not yet seen by every entry.  ``entry.synced``
-        # holds *absolute* log positions; the list itself is pruned to the
-        # slowest entry's position, with ``_log_offset`` recording how many
-        # rows were dropped, so a long-lived session's memory is bounded by
-        # the unsynced window, not by the total insert history.
-        self._log: List[Tuple[str, Row]] = []
+        # Pending signed delta rows -- (predicate, row, inserted) -- not yet
+        # seen by every entry.  ``entry.synced`` holds *absolute* log
+        # positions; the list itself is pruned to the slowest entry's
+        # position, with ``_log_offset`` recording how many rows were
+        # dropped, so a long-lived session's memory is bounded by the
+        # unsynced window, not by the total mutation history.
+        self._log: List[Tuple[str, Row, bool]] = []
         self._log_offset = 0
 
     def _log_end(self) -> int:
@@ -361,8 +391,19 @@ class DemandMaterialization(Materialization):
         )
 
     def resume(self, edb_delta, counters=None, version=None):
-        pairs = _normalize_delta(self.program, edb_delta)
-        applied = self._apply_delta(pairs)
+        delta = _coerce_delta(self.program, edb_delta)
+        applied = 0
+        pairs: List[Tuple[str, Row, bool]] = []
+        for predicate, rows in delta.deletes.items():
+            for row in rows:
+                if self.database.remove_fact(predicate, row):
+                    applied += 1
+                pairs.append((predicate, row, False))
+        for predicate, rows in delta.inserts.items():
+            for row in rows:
+                if self.database.add_fact(predicate, row):
+                    applied += 1
+                pairs.append((predicate, row, True))
         if self._entries:
             self._log.extend(pairs)
         # without entries there is nothing to refresh later: new entries
@@ -378,9 +419,9 @@ class DemandMaterialization(Materialization):
             self._log_offset = slowest
 
     def _delta_visible_to(
-        self, entry: _DemandEntry, delta_slice: List[Tuple[str, Row]]
+        self, entry: _DemandEntry, delta_slice: List[Tuple[str, Row, bool]]
     ) -> bool:
-        touched = {predicate for predicate, _ in delta_slice}
+        touched = {predicate for predicate, _, _ in delta_slice}
         if entry.query.predicate in self.program.derived_predicates:
             return bool(touched & self.program.predicates)
         return entry.query.predicate in touched
@@ -452,17 +493,19 @@ class Engine:
     def resume(
         self,
         materialization: Materialization,
-        edb_delta: Dict[str, Iterable[Row]],
+        edb_delta,
         counters: Optional[Counters] = None,
         version: Optional[int] = None,
     ) -> Materialization:
-        """Bring ``materialization`` up to date after EDB insertions.
+        """Bring ``materialization`` up to date after an EDB delta.
 
-        ``edb_delta`` maps base predicates to newly inserted rows (the shape
+        ``edb_delta`` is either a plain ``{predicate: rows}`` mapping of
+        insertions or a signed :class:`~repro.datalog.database.Delta`
+        carrying insertions and deletions (the shape
         :meth:`Database.delta_since` returns).  ``version`` optionally pins
         the database version the materialization now corresponds to; without
-        it the basis version advances by the number of delta rows.  Returns
-        the same (updated) materialization.
+        it the basis version advances by the number of effective delta rows.
+        Returns the same (updated) materialization.
         """
         if materialization.engine_name != self.name:
             raise ValueError(
@@ -502,7 +545,7 @@ class Engine:
         self,
         materialization: DemandMaterialization,
         entry: _DemandEntry,
-        delta_slice: List[Tuple[str, Row]],
+        delta_slice: List[Tuple[str, Row, bool]],
         counters: Counters,
     ) -> EngineResult:
         """Bring one cached query up to date after a resumed delta.
@@ -510,7 +553,7 @@ class Engine:
         The default re-runs the strategy over the updated base (the honest
         move for the set-at-a-time traversals, which keep no continuable
         state); the magic engine overrides this with a seminaive continuation
-        of the entry's rewritten-program fixpoint.
+        of the entry's rewritten-program fixpoint for insert-only slices.
         """
         return self._materialize_entry(materialization, entry, counters)
 

@@ -171,14 +171,26 @@ class MagicSetsEngine(Engine):
 
     def _refresh_entry(self, materialization, entry, delta_slice, counters):
         magic_program, rewritten_query, overlay, analysis = entry.state
-        delta: Dict[str, List[tuple]] = {}
-        for predicate, row in delta_slice:
-            if predicate in magic_program.predicates:
-                delta.setdefault(predicate, []).append(row)
+        inserts: Dict[str, List[tuple]] = {}
+        visible_delete = False
+        for predicate, row, inserted in delta_slice:
+            if predicate not in magic_program.predicates:
+                continue
+            if inserted:
+                inserts.setdefault(predicate, []).append(row)
+            else:
+                visible_delete = True
+        if visible_delete:
+            # Deletions are not continuable here: the rewritten program's
+            # magic seeds would need over-deletion of their own, and the
+            # entry's overlay shares relations copy-on-write with the
+            # already-updated base.  Recompute the entry's fixpoint over the
+            # updated base instead -- exactly what a fresh query would do.
+            return self._materialize_entry(materialization, entry, counters)
         previous, overlay.counters = overlay.counters, counters
         try:
-            if delta:
-                resume_seminaive(magic_program, overlay, delta, counters, analysis)
+            if inserts:
+                resume_seminaive(magic_program, overlay, inserts, counters, analysis)
         finally:
             overlay.counters = previous
         adorned = entry.result.details.get("adorned_program")

@@ -28,13 +28,29 @@ aggregation included:
   body predicates live in strictly lower strata, so the fold's inputs cannot
   change during the stratum's own fixpoint.
 * :func:`resume_stratified` is the incremental path of the
-  materialize/answer/resume contract.  For positive programs it is the PR-3
-  seminaive continuation (a delta computation seeded with the EDB delta).
-  Stratified programs are non-monotone under insertion -- a new ``move``
-  fact can *retract* a ``not win`` consequence -- so the resume restarts
-  evaluation at the lowest stratum whose inputs the delta touches, reusing
-  the cached models of every lower stratum via a copy-on-write overlay that
-  simply drops the affected derived relations.
+  materialize/answer/resume contract, and it now accepts *signed* deltas
+  (:class:`~repro.datalog.database.Delta`: inserts and deletes).  For
+  positive programs insertions are the PR-3 seminaive continuation (a delta
+  computation seeded with the EDB delta) and deletions run the
+  **delete-rederive (DRed)** maintenance of Gupta-Mumick-Subrahmanian:
+
+  1. *overdelete* -- every derived tuple with at least one derivation
+     through a deleted tuple is collected to a fixpoint, driven from the
+     delete-delta side by the same ``delta_first`` join plans the insertion
+     resume uses;
+  2. *remove* -- the deleted EDB rows and the overdeleted derived rows are
+     physically removed (the storage kernel maintains its hash and
+     adjacency indexes incrementally under removal);
+  3. *rederive* -- each overdeleted tuple that still has a derivation from
+     the surviving facts is reinserted (a head-bound join probe per rule),
+     and the reinsertions are propagated with the ordinary delta-seeded
+     seminaive rounds, resurrecting any overdeleted tuple they re-support.
+
+  Stratified programs are non-monotone under *either* sign -- a new ``move``
+  fact can retract a ``not win`` consequence, a deleted one can create it --
+  so the resume restarts evaluation at the lowest stratum whose inputs the
+  delta touches, reusing the cached models of every lower stratum via a
+  copy-on-write overlay that simply drops the affected derived relations.
 """
 
 from __future__ import annotations
@@ -42,8 +58,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, Stratification, analyze
-from ..datalog.database import Database, Row
-from ..datalog.plans import aggregate_plan, delta_plans, rule_plan
+from ..datalog.database import Database, Delta, Row
+from ..datalog.plans import aggregate_plan, delta_plan, delta_plans, rule_plan
 from ..datalog.rules import Program, Rule
 from ..instrumentation import Counters
 
@@ -211,47 +227,69 @@ def evaluate_component(
 def resume_stratified(
     program: Program,
     database: Database,
-    edb_delta: Dict[str, Iterable[Row]],
+    edb_delta,
     counters: Optional[Counters] = None,
     analysis: Optional[ProgramAnalysis] = None,
 ) -> Tuple[Database, int]:
-    """Bring a materialized model up to date after EDB insertions.
+    """Bring a materialized model up to date after an EDB delta.
 
     ``database`` must hold a complete model of ``program`` over its previous
-    extensional state; ``edb_delta`` maps base predicates to the newly
-    inserted rows.  Returns ``(database, newly_derived_count)`` where the
-    database is the *same instance* for positive programs (resumed in place
-    by the seminaive continuation) and a fresh copy-on-write replacement for
-    stratified programs (evaluation restarted at the lowest stratum whose
-    inputs the delta touches; see the module docstring).  Rows on derived
-    predicates are rejected with :class:`ValueError`.
+    extensional state; ``edb_delta`` is either a plain ``{predicate: rows}``
+    mapping of newly inserted rows (the pre-deletion contract) or a signed
+    :class:`~repro.datalog.database.Delta` carrying inserts *and* deletes.
+    Returns ``(database, newly_derived_count)`` where the database is the
+    *same instance* for positive programs (deletions maintained in place by
+    delete-rederive, insertions by the seminaive continuation -- deletions
+    first, so the insertion rounds run over the already-repaired model) and
+    a fresh copy-on-write replacement for stratified programs (evaluation
+    restarted at the lowest stratum whose inputs the delta touches; see the
+    module docstring).  Rows on derived predicates are rejected with
+    :class:`ValueError`.
     """
     counters = counters if counters is not None else database.counters
     analysis = analysis or analyze(program)
     derived_predicates = program.derived_predicates
 
-    # The cross-component changed set: the EDB delta plus, as evaluation
-    # proceeds, every derived tuple added by an earlier component.  The
-    # delta rows are treated as changed even when they are already visible
-    # in ``database`` -- a copy-on-write materialization can see an
-    # insertion made to the database it was built over before its
-    # consequences have been derived, and firing a genuinely old row again
-    # only rediscovers existing facts.
-    changed = Database()
-    for predicate, rows in edb_delta.items():
+    delta = Delta.coerce(edb_delta)
+    for predicate in delta.predicates():
         if predicate in derived_predicates:
             raise ValueError(
                 f"cannot resume with facts for derived predicate {predicate!r}"
             )
+
+    if not program.is_positive:
+        return _resume_non_monotone(program, analysis, database, delta, counters)
+
+    new_tuples = 0
+    if delta.has_deletes:
+        # The delete rows are treated as deleted even when already invisible
+        # in ``database`` -- mirroring the insertion convention below, a
+        # copy-on-write materialization can see a deletion made to the
+        # database it was built over before its consequences have been
+        # retracted, and overdeleting from a long-gone row only schedules
+        # still-valid tuples for rederivation.
+        removed = Database()
+        for predicate, rows in delta.deletes.items():
+            for row in rows:
+                removed.add_fact(predicate, row)
+        if removed.total_facts():
+            _dred_delete(program, analysis, database, removed, counters)
+
+    # The cross-component changed set: the EDB insert delta plus, as
+    # evaluation proceeds, every derived tuple added by an earlier
+    # component.  The delta rows are treated as changed even when they are
+    # already visible in ``database`` -- a copy-on-write materialization can
+    # see an insertion made to the database it was built over before its
+    # consequences have been derived, and firing a genuinely old row again
+    # only rediscovers existing facts.
+    changed = Database()
+    for predicate, rows in delta.inserts.items():
         for row in rows:
             database.add_fact(predicate, row)
             changed.add_fact(predicate, row)
-    if not changed.total_facts():
-        return database, 0
-
-    if program.is_positive:
-        return database, _resume_positive(program, analysis, database, changed, counters)
-    return _restart_from_lowest_affected(program, analysis, database, changed, counters)
+    if changed.total_facts():
+        new_tuples = _resume_positive(program, analysis, database, changed, counters)
+    return database, new_tuples
 
 
 def _resume_positive(
@@ -343,27 +381,150 @@ def _resume_component(
     return new_tuples
 
 
+def _dred_delete(
+    program: Program,
+    analysis: ProgramAnalysis,
+    database: Database,
+    removed: Database,
+    counters: Counters,
+) -> None:
+    """Delete-rederive (DRed) maintenance for a positive program, in place.
+
+    ``removed`` holds the deleted EDB rows; ``database`` holds the complete
+    model over the pre-deletion extensional state.
+
+    *Overdelete.*  Seeded with the EDB deletions, each round fires every
+    rule through its ``delta_first`` plan variants with the chosen
+    occurrence reading the current delete-frontier and every other literal
+    reading the pre-deletion database, so a derived tuple joins the
+    overdeletion set as soon as any of its derivations is discovered to
+    pass through a deleted tuple.  The deleted EDB rows are kept visible --
+    re-added first, in case a copy-on-write leak already dropped them --
+    until the fixpoint completes: an instantiation using *two* deleted
+    tuples must remain discoverable from either occurrence.
+
+    *Remove.*  The deleted EDB rows and every overdeleted derived row are
+    physically removed (the storage kernel maintains its indexes
+    incrementally under removal).
+
+    *Rederive.*  Every overdeleted tuple that still has a derivation from
+    the surviving facts is reinserted.  The rederivation is set-at-a-time:
+    per defining rule, a *guarded* plan variant scans the overdeleted set
+    as its outermost occurrence (a synthetic extra occurrence of the head
+    literal, compiled through the ordinary ``delta_plan`` machinery) and
+    joins the rest of the body against the surviving database, so one plan
+    execution settles every candidate of the rule instead of one probe per
+    tuple.  Predicates are visited in component evaluation order so lower
+    support is restored before it is needed, and the reinsertions are
+    propagated through the ordinary delta-seeded seminaive rounds
+    (:func:`_resume_positive`), which resurrect any overdeleted tuple they
+    transitively re-support.  Cyclically self-supporting tuples stay
+    deleted: the guarded joins run against the post-removal database,
+    which is exactly the well-foundedness DRed needs.
+    """
+    for predicate in removed.predicates():
+        database.add_facts(predicate, removed.relations[predicate].table.all_rows())
+
+    delta_predicates = frozenset(program.predicates)
+    scan_rules = [rule for rule in program.idb_rules() if not rule.is_aggregate]
+    variants = [
+        (rule, delta_plans(rule, delta_predicates, delta_first=True))
+        for rule in scan_rules
+    ]
+    overdeleted = Database()
+    frontier = removed
+    while frontier.total_facts():
+        next_frontier = Database()
+        for rule, plans in variants:
+            head_predicate = rule.head.predicate
+            for plan in plans:
+                for head_row in plan.heads(database, derived=frontier):
+                    counters.rule_firings += 1
+                    if overdeleted.add_fact(head_predicate, head_row):
+                        next_frontier.add_fact(head_predicate, head_row)
+        counters.iterations += 1
+        frontier = next_frontier
+
+    for source in (removed, overdeleted):
+        for predicate in source.predicates():
+            for row in list(source.relations[predicate].table.all_rows()):
+                database.remove_fact(predicate, row)
+
+    if not overdeleted.total_facts():
+        return
+    component_order: Dict[str, int] = {}
+    for index, component in enumerate(analysis.evaluation_order()):
+        for predicate in component:
+            component_order[predicate] = index
+    rederived = Database()
+    for predicate in sorted(
+        overdeleted.predicates(), key=lambda p: component_order.get(p, 0)
+    ):
+        for rule in program.rules_for(predicate):
+            if not rule.body:
+                continue
+            # The guarded variant: a synthetic extra occurrence of the head
+            # literal, placed outermost and reading the overdeleted set, so
+            # the join enumerates exactly the rule's still-derivable
+            # candidates.  ``delta_occurrence=0`` is the guard itself; every
+            # other occurrence of ``predicate`` reads the surviving database.
+            guarded = Rule(rule.head, (rule.head,) + rule.body)
+            plan = delta_plan(guarded, frozenset((predicate,)), 0, delta_first=True)
+            for head_row in plan.heads(database, derived=overdeleted):
+                counters.rule_firings += 1
+                if database.add_fact(predicate, head_row):
+                    rederived.add_fact(predicate, head_row)
+    if rederived.total_facts():
+        _resume_positive(program, analysis, database, rederived, counters)
+
+
+def _resume_non_monotone(
+    program: Program,
+    analysis: ProgramAnalysis,
+    database: Database,
+    delta: Delta,
+    counters: Counters,
+) -> Tuple[Database, int]:
+    """The stratified resume: apply the signed EDB delta, restart above it.
+
+    Both signs are non-monotone through negation and aggregation -- a new
+    fact below a ``not`` can retract consequences above it, a deleted one
+    can create them -- so the delta is applied to the extensional relations
+    and every stratum from the lowest one reading a touched predicate is
+    recomputed; see :func:`_restart_from_lowest_affected`.  Delta rows are
+    treated as touching their predicate even when the mutation itself is a
+    no-op here (a copy-on-write materialization can see the base database's
+    writes before their consequences are maintained).
+    """
+    touched = {p for p, rows in delta.inserts.items() if rows} | {
+        p for p, rows in delta.deletes.items() if rows
+    }
+    for predicate, rows in delta.deletes.items():
+        for row in rows:
+            database.remove_fact(predicate, row)
+    for predicate, rows in delta.inserts.items():
+        for row in rows:
+            database.add_fact(predicate, row)
+    if not touched:
+        return database, 0
+    return _restart_from_lowest_affected(program, analysis, database, touched, counters)
+
+
 def _restart_from_lowest_affected(
     program: Program,
     analysis: ProgramAnalysis,
     database: Database,
-    changed: Database,
+    changed_predicates: Set[str],
     counters: Counters,
 ) -> Tuple[Database, int]:
     """The non-monotone resume: recompute every stratum the delta can reach.
 
-    Insertions are not monotone through negation or aggregation (a new fact
-    below a ``not`` can retract consequences above it), and the storage
-    kernel is add-only, so the affected strata are recomputed from scratch:
-    the replacement database shares the extensional relations and every
+    The replacement database shares the extensional relations and every
     derived relation of the strata *below* the restart point copy-on-write
     (reusing those cached models untouched) and simply omits the rest before
     re-running the stratum scheduler from the restart point.
     """
     stratification = Stratification.of(program, analysis)
-    changed_predicates = {
-        predicate for predicate in changed.predicates() if changed.count(predicate)
-    }
     restart = stratification.lowest_affected_stratum(changed_predicates)
     if restart is None:
         return database, 0

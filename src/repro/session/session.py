@@ -17,6 +17,12 @@ re-running a fixpoint per query:
   engines continue the fixpoint seminaively from the new facts, magic
   continues each cached query's rewritten-program fixpoint, and the
   traversal strategies refresh affected cached queries lazily;
+* :meth:`QuerySession.retract_facts` deletes from the database and resumes
+  the caches with the signed delta: the model engines run delete-rederive
+  (DRed) maintenance -- overdelete every tuple with a derivation through a
+  deleted fact, rederive the survivors -- instead of rematerializing from
+  scratch, and the demand strategies invalidate affected cached queries
+  lazily, exactly as for insertions;
 * the serving strategy is picked per query (``engine=None``) by
   :func:`select_engine`, which reuses the planner's program classification
   (:func:`repro.core.planner.classify_query`) plus the engines' own
@@ -279,6 +285,50 @@ class QuerySession:
         if added:
             self._refresh(before)
         return added
+
+    def retract_facts(
+        self, predicate: str, rows: Iterable[Iterable[object]]
+    ) -> int:
+        """Delete facts and incrementally maintain every cached materialization.
+
+        Returns the number of rows actually present.  Absent rows neither
+        advance the database version nor trigger any maintenance work.  The
+        cached model materializations are repaired by delete-rederive (DRed)
+        -- never rebuilt from scratch -- and the demand caches invalidate
+        only the entries whose visible predicates the deletion touches.
+        """
+        before = self.database.version
+        removed = self.database.remove_facts(predicate, rows)
+        if removed:
+            self._refresh(before)
+        return removed
+
+    def retract(self, facts: Dict[str, Iterable[Iterable[object]]]) -> int:
+        """Delete a multi-predicate batch, refreshing caches once at the end."""
+        before = self.database.version
+        removed = 0
+        for predicate, rows in facts.items():
+            removed += self.database.remove_facts(predicate, rows)
+        if removed:
+            self._refresh(before)
+        return removed
+
+    def update(
+        self,
+        inserts: Optional[Dict[str, Iterable[Iterable[object]]]] = None,
+        deletes: Optional[Dict[str, Iterable[Iterable[object]]]] = None,
+    ) -> int:
+        """Apply a mixed batch -- deletions first, then insertions -- with one
+        refresh at the end; returns the number of effective mutations."""
+        before = self.database.version
+        changed = 0
+        for predicate, rows in (deletes or {}).items():
+            changed += self.database.remove_facts(predicate, rows)
+        for predicate, rows in (inserts or {}).items():
+            changed += self.database.add_facts(predicate, rows)
+        if changed:
+            self._refresh(before)
+        return changed
 
     def _refresh(self, _before_version: int) -> None:
         version = self.database.version

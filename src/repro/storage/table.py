@@ -6,8 +6,9 @@ their canonical object tuples.  All index structures are keyed by codes:
 
 * **subset indexes** -- for any subset of bound argument positions, a hash
   index from the int key tuple to the bucket of matching rows (built lazily,
-  maintained incrementally on insert); buckets hold the canonical *object*
-  rows so a retrieval hands rows back with zero per-row translation cost;
+  maintained incrementally on insert *and* removal); buckets hold the
+  canonical *object* rows so a retrieval hands rows back with zero per-row
+  translation cost;
 * **adjacency indexes** (binary tables only) -- per position, a map from a
   code to the *set* of values at the other position plus the bucket of
   matching rows.  The value sets are what makes node-set images one C-level
@@ -67,6 +68,7 @@ class IntTable:
         "_adjacency",
         "_columns",
         "_shared",
+        "_mutations",
     )
 
     def __init__(self, arity: int, interner: Optional[Interner] = None):
@@ -82,10 +84,20 @@ class IntTable:
         self._columns: Optional[List[Set[int]]] = None
         # True while the row map and indexes are shared with a snapshot.
         self._shared = False
+        # Monotone mutation epoch: bumps on every effective add or remove.
+        # Charging memos validate against it, which stays correct even when
+        # several databases share one table copy-on-write (a sibling's
+        # delete-then-refill restores a bucket's *size* but not its epoch).
+        self._mutations = 0
 
     @property
     def interner(self) -> Interner:
         return self._interner
+
+    @property
+    def mutations(self) -> int:
+        """The mutation epoch: total effective adds + removes ever applied."""
+        return self._mutations
 
     # -- copy-on-write snapshots -------------------------------------------
 
@@ -96,6 +108,7 @@ class IntTable:
         dup._indexes = self._indexes
         dup._adjacency = self._adjacency
         dup._columns = self._columns
+        dup._mutations = self._mutations
         dup._shared = True
         self._shared = True
         return dup
@@ -134,6 +147,7 @@ class IntTable:
             return False
         if self._shared:
             self._unshare()
+        self._mutations += 1
         self._rows[introw] = row
         for positions, index in self._indexes.items():
             key = tuple(introw[i] for i in sorted(positions))
@@ -153,6 +167,53 @@ class IntTable:
         if self._columns is not None:
             for position, code in enumerate(introw):
                 self._columns[position].add(code)
+        return True
+
+    def remove(self, row: Row) -> bool:
+        """Delete a row; returns True when it was present.
+
+        Index maintenance is incremental: every built subset index drops the
+        row from its bucket (empty buckets are deleted so absent-key probes
+        stay fast), adjacency entries shrink their bucket and drop the
+        other-position value from the target set when no remaining row in the
+        bucket carries it, and the lazy column code sets are invalidated (a
+        code may or may not survive in other rows; recomputing on demand is
+        cheaper than reference counting every insert).  Copy-on-write
+        snapshots are honoured exactly as :meth:`add` honours them: a shared
+        table pays its row-map copy before the first removal.
+        """
+        if len(row) != self.arity:
+            raise ValueError(
+                f"table has arity {self.arity}, got tuple of length {len(row)}"
+            )
+        introw = self._interner.row_code_of(row)
+        if introw is None or introw not in self._rows:
+            return False
+        self._mutations += 1
+        if self._shared:
+            self._unshare()  # clears the lazy indexes; nothing else to fix up
+            del self._rows[introw]
+            self._columns = None
+            return True
+        canonical = self._rows.pop(introw)
+        for positions, index in self._indexes.items():
+            key = tuple(introw[i] for i in sorted(positions))
+            bucket = index[key]
+            if len(bucket) == 1:
+                del index[key]
+            else:
+                bucket.remove(canonical)
+        for position, buckets in self._adjacency.items():
+            code = introw[position]
+            targets, bucket = buckets[code]
+            if len(bucket) == 1:
+                del buckets[code]
+            else:
+                bucket.remove(canonical)
+                # Rows are deduplicated pairs, so the removed row was the
+                # only one in this bucket carrying its other-position value.
+                targets.discard(canonical[1 - position])
+        self._columns = None
         return True
 
     # -- membership and iteration ------------------------------------------
@@ -207,6 +268,23 @@ class IntTable:
         if not bindings:
             return list(self._rows.values()), FULL_SCAN
         code_map = self._interner._code_of
+        if len(bindings) == self.arity:
+            # Fully-bound membership probe (any arity, unary included): the
+            # interned row map *is* the index, so never build (or repair) a
+            # whole-row subset index for it.  The charging token matches the
+            # bucket the index would have held -- zero or one row.
+            positions = frozenset(bindings)
+            key: List[int] = []
+            for position in sorted(bindings):
+                code = code_map.get(bindings[position])
+                if code is None:
+                    return _EMPTY_ROWS, (positions, None)
+                key.append(code)
+            int_key = tuple(key)
+            row = self._rows.get(int_key)
+            if row is None:
+                return _EMPTY_ROWS, (positions, int_key)
+            return [row], (positions, int_key)
         if len(bindings) == 1:
             # The overwhelmingly common shape on the join path.
             [(position, value)] = bindings.items()

@@ -128,3 +128,42 @@ class TestProgramParsing:
         program = parse_program(text)
         assert program.derived_predicates == {"p1", "p2", "p3", "q1", "q2", "r1", "r2"}
         assert program.base_predicates == {"a", "b", "c", "d", "e"}
+
+
+class TestStringEscapes:
+    """Escape sequences in quoted strings and their printed round trip."""
+
+    def test_escaped_double_quote(self):
+        program = parse_program('p("it\\"s").')
+        assert program.rules[0].head.args[0] == Constant('it"s')
+
+    def test_escaped_single_quote(self):
+        (rule,) = parse_rules("p('don\\'t').")
+        assert rule.head.args[0] == Constant("don't")
+
+    def test_escaped_backslash(self):
+        (rule,) = parse_rules('p("a\\\\b").')
+        assert rule.head.args[0] == Constant("a\\b")
+
+    def test_control_escapes(self):
+        (rule,) = parse_rules('p("a\\nb\\tc\\rd").')
+        assert rule.head.args[0] == Constant("a\nb\tc\rd")
+
+    def test_unknown_escape_is_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rules('p("a\\qb").')
+
+    def test_both_quote_characters_in_one_string(self):
+        value = "he said \"hi\" and didn't leave"
+        (rule,) = parse_rules(f"p({Constant(value)}).")
+        assert rule.head.args[0] == Constant(value)
+
+    def test_printer_emits_reparseable_quoting(self):
+        for value in ('it"s', "don't", 'mix "of\' both', "back\\slash", "n\nl"):
+            literal = Literal("p", [Constant(value)])
+            assert parse_literal(str(literal)) == literal
+
+    def test_plain_strings_are_unaffected(self):
+        (rule,) = parse_rules("p('plain', \"also plain\").")
+        assert rule.head.args[0] == Constant("plain")
+        assert rule.head.args[1] == Constant("also plain")

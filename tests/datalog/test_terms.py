@@ -92,4 +92,12 @@ class TestFormatting:
         assert format_constant_value(("a", 1)) == "t(a, 1)"
 
     def test_odd_string_quoted(self):
-        assert format_constant_value("New York") == repr("New York")
+        assert format_constant_value("New York") == '"New York"'
+
+    def test_quote_characters_are_escaped(self):
+        assert format_constant_value('it"s') == '"it\\"s"'
+        assert format_constant_value("back\\slash") == '"back\\\\slash"'
+        assert format_constant_value('both \'and "') == '"both \'and \\""'
+
+    def test_control_characters_are_escaped(self):
+        assert format_constant_value("a\nb\tc") == '"a\\nb\\tc"'

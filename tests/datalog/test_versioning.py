@@ -1,8 +1,8 @@
-"""Database versioning: the monotone version, the journal and delta_since."""
+"""Database versioning: the monotone version, the signed journal and delta_since."""
 
 import pytest
 
-from repro.datalog.database import Database
+from repro.datalog.database import Database, Delta
 from repro.datalog.parser import parse_program
 from repro.datalog.terms import Constant
 
@@ -25,14 +25,36 @@ class TestVersionCounter:
         assert not db.add_fact("e", (1, 2))
         assert db.add_facts("e", [(2, 3), (1, 2)]) == 0
         assert db.version == version
-        assert db.delta_since(version) == {}
+        assert not db.delta_since(version)
+
+    def test_effective_deletion_advances_the_version(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        version = db.version
+        assert db.remove_fact("e", (1, 2))
+        assert db.version == version + 1
+        assert (1, 2) not in db.rows("e")
+
+    def test_arity_mismatched_deletion_raises_like_insertion(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        with pytest.raises(ValueError):
+            db.remove_fact("e", (1,))
+
+    def test_absent_deletion_does_not_advance_the_version(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        version = db.version
+        assert not db.remove_fact("e", (9, 9))
+        assert not db.remove_fact("unknown", (1,))
+        assert db.remove_facts("e", [(9, 9), (8, 8)]) == 0
+        assert db.version == version
 
     def test_constant_wrappers_are_normalized_before_journaling(self):
         db = Database()
         db.add_fact("e", (Constant(1), Constant(2)))
-        assert db.delta_since(0) == {"e": [(1, 2)]}
+        assert db.delta_since(0).inserts == {"e": [(1, 2)]}
         assert not db.add_fact("e", (1, 2))
         assert db.version == 1
+        assert db.remove_fact("e", (Constant(1), Constant(2)))
+        assert not db.delta_since(0)
 
 
 class TestDeltaSince:
@@ -41,9 +63,45 @@ class TestDeltaSince:
         db.add_fact("e", (1, 2))
         db.add_fact("f", ("x",))
         db.add_fact("e", (2, 3))
-        assert db.delta_since(0) == {"e": [(1, 2), (2, 3)], "f": [("x",)]}
-        assert db.delta_since(1) == {"f": [("x",)], "e": [(2, 3)]}
-        assert db.delta_since(3) == {}
+        assert db.delta_since(0) == Delta(
+            inserts={"e": [(1, 2), (2, 3)], "f": [("x",)]}
+        )
+        assert db.delta_since(1) == Delta(inserts={"f": [("x",)], "e": [(2, 3)]})
+        assert not db.delta_since(3)
+
+    def test_deletions_are_reported_on_the_delete_side(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        version = db.version
+        db.remove_fact("e", (1, 2))
+        db.add_fact("e", (7, 7))
+        delta = db.delta_since(version)
+        assert delta == Delta(inserts={"e": [(7, 7)]}, deletes={"e": [(1, 2)]})
+        assert delta.has_deletes and delta.has_inserts
+        assert delta.total() == 2
+
+    def test_delete_then_reinsert_nets_to_nothing(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        version = db.version
+        db.remove_fact("e", (1, 2))
+        db.add_fact("e", (1, 2))
+        assert db.version == version + 2  # both mutations were effective
+        assert not db.delta_since(version)
+
+    def test_insert_then_delete_nets_to_nothing(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        version = db.version
+        db.add_fact("e", (3, 4))
+        db.remove_fact("e", (3, 4))
+        assert not db.delta_since(version)
+        # the pre-window row still nets to a plain delete
+        db.remove_fact("e", (1, 2))
+        assert db.delta_since(version) == Delta(deletes={"e": [(1, 2)]})
+
+    def test_plain_mappings_coerce_to_insert_only_deltas(self):
+        delta = Delta.coerce({"e": [(1, 2)]})
+        assert delta.inserts == {"e": [(1, 2)]}
+        assert not delta.has_deletes
+        assert Delta.coerce(delta) is delta
 
     def test_future_version_is_rejected(self):
         db = Database()
@@ -62,18 +120,28 @@ class TestOverlayBoundary:
         base = Database.from_dict({"e": [(1, 2), (2, 3)]})
         overlay = Database.overlay(base)
         assert overlay.version == base.version == 2
-        assert overlay.delta_since(2) == {}
+        assert not overlay.delta_since(2)
 
     def test_overlay_inserts_are_journaled_locally_only(self):
         base = Database.from_dict({"e": [(1, 2)]})
         overlay = Database.overlay(base)
         overlay.add_fact("e", (9, 9))
         assert overlay.version == 2
-        assert overlay.delta_since(1) == {"e": [(9, 9)]}
+        assert overlay.delta_since(1) == Delta(inserts={"e": [(9, 9)]})
         # the base neither sees the row nor the version bump
         assert base.version == 1
-        assert base.delta_since(1) == {}
+        assert not base.delta_since(1)
         assert (9, 9) not in base.rows("e")
+
+    def test_overlay_deletes_clone_the_relation_and_stay_local(self):
+        base = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        overlay = Database.overlay(base)
+        assert overlay.remove_fact("e", (1, 2))
+        assert overlay.delta_since(2) == Delta(deletes={"e": [(1, 2)]})
+        # copy-on-write: the base still holds the row
+        assert (1, 2) in base.rows("e")
+        assert base.version == 2
+        assert (1, 2) not in overlay.rows("e")
 
     def test_base_inserts_do_not_advance_the_overlay_version(self):
         base = Database.from_dict({"e": [(1, 2)]})
@@ -83,7 +151,7 @@ class TestOverlayBoundary:
         # the overlay's own history is untouched (visibility of the row
         # itself is a copy-on-write sharing matter, not a journal one)
         assert overlay.version == 1
-        assert overlay.delta_since(1) == {}
+        assert not overlay.delta_since(1)
 
     def test_duplicate_of_shared_row_keeps_sharing_and_version(self):
         base = Database.from_dict({"e": [(1, 2)]})
@@ -97,17 +165,25 @@ class TestCopyBoundary:
         db = Database.from_dict({"e": [(1, 2), (2, 3)], "f": [("x",)]})
         clone = db.copy()
         assert clone.version == db.version == 3
-        assert clone.delta_since(3) == {}
+        assert not clone.delta_since(3)
 
     def test_copy_journals_its_own_inserts_only(self):
         db = Database.from_dict({"e": [(1, 2)]})
         clone = db.copy()
         clone.add_fact("e", (2, 3))
-        assert clone.delta_since(1) == {"e": [(2, 3)]}
+        assert clone.delta_since(1) == Delta(inserts={"e": [(2, 3)]})
         assert db.version == 1
         db.add_fact("e", (7, 7))
         assert clone.version == 2
         assert (7, 7) not in clone.rows("e")
+
+    def test_copy_journals_its_own_deletes_only(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        clone = db.copy()
+        clone.remove_fact("e", (1, 2))
+        assert clone.delta_since(2) == Delta(deletes={"e": [(1, 2)]})
+        assert (1, 2) in db.rows("e")
+        assert db.version == 2
 
 
 class TestSnapshotBoundary:
@@ -118,7 +194,7 @@ class TestSnapshotBoundary:
         overlay = Database.overlay(base)
         overlay.add_fact("e", (3, 4))  # forces the COW clone of "e"
         overlay.add_fact("e", (5, 6))
-        assert overlay.delta_since(1) == {"e": [(3, 4), (5, 6)]}
+        assert overlay.delta_since(1) == Delta(inserts={"e": [(3, 4), (5, 6)]})
         assert base.rows("e") == frozenset({(1, 2)})
 
     def test_program_fact_loading_is_journaled(self):
@@ -127,7 +203,7 @@ class TestSnapshotBoundary:
         version = db.version
         db.load_program_facts(program)
         assert db.version == version + 2
-        assert db.delta_since(version) == {"e": [(1, 2), (2, 3)]}
+        assert db.delta_since(version) == Delta(inserts={"e": [(1, 2), (2, 3)]})
 
     def test_derived_writes_by_an_engine_do_not_touch_the_source_journal(self):
         from repro.datalog.parser import parse_literal
@@ -138,4 +214,55 @@ class TestSnapshotBoundary:
         version = db.version
         run_engine("seminaive", program, parse_literal("tc(1, Y)"), db)
         assert db.version == version
-        assert db.delta_since(version) == {}
+        assert not db.delta_since(version)
+
+
+class TestRemovalMaintenance:
+    """Row removal keeps the indexed retrieval paths coherent."""
+
+    def test_lookup_after_removal(self):
+        db = Database.from_dict({"e": [(1, 2), (1, 3), (2, 3)]})
+        assert db.scan("e", {0: 1}, charge=False) == [(1, 2), (1, 3)]
+        db.remove_fact("e", (1, 2))
+        assert db.scan("e", {0: 1}, charge=False) == [(1, 3)]
+        assert db.scan("e", {1: 2}, charge=False) == []
+        assert db.count("e") == 2
+
+    def test_image_after_removal(self):
+        db = Database.from_dict({"e": [(1, 2), (1, 3), (2, 3)]})
+        assert db.image("e", [1]) == {2, 3}
+        db.remove_fact("e", (1, 2))
+        assert db.image("e", [1]) == {3}
+        assert db.image("e", [3], inverted=True) == {1, 2}
+
+    def test_charging_memo_is_invalidated_by_removal(self):
+        db = Database.from_dict({"e": [(1, 2), (1, 3)]})
+        db.scan("e", {0: 1})  # charge and memoize the bucket
+        before = db.counters.distinct_facts
+        db.remove_fact("e", (1, 2))
+        db.add_fact("e", (1, 9))  # same bucket size as when memoized
+        rows = db.scan("e", {0: 1})
+        assert set(rows) == {(1, 3), (1, 9)}
+        # the new row must be charged as a distinct fact, not skipped
+        assert db.counters.distinct_facts == before + 1
+
+    def test_sibling_charging_memo_survives_delete_then_refill(self):
+        # An overlay's bucket memo must not stay valid when the *base*
+        # deletes a row and refills the bucket to the same size: the epoch
+        # check forces a fresh row walk, so the new row is charged.
+        base = Database.from_dict({"e": [(1, 2), (1, 3)]})
+        overlay = Database.overlay(base)
+        overlay.scan("e", {0: 1})  # memoize: size 2 at the current epoch
+        before = overlay.counters.distinct_facts
+        base.remove_fact("e", (1, 2))
+        base.add_fact("e", (1, 9))  # same bucket size, different content
+        rows = overlay.scan("e", {0: 1})
+        assert set(rows) == {(1, 3), (1, 9)}
+        assert overlay.counters.distinct_facts == before + 1
+
+    def test_column_values_after_removal(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        db.column_values("e", 0)  # force the lazy column sets
+        db.remove_fact("e", (1, 2))
+        assert db.column_values("e", 0) == {2}
+        assert db.active_domain_size() == 2

@@ -214,3 +214,26 @@ def test_resume_rejects_foreign_materializations():
     materialization = get_engine("seminaive").materialize(program, full_db)
     with pytest.raises(ValueError):
         get_engine("naive").resume(materialization, {"edge": [(98, 99)]})
+
+
+def test_constant_wrapped_duplicate_insert_does_not_overshoot_basis():
+    """Delta rows are normalized like add_fact normalizes them: a
+    Constant-wrapped duplicate must not advance the basis version."""
+    from repro.datalog.terms import Constant
+
+    program, full_db, query = WORKLOADS["fig7a"]()
+    engine = get_engine("seminaive")
+    materialization = engine.materialize(program, full_db)
+    engine.resume(materialization, {"up": [(Constant("a"), Constant("b1"))]})
+    assert materialization.basis_version == full_db.version
+    full_db.delta_since(materialization.basis_version)  # must not raise
+
+
+def test_repeated_rows_within_one_delta_count_once():
+    program, full_db, query = WORKLOADS["fig7a"]()
+    engine = get_engine("seminaive")
+    materialization = engine.materialize(program, full_db)
+    full_db.add_fact("up", ("a", "zz"))
+    engine.resume(materialization, {"up": [("a", "zz"), ("a", "zz")]})
+    assert materialization.basis_version <= full_db.version
+    full_db.delta_since(materialization.basis_version)  # must not raise

@@ -1,15 +1,18 @@
 """Parser / pretty-printer round-trip: ``parse_literal(str(lit)) == lit``.
 
 Every literal form the language supports must survive a print-and-reparse
-cycle: plain atoms over identifiers, quoted strings, integers and tuple
-constants; zero-arity atoms; infix built-in comparisons; negated literals;
-and aggregate heads.  Rules and whole programs round-trip literal by
-literal, so the same holds for them.
+cycle: plain atoms over identifiers, quoted strings (including strings full
+of quote characters, backslashes and control characters, which the printer
+escapes), integers and tuple constants; zero-arity atoms; infix built-in
+comparisons; negated literals; aggregate heads; and anonymous variables
+(each ``_`` reparses to a structurally identical fresh variable).  Rules
+and whole programs round-trip literal by literal, so the same holds for
+them.
 
 Known representational limits (documented in the parser): floating-point
-and boolean payloads, and strings containing both quote characters, have no
-parseable rendering -- the generators below stay inside the parseable
-constant alphabet, which is what every workload and paper sample uses.
+and boolean payloads have no parseable rendering -- the generators below
+stay inside the parseable constant alphabet, which is what every workload
+and paper sample uses.
 """
 
 from hypothesis import given, settings
@@ -31,6 +34,11 @@ quoted_strings = st.text(
     ),
     max_size=8,
 ).filter(lambda s: not _renders_bare(s))
+#: Strings dense in the characters the printer must escape: both quote
+#: characters, backslashes and the escaped control characters.
+escape_heavy_strings = st.text(
+    alphabet=st.sampled_from(list("\"'\\\n\t\r ab_")), max_size=8
+).filter(lambda s: not _renders_bare(s))
 
 
 def _renders_bare(value: str) -> bool:
@@ -43,7 +51,9 @@ def _renders_bare(value: str) -> bool:
 
 
 integers = st.integers(min_value=-999, max_value=999)
-scalar_values = st.one_of(identifiers, integers, quoted_strings)
+scalar_values = st.one_of(
+    identifiers, integers, quoted_strings, escape_heavy_strings
+)
 constant_values = st.recursive(
     scalar_values,
     lambda children: st.tuples(children).map(tuple)
@@ -117,3 +127,47 @@ def test_program_text_round_trip(shapes):
     rules = [Rule(head, body) for head, body in shapes]
     text = "\n".join(str(rule) for rule in rules)
     assert parse_rules(text) == rules
+
+
+# -- wildcards --------------------------------------------------------------
+#
+# Anonymous variables are parser-generated (each textual `_` becomes a fresh
+# `_#k`), so the wildcard properties start from generated *text*: parse it
+# once, then assert the printed form reparses to the same structure.
+
+wildcard_args = st.lists(
+    st.one_of(
+        st.just("_"),
+        identifiers,
+        integers.map(str),
+        st.from_regex(r"[A-Z][a-z0-9]{0,3}", fullmatch=True),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(predicates, wildcard_args)
+def test_wildcard_literal_round_trip(predicate, args):
+    text = f"{predicate}({', '.join(args)})"
+    literal = parse_literal(text)
+    assert parse_literal(str(literal)) == literal
+    # every `_` is a fresh variable: as many distinct anonymous variables
+    # as there are wildcard positions, and none of them aliases another
+    anonymous = [
+        t for t in literal.args if isinstance(t, Variable) and t.is_anonymous
+    ]
+    assert len(set(anonymous)) == len(anonymous) == args.count("_")
+
+
+@settings(max_examples=100, deadline=None)
+@given(predicates, wildcard_args, predicates, st.lists(wildcard_args, min_size=1, max_size=3))
+def test_wildcard_rule_round_trip(head_pred, head_args, body_pred, bodies):
+    named = [a for a in head_args if a and a[0].isupper()]
+    body_text = ", ".join(
+        f"{body_pred}({', '.join(args + named)})" for args in bodies
+    )
+    text = f"{head_pred}({', '.join(named) or 'k'}) :- {body_text or 'b(k)'}."
+    (rule,) = parse_rules(text)
+    assert parse_rules(str(rule)) == [rule]

@@ -120,3 +120,111 @@ class TestSnapshots:
         second.add(("c", "d"))
         assert first.row_set() == {("a", "b")}
         assert second.row_set() == {("a", "b"), ("c", "d")}
+
+
+class TestRemoval:
+    def test_remove_present_row(self):
+        table = table_of([("a", "b"), ("c", "d")])
+        assert table.remove(("a", "b"))
+        assert len(table) == 1
+        assert not table.contains(("a", "b"))
+        assert list(table.all_rows()) == [("c", "d")]
+
+    def test_remove_absent_row_is_a_no_op(self):
+        table = table_of([("a", "b")])
+        assert not table.remove(("a", "zzz"))  # value never interned
+        assert not table.remove(("b", "a"))    # interned values, absent row
+        assert len(table) == 1
+
+    def test_remove_checks_arity(self):
+        table = table_of([("a", "b")])
+        try:
+            table.remove(("a",))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("arity mismatch accepted")
+
+    def test_subset_indexes_are_maintained(self):
+        table = table_of([("a", "b"), ("a", "c"), ("d", "b")])
+        rows, _ = table.bucket({0: "a"})
+        assert sorted(rows) == [("a", "b"), ("a", "c")]
+        table.remove(("a", "b"))
+        rows, _ = table.bucket({0: "a"})
+        assert rows == [("a", "c")]
+        # the emptied bucket disappears rather than lingering as []
+        rows, _ = table.bucket({1: "b"})
+        assert rows == [("d", "b")]
+        table.remove(("d", "b"))
+        rows, token = table.bucket({1: "b"})
+        assert rows == [] and token[1] is not None
+
+    def test_adjacency_is_maintained(self):
+        table = table_of([("a", "b"), ("a", "c"), ("x", "b")])
+        adjacency = table.adjacency(0)
+        code_a = table.interner.code_of("a")
+        targets, bucket = adjacency[code_a]
+        assert targets == {"b", "c"} and len(bucket) == 2
+        table.remove(("a", "b"))
+        targets, bucket = adjacency[code_a]
+        assert targets == {"c"} and bucket == [("a", "c")]
+        table.remove(("a", "c"))
+        assert code_a not in table._adjacency[0]
+
+    def test_lazy_adjacency_built_after_removal_is_correct(self):
+        table = table_of([("a", "b"), ("a", "c"), ("x", "b")])
+        table.remove(("a", "b"))
+        adjacency = table.adjacency(1)  # built fresh, post-removal
+        code_b = table.interner.code_of("b")
+        targets, bucket = adjacency[code_b]
+        assert targets == {"x"} and bucket == [("x", "b")]
+
+    def test_column_codes_recompute_after_removal(self):
+        table = table_of([("a", "b"), ("c", "b")])
+        assert table.interner.extern_set(table.column_codes(0)) == {"a", "c"}
+        table.remove(("a", "b"))
+        assert table.interner.extern_set(table.column_codes(0)) == {"c"}
+        assert table.interner.extern_set(table.column_codes(1)) == {"b"}
+
+    def test_removal_from_shared_table_respects_cow(self):
+        table = table_of([("a", "b"), ("c", "d")])
+        snapshot = table.snapshot()
+        assert table.remove(("a", "b"))
+        assert snapshot.contains(("a", "b"))
+        assert not table.contains(("a", "b"))
+        # and the other direction: removing from the snapshot spares the source
+        other = table.snapshot()
+        assert other.remove(("c", "d"))
+        assert table.contains(("c", "d"))
+
+    def test_fully_bound_probe_builds_no_index(self):
+        # membership probes (any arity, unary included) run on the row map
+        for arity, row in ((1, ("a",)), (2, ("a", "b")), (3, ("a", "b", "c"))):
+            table = table_of([row], arity=arity)
+            bindings = dict(enumerate(row))
+            rows, token = table.bucket(bindings)
+            assert rows == [row]
+            assert token == (frozenset(range(arity)), table.interner.row_code_of(row))
+            missing = dict(enumerate(row))
+            missing[arity - 1] = "zz"
+            assert table.bucket(missing)[0] == []
+            assert table._indexes == {}, f"arity {arity} probe built an index"
+
+    def test_mutation_epoch_tracks_effective_changes_only(self):
+        table = table_of([("a", "b")])
+        epoch = table.mutations
+        assert not table.add(("a", "b"))          # duplicate
+        assert not table.remove(("a", "zzz"))     # absent
+        assert table.mutations == epoch
+        table.add(("c", "d"))
+        table.remove(("c", "d"))
+        assert table.mutations == epoch + 2
+        assert table.snapshot().mutations == table.mutations
+
+    def test_remove_then_readd_round_trips(self):
+        table = table_of([("a", "b")])
+        table.bucket({0: "a"})  # build the subset index first
+        assert table.remove(("a", "b"))
+        assert table.add(("a", "b"))
+        rows, _ = table.bucket({0: "a"})
+        assert rows == [("a", "b")]
