@@ -18,7 +18,7 @@ noise.
 import pytest
 
 from helpers import engine_answers, measure_work
-from repro.workloads import corridor, sample_c
+from repro.workloads import corridor
 
 NOISE = [0, 150, 300]
 

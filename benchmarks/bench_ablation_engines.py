@@ -9,7 +9,7 @@ and top-down strategies even outside the same-generation benchmark.
 
 import pytest
 
-from helpers import comparison_row, engine_answers, measure_work
+from helpers import comparison_row, engine_answers
 from repro.workloads import binary_tree, chain, cycle, random_dag, random_graph
 
 WORKLOADS = {

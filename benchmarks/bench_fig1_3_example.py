@@ -7,9 +7,7 @@ demand-driven algorithm touches only the portion reachable from the query
 constant; the preconstructed graph materialises everything.
 """
 
-import random
 
-import pytest
 
 from repro.core.traversal import evaluate_from_database
 from repro.datalog.database import Database
@@ -30,7 +28,6 @@ def figure1_system():
 
 def scaled_database(copies: int, seed: int = 0) -> Database:
     """`copies` disjoint copies of the Figure 3-style instance, plus one reachable one."""
-    rng = random.Random(seed)
     facts = {"b1": [], "b2": [], "b3": [], "b4": []}
     for c in range(copies):
         tag = f"_{c}"

@@ -8,7 +8,7 @@ evaluation at the largest size.
 
 import pytest
 
-from helpers import engine_answers, fitted_exponent, measure_work, work_sweep
+from helpers import engine_answers, fitted_exponent, work_sweep
 from repro.engines import run_engine
 from repro.instrumentation import Counters
 from repro.workloads import sample_a

@@ -9,13 +9,11 @@ count against the m*n prediction and times the bounded evaluation.
 
 import pytest
 
-from helpers import fitted_exponent
 from repro.core.cyclic import iteration_bound, query_with_cycle_bound
 from repro.core.lemma1 import transform
 from repro.core.traversal import evaluate_from_database
 from repro.datalog.errors import NonTerminationError
 from repro.datalog.semantics import answer_query
-from repro.instrumentation import Counters
 from repro.workloads import sample_cyclic
 
 COPRIME_PAIRS = [(2, 3), (3, 4), (4, 5), (3, 7)]

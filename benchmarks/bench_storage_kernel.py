@@ -158,10 +158,15 @@ def main() -> int:
     here = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
     if args.baseline_path:
         baseline_label = f"pre-kernel checkout at {args.baseline_path}"
-        baseline_pass = lambda: subprocess_pass(args.baseline_path, "plain")
+
+        def baseline_pass():
+            return subprocess_pass(args.baseline_path, "plain")
+
     else:
         baseline_label = "current tree under the 'reference' storage mode"
-        baseline_pass = lambda: subprocess_pass(here, "reference")
+
+        def baseline_pass():
+            return subprocess_pass(here, "reference")
 
     def merge_min(target, sample):
         for cell, row in sample.items():

@@ -10,7 +10,6 @@ database size.
 import pytest
 
 from helpers import engine_answers, fitted_exponent, measure_work
-from repro.core.lemma1 import transform
 from repro.engines import run_engine
 from repro.instrumentation import Counters
 from repro.relalg.relation import BinaryRelation

@@ -20,7 +20,7 @@ tests).  :meth:`AdornedProgram.is_chain_program` checks this condition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.errors import NotApplicableError

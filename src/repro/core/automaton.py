@@ -23,7 +23,7 @@ lazy single-transition expansion used by the evaluator and an eager
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from ..relalg.automaton import ID, Automaton, Transition, thompson
 from ..relalg.equations import EquationSystem

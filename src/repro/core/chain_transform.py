@@ -42,8 +42,7 @@ from ..datalog.literals import Literal
 from ..datalog.rules import Program, Rule
 from ..datalog.terms import Constant, Term, Variable
 from ..datalog.unify import satisfy_body
-from ..instrumentation import Counters
-from .adornment import AdornedPredicate, AdornedProgram, AdornedRule, adorn
+from .adornment import AdornedPredicate, AdornedProgram, adorn
 
 
 def bin_name(adorned: AdornedPredicate) -> str:
@@ -180,7 +179,6 @@ def transform_to_binary_chain(
             rule_index=adorned_rule.index,
         )
         body: List[Literal] = []
-        chain_variables = ["U", "U1", "V1", "V"]
         left_var = "U"
         if in_def.is_identity():
             # U1 = U: drop the in-r literal.

@@ -21,14 +21,13 @@ implements that wrapper on top of the traversal evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
 from ..instrumentation import Counters
 from ..relalg.equations import EquationSystem
 from ..relalg.expressions import (
-    Compose,
     Expression,
     Pred,
     composition_factors,

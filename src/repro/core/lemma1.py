@@ -25,7 +25,7 @@ followed in the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, analyze, strongly_connected_components
@@ -33,11 +33,9 @@ from ..datalog.errors import NotApplicableError
 from ..datalog.rules import Program
 from ..relalg.equations import EquationSystem
 from ..relalg.expressions import (
-    Compose,
     Empty,
     Expression,
     Pred,
-    Star,
     composition_factors,
     compose,
     distribute,

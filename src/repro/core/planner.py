@@ -25,7 +25,7 @@ the same projection convention as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.database import Database
@@ -33,9 +33,8 @@ from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
 from ..datalog.rules import Program
 from ..datalog.semantics import answer_against_relation, free_variable_order, least_model
-from ..datalog.terms import Constant, Variable
+from ..datalog.terms import Variable
 from ..instrumentation import Counters
-from .adornment import adorn
 from .chain_transform import ChainTransformProvider, ChainTransformResult, transform_to_binary_chain
 from .cyclic import decompose_linear, accessible_nodes
 from .lemma1 import transform
@@ -100,10 +99,15 @@ def classify_query(
 
     Returns ``"base"``, ``"graph"``, ``"chain"`` or ``"bottom-up"`` by the
     same dispatch order as :func:`evaluate_query`, but without evaluating
-    anything.  The classification is a *prediction*: the graph and chain
-    paths can still turn out inapplicable during transformation, in which
-    case evaluation falls through exactly as under ``"auto"``.  The session
-    layer (:mod:`repro.session`) reuses this to pick a serving strategy.
+    anything.  The chain prediction runs the adornment-based binding-mode
+    analysis (:func:`repro.datalog.diagnostics.chain_feasibility`, memoized
+    per analysis and binding pattern), so a linear program whose adorned
+    form violates the chain condition classifies ``"bottom-up"`` up front
+    instead of predicting a path the transformation would reject.  The graph
+    prediction stays structural and can still turn out inapplicable during
+    transformation, in which case evaluation falls through exactly as under
+    ``"auto"``.  The session layer (:mod:`repro.session`) reuses this to
+    pick a serving strategy.
     """
     if query.predicate not in program.derived_predicates:
         return "base"
@@ -115,7 +119,11 @@ def classify_query(
     if _graph_applicable(analysis, query):
         return "graph"
     if analysis.is_linear_program():
-        return "chain"
+        from ..datalog.diagnostics import chain_feasibility
+
+        feasible, _ = chain_feasibility(program, query, analysis)
+        if feasible:
+            return "chain"
     return "bottom-up"
 
 

@@ -19,7 +19,7 @@ projection convention as :func:`repro.datalog.semantics.answer_query`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal

@@ -28,13 +28,13 @@ that makes the partial answer complete for equations of the linear form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from ..datalog.database import Database
 from ..datalog.errors import NonTerminationError, NotApplicableError
 from ..instrumentation import Counters
-from ..relalg.automaton import ID, Automaton, Transition
+from ..relalg.automaton import ID, Automaton
 from ..relalg.equations import EquationSystem
 from .automaton import EMHierarchy
 

@@ -30,10 +30,9 @@ the analysis on hot per-query paths), as is :meth:`Stratification.of`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from .errors import StratificationError
-from .literals import Literal
 from .rules import Program, Rule
 
 
@@ -437,8 +436,22 @@ class Stratification:
                     target = component_of.get(dependency, frozenset({dependency}))
                     if target == members:
                         if dependency in negative:
+                            # Imported lazily: diagnostics imports this module.
+                            from .diagnostics import stratification_cycle_diagnostic
+
+                            message = cls._cycle_message(
+                                program, members, predicate, dependency
+                            )
                             raise StratificationError(
-                                cls._cycle_message(program, members, predicate, dependency)
+                                message,
+                                diagnostic=stratification_cycle_diagnostic(
+                                    program,
+                                    analysis.dependency_graph,
+                                    members,
+                                    predicate,
+                                    dependency,
+                                    message,
+                                ),
                             )
                         continue
                     dependency_level = stratum_of_component.get(target, 0)

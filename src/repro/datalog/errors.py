@@ -9,6 +9,12 @@ evaluation strategy to a given program/query pair.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .diagnostics import Diagnostic
+    from .spans import Span
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro package."""
@@ -19,15 +25,52 @@ class DatalogSyntaxError(ReproError):
 
     Attributes
     ----------
-    line:
-        One-based line number at which the problem was detected, when known.
+    line / column:
+        One-based position at which the problem was detected.  At end of
+        input the position is one past the last token (never ``None`` for a
+        non-empty input), so ``expected '.', found end of input at 3:14``
+        names a real place to look.
+    span:
+        The full :class:`~repro.datalog.spans.Span` of the offending token,
+        when one exists.
     """
 
-    def __init__(self, message: str, line: int | None = None):
-        if line is not None:
+    code = "DL101"
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        span: "Span | None" = None,
+    ):
+        if span is not None and line is None:
+            line, column = span.line, span.column
+        self.bare_message = message
+        if line is not None and column is not None:
+            message = f"{message} at {line}:{column}"
+        elif line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
         self.line = line
+        self.column = column
+        self.span = span
+
+    @property
+    def diagnostic(self) -> "Diagnostic":
+        """The structured :class:`~repro.datalog.diagnostics.Diagnostic`."""
+        from .diagnostics import Diagnostic, Severity
+        from .spans import Span
+
+        span = self.span
+        if span is None and self.line is not None:
+            span = Span.point(self.line, self.column if self.column else 1)
+        return Diagnostic(
+            code=self.code,
+            severity=Severity.ERROR,
+            message=self.bare_message,
+            span=span,
+        )
 
 
 class ProgramValidationError(ReproError):
@@ -36,11 +79,39 @@ class ProgramValidationError(ReproError):
     Examples: a base predicate used in the head of a rule with a non-empty
     body, a predicate used with two different arities, or an unsafe rule
     (a head variable that does not occur in any positive body literal).
+
+    Subclasses raised by program analysis additionally carry a structured
+    :attr:`diagnostic` (stable code, severity, source span, fix hint) while
+    ``str(exc)`` keeps the plain human-readable message.
     """
+
+    def __init__(self, message: str, diagnostic: "Optional[Diagnostic]" = None):
+        super().__init__(message)
+        self._diagnostic = diagnostic
+
+    @property
+    def diagnostic(self) -> "Diagnostic":
+        """The structured diagnostic; synthesized when none was attached."""
+        if self._diagnostic is not None:
+            return self._diagnostic
+        from .diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            code=getattr(type(self), "code", "DL200"),
+            severity=Severity.ERROR,
+            message=str(self),
+        )
 
 
 class UnsafeRuleError(ProgramValidationError):
-    """Raised for rules whose head variables are not bound by the body."""
+    """Raised for rules whose head variables are not bound by the body.
+
+    The :attr:`~ProgramValidationError.diagnostic` names the exact unbound
+    variable and points at its source span when the rule was parsed from
+    text.
+    """
+
+    code = "DL201"
 
 
 class StratificationError(ProgramValidationError):
@@ -50,8 +121,12 @@ class StratificationError(ProgramValidationError):
     point strictly *downward*: a predicate may not depend on a member of its
     own recursive component through negation or through an aggregate head
     (the classic counterexample is ``win(X) :- move(X, Y), not win(Y).``).
-    The message names the offending rule and the recursive component.
+    The message names the offending rule and the recursive component; the
+    :attr:`~ProgramValidationError.diagnostic` carries the dependency cycle
+    as a chain of related source spans.
     """
+
+    code = "DL301"
 
 
 class NotApplicableError(ReproError):

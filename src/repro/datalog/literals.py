@@ -39,13 +39,14 @@ class Literal:
         Literal("up", ["X", "a"])
     """
 
-    __slots__ = ("predicate", "args", "negated", "_hash")
+    __slots__ = ("predicate", "args", "negated", "_hash", "span")
 
     def __init__(
         self, predicate: str, args: Sequence[TermLike] = (), negated: bool = False
     ):
         if not isinstance(predicate, str) or not predicate:
             raise ValueError("predicate name must be a non-empty string")
+        self.span = None  # source location metadata, set by the parser
         self.predicate = predicate
         self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
         self.negated = bool(negated)

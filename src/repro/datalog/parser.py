@@ -35,16 +35,28 @@ The parser produces :class:`~repro.datalog.rules.Program` /
 :class:`~repro.datalog.rules.Rule` objects; queries (single literals with a
 mix of constants and variables, e.g. ``sg(john, Y)``) can be parsed with
 :func:`parse_literal`.
+
+Source positions
+----------------
+
+Every :class:`Token` records its one-based line *and* column; the parser
+threads these upward, so each parsed term, literal and rule carries a
+:class:`~repro.datalog.spans.Span` on its ``span`` attribute (metadata only:
+equality and hashing of parsed objects ignore spans entirely).  Every
+:class:`~repro.datalog.errors.DatalogSyntaxError` points at the offending
+token as ``line:column``; at end of input it points one past the last token
+instead of reporting no position at all.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from .errors import DatalogSyntaxError
 from .literals import BUILTIN_PREDICATES, Literal
 from .rules import Program, Rule
+from .spans import Span, merge_spans
 from .terms import (
     AGGREGATE_FUNCTIONS,
     ANONYMOUS_PREFIX,
@@ -59,7 +71,7 @@ from .terms import (
 _STRING_UNESCAPES = {"\\": "\\", '"': '"', "'": "'", "n": "\n", "t": "\t", "r": "\r"}
 
 
-def _unquote_string(text: str, line: int) -> str:
+def _unquote_string(text: str, span: Optional[Span] = None) -> str:
     """Decode a STRING token's payload, resolving its escape sequences."""
     body = text[1:-1]
     if "\\" not in body:
@@ -74,7 +86,7 @@ def _unquote_string(text: str, line: int) -> str:
             resolved = _STRING_UNESCAPES.get(escape)
             if resolved is None:
                 raise DatalogSyntaxError(
-                    f"unknown string escape \\{escape!s}", line=line
+                    f"unknown string escape \\{escape!s}", span=span
                 )
             out.append(resolved)
             index += 2
@@ -100,27 +112,65 @@ _TOKEN_SPEC = [
 
 _TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
 
+#: How a missing token kind reads in an error message.
+_TOKEN_NAMES = {
+    "IMPLIES": "':-'",
+    "COMPARE": "a comparison operator",
+    "NUMBER": "a number",
+    "IDENT": "an identifier",
+    "STRING": "a string",
+    "LPAREN": "'('",
+    "RPAREN": "')'",
+    "COMMA": "','",
+    "PERIOD": "'.'",
+    "QMARK": "'?'",
+}
+
 
 class Token(NamedTuple):
     kind: str
     text: str
     line: int
+    column: int = 1
+
+    @property
+    def span(self) -> Span:
+        """The source region this token covers (handles embedded newlines)."""
+        newlines = self.text.count("\n")
+        if newlines:
+            tail = len(self.text) - self.text.rfind("\n")
+            return Span(self.line, self.column, self.line + newlines, tail)
+        return Span(self.line, self.column, self.line, self.column + len(self.text))
+
+    @property
+    def end(self) -> Tuple[int, int]:
+        """``(line, column)`` one past the token's last character."""
+        span = self.span
+        return span.end_line, span.end_column
 
 
 def tokenize(text: str) -> List[Token]:
     """Split program text into tokens, dropping whitespace and comments."""
     tokens: List[Token] = []
     line = 1
+    column = 1
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise DatalogSyntaxError(f"unexpected character {text[pos]!r}", line=line)
+            raise DatalogSyntaxError(
+                f"unexpected character {text[pos]!r}", line=line, column=column
+            )
         kind = match.lastgroup or ""
         value = match.group()
         if kind not in ("WS", "COMMENT"):
-            tokens.append(Token(kind, value, line))
-        line += value.count("\n")
+            tokens.append(Token(kind, value, line, column))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            column = len(value) - value.rfind("\n")
+        else:
+            column += len(value)
         pos = match.end()
     return tokens
 
@@ -135,6 +185,7 @@ class _Parser:
         # fresh variable (never unified with another `_`), numbered in
         # occurrence order so a printed clause reparses to equal structure.
         self._anonymous = 0
+        self._pending_atom: Optional[Literal] = None
 
     def _fresh_anonymous(self) -> Variable:
         variable = Variable(f"{ANONYMOUS_PREFIX}{self._anonymous}")
@@ -142,6 +193,18 @@ class _Parser:
         return variable
 
     # -- token stream helpers ------------------------------------------------
+
+    def _end_position(self) -> Tuple[int, int]:
+        """One past the last token -- where "end of input" is."""
+        if self.tokens:
+            return self.tokens[-1].end
+        return 1, 1
+
+    def _end_of_input(self, expected: str) -> DatalogSyntaxError:
+        line, column = self._end_position()
+        return DatalogSyntaxError(
+            f"{expected}, found end of input", line=line, column=column
+        )
 
     def peek(self) -> Optional[Token]:
         if self.index < len(self.tokens):
@@ -151,16 +214,19 @@ class _Parser:
     def advance(self) -> Token:
         token = self.peek()
         if token is None:
-            raise DatalogSyntaxError("unexpected end of input")
+            raise self._end_of_input("expected more input")
         self.index += 1
         return token
 
     def expect(self, kind: str) -> Token:
         token = self.peek()
-        if token is None or token.kind != kind:
-            found = token.text if token else "end of input"
-            line = token.line if token else None
-            raise DatalogSyntaxError(f"expected {kind}, found {found!r}", line=line)
+        expected = _TOKEN_NAMES.get(kind, kind)
+        if token is None:
+            raise self._end_of_input(f"expected {expected}")
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {expected}, found {token.text!r}", span=token.span
+            )
         return self.advance()
 
     def at_end(self) -> bool:
@@ -179,7 +245,8 @@ class _Parser:
         head = self.parse_literal()
         if head.is_builtin:
             raise DatalogSyntaxError(
-                f"built-in predicate {head.predicate!r} cannot be a rule head"
+                f"built-in predicate {head.predicate!r} cannot be a rule head",
+                span=head.span,
             )
         token = self.peek()
         body: List[Literal] = []
@@ -189,13 +256,15 @@ class _Parser:
             while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
                 self.advance()
                 body.append(self.parse_literal())
-        self.expect("PERIOD")
-        return Rule(head, body)
+        period = self.expect("PERIOD")
+        rule = Rule(head, body)
+        rule.span = merge_spans(head.span, period.span)
+        return rule
 
     def parse_literal(self) -> Literal:
         token = self.peek()
         if token is None:
-            raise DatalogSyntaxError("unexpected end of input while reading a literal")
+            raise self._end_of_input("expected a literal")
         if token.kind == "IDENT" and token.text == "not":
             self.advance()
             inner = self.parse_literal()  # the patched entry point handles atoms
@@ -203,13 +272,15 @@ class _Parser:
                 raise DatalogSyntaxError(
                     f"built-in comparison {inner} cannot be negated; "
                     "use the complementary operator",
-                    line=token.line,
+                    span=token.span,
                 )
             if inner.negated:
                 raise DatalogSyntaxError(
-                    "double negation is not part of the language", line=token.line
+                    "double negation is not part of the language", span=token.span
                 )
-            return Literal(inner.predicate, inner.args, negated=True)
+            negated = Literal(inner.predicate, inner.args, negated=True)
+            negated.span = token.span.merge(inner.span)
+            return negated
         # Either `ident(args)` or an infix comparison `term OP term`.
         first_term, was_plain_atom = self.parse_term_or_atom()
         nxt = self.peek()
@@ -217,13 +288,19 @@ class _Parser:
             op = self.advance().text
             right, _ = self.parse_term_or_atom()
             if op not in BUILTIN_PREDICATES:
-                raise DatalogSyntaxError(f"unknown comparison operator {op!r}", line=nxt.line)
-            return Literal(op, [first_term, right])
+                raise DatalogSyntaxError(
+                    f"unknown comparison operator {op!r}", span=nxt.span
+                )
+            comparison = Literal(op, [first_term, right])
+            comparison.span = merge_spans(first_term.span, nxt.span, right.span)
+            return comparison
         if was_plain_atom and isinstance(first_term, Constant):
             # A zero-argument predicate like `halt.` -- represent as arity 0.
-            return Literal(str(first_term.value), [])
+            atom = Literal(str(first_term.value), [])
+            atom.span = first_term.span
+            return atom
         raise DatalogSyntaxError(
-            f"expected a literal near {token.text!r}", line=token.line
+            f"expected a literal near {token.text!r}", span=token.span
         )
 
     def parse_term_or_atom(self) -> Tuple[Term, bool]:
@@ -246,20 +323,32 @@ class _Parser:
                     while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
                         self.advance()
                         args.append(self.parse_term())
-                self.expect("RPAREN")
+                rparen = self.expect("RPAREN")
                 atom = Literal(token.text, args)
+                atom.span = token.span.merge(rparen.span)
                 self._pending_atom = atom
                 raise _AtomParsed(atom)
-            if token.text == "_":
-                return self._fresh_anonymous(), True
-            if token.text[0].isupper() or token.text[0] == "_":
-                return Variable(token.text), True
-            return Constant(token.text), True
+            return self._name_term(token), True
         if token.kind == "NUMBER":
-            return Constant(int(token.text)), True
+            return self._spanned(Constant(int(token.text)), token), True
         if token.kind == "STRING":
-            return Constant(_unquote_string(token.text, token.line)), True
-        raise DatalogSyntaxError(f"unexpected token {token.text!r}", line=token.line)
+            return (
+                self._spanned(Constant(_unquote_string(token.text, token.span)), token),
+                True,
+            )
+        raise DatalogSyntaxError(f"unexpected token {token.text!r}", span=token.span)
+
+    def _spanned(self, term: Term, token: Token) -> Term:
+        term.span = token.span
+        return term
+
+    def _name_term(self, token: Token) -> Term:
+        """The term a bare identifier token denotes (variable or constant)."""
+        if token.text == "_":
+            return self._spanned(self._fresh_anonymous(), token)
+        if token.text[0].isupper() or token.text[0] == "_":
+            return self._spanned(Variable(token.text), token)
+        return self._spanned(Constant(token.text), token)
 
     def parse_term(self) -> Term:
         token = self.advance()
@@ -273,18 +362,16 @@ class _Parser:
                 raise DatalogSyntaxError(
                     f"nested atom {token.text!r}(...) is not a term "
                     "(only t(...) tuples and aggregate terms may nest)",
-                    line=token.line,
+                    span=token.span,
                 )
-            if token.text == "_":
-                return self._fresh_anonymous()
-            if token.text[0].isupper() or token.text[0] == "_":
-                return Variable(token.text)
-            return Constant(token.text)
+            return self._name_term(token)
         if token.kind == "NUMBER":
-            return Constant(int(token.text))
+            return self._spanned(Constant(int(token.text)), token)
         if token.kind == "STRING":
-            return Constant(_unquote_string(token.text, token.line))
-        raise DatalogSyntaxError(f"expected a term, found {token.text!r}", line=token.line)
+            return self._spanned(Constant(_unquote_string(token.text, token.span)), token)
+        raise DatalogSyntaxError(
+            f"expected a term, found {token.text!r}", span=token.span
+        )
 
     def _parse_aggregate(self, token: Token) -> AggregateTerm:
         """``min(C)`` / ``max(C)`` / ``sum(C)`` / ``count(C)`` in argument position."""
@@ -293,10 +380,12 @@ class _Parser:
         if not isinstance(inner, Variable):
             raise DatalogSyntaxError(
                 f"aggregate {token.text}(...) takes a single variable",
-                line=token.line,
+                span=token.span,
             )
-        self.expect("RPAREN")
-        return AggregateTerm(token.text, inner)
+        rparen = self.expect("RPAREN")
+        aggregate = AggregateTerm(token.text, inner)
+        aggregate.span = token.span.merge(rparen.span)
+        return aggregate
 
     def _parse_tuple_constant(self, token: Token) -> Constant:
         """``t(v1, ..., vn)`` in argument position: a tuple-payload constant."""
@@ -307,15 +396,17 @@ class _Parser:
             while self.peek() is not None and self.peek().kind == "COMMA":  # type: ignore[union-attr]
                 self.advance()
                 values.append(self._tuple_component(token))
-        self.expect("RPAREN")
-        return Constant(tuple(values))
+        rparen = self.expect("RPAREN")
+        constant = Constant(tuple(values))
+        constant.span = token.span.merge(rparen.span)
+        return constant
 
     def _tuple_component(self, token: Token) -> object:
         component = self.parse_term()
         if not isinstance(component, Constant):
             raise DatalogSyntaxError(
                 f"tuple constant t(...) may only contain constants, got {component}",
-                line=token.line,
+                span=component.span or token.span,
             )
         return component.value
 
@@ -374,8 +465,9 @@ def parse_literal(text: str) -> Literal:
     literal = parser.parse_literal()
     if not parser.at_end():
         extra = parser.peek()
+        assert extra is not None
         raise DatalogSyntaxError(
-            f"unexpected trailing input {extra.text!r}", line=extra.line if extra else None
+            f"unexpected trailing input {extra.text!r}", span=extra.span
         )
     return literal
 

@@ -917,10 +917,17 @@ def compile_image(expression) -> ImageFunction:
     if len(_IMAGE_CACHE) >= _PLAN_CACHE_LIMIT:
         _IMAGE_CACHE.clear()
 
+    compiled: ImageFunction
     if isinstance(expression, Identity):
-        compiled: ImageFunction = lambda values, database, counters: set(values)
+
+        def compiled(values, database, counters):
+            return set(values)
+
     elif isinstance(expression, Empty):
-        compiled = lambda values, database, counters: set()
+
+        def compiled(values, database, counters):
+            return set()
+
     elif isinstance(expression, Pred):
         name = expression.name
 

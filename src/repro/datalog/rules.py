@@ -20,11 +20,11 @@ the mutual-recursion relation (recursive, linear, regular, binary-chain
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from .errors import ProgramValidationError, UnsafeRuleError
 from .literals import Literal
-from .terms import AggregateTerm, Variable
+from .terms import Variable
 
 
 class Rule:
@@ -34,9 +34,10 @@ class Rule:
     head is ground is a *fact* (:attr:`is_fact`).
     """
 
-    __slots__ = ("head", "body", "_hash")
+    __slots__ = ("head", "body", "_hash", "span")
 
     def __init__(self, head: Literal, body: Sequence[Literal] = ()):
+        self.span = None  # source location metadata, set by the parser
         if head.is_builtin:
             raise ProgramValidationError(
                 f"built-in predicate {head.predicate!r} cannot appear in a rule head"
@@ -261,11 +262,25 @@ class Program:
         if known is None:
             self._arities[literal.predicate] = literal.arity
         elif known != literal.arity:
+            from .diagnostics import Diagnostic, Severity
+
             raise ProgramValidationError(
-                f"predicate {literal.predicate!r} used with arities {known} and {literal.arity}"
+                f"predicate {literal.predicate!r} used with arities {known} and {literal.arity}",
+                diagnostic=Diagnostic(
+                    code="DL204",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"predicate {literal.predicate!r} used with arities "
+                        f"{known} and {literal.arity}"
+                    ),
+                    span=literal.span,
+                ),
             )
 
     def _validate(self) -> None:
+        # Imported lazily: diagnostics imports this module at top level.
+        from .diagnostics import Diagnostic, Severity, rule_safety_diagnostics
+
         # Section 2 forbids a predicate from being both base and derived:
         # "no base predicate appears in the head of a rule with a nonempty
         # body".  A predicate with at least one fact and at least one proper
@@ -274,16 +289,36 @@ class Program:
         overlap = with_facts & self._derived
         if overlap:
             name = sorted(overlap)[0]
+            witness = next(
+                (r for r in self.rules if not r.body and r.head.predicate == name),
+                None,
+            )
             raise ProgramValidationError(
-                f"predicate {name!r} is used both as a base and as a derived predicate"
+                f"predicate {name!r} is used both as a base and as a derived predicate",
+                diagnostic=Diagnostic(
+                    code="DL205",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"predicate {name!r} is used both as a base and as a "
+                        "derived predicate"
+                    ),
+                    span=witness.span if witness is not None else None,
+                    rule=str(witness) if witness is not None else None,
+                ),
             )
         for rule in self.rules:
             if not rule.body and not rule.head.is_ground:
+                diagnostics = rule_safety_diagnostics(rule)
                 raise ProgramValidationError(
-                    f"rule {rule} has an empty body but a non-ground head"
+                    f"rule {rule} has an empty body but a non-ground head",
+                    diagnostic=diagnostics[0] if diagnostics else None,
                 )
             if not rule.is_safe():
-                raise UnsafeRuleError(f"rule {rule} is unsafe")
+                diagnostics = rule_safety_diagnostics(rule)
+                raise UnsafeRuleError(
+                    f"rule {rule} is unsafe",
+                    diagnostic=diagnostics[0] if diagnostics else None,
+                )
 
     # -- predicate sets ---------------------------------------------------------
 

@@ -1,0 +1,69 @@
+"""Source spans: where a token, term, literal or rule came from.
+
+Every token produced by :func:`repro.datalog.parser.tokenize` knows its
+one-based line *and* column; the parser merges token spans upward so that
+terms, literals and rules all carry a :class:`Span` covering exactly the
+source text they were read from.  Diagnostics
+(:mod:`repro.datalog.diagnostics`) and every parse-time error point at these
+spans, so a bad program fails with ``3:14`` instead of ``line 3`` (or, before
+column tracking, ``line None`` at end of input).
+
+Spans are *metadata*: they never participate in equality or hashing of the
+objects that carry them (two occurrences of ``Variable("X")`` are the same
+variable wherever they were read), and programmatically constructed objects
+simply have ``span = None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of program text, one-based lines and columns.
+
+    ``(line, column)`` is the first character of the region and
+    ``(end_line, end_column)`` is one past its last character, mirroring the
+    convention of Python's own AST locations (columns there are zero-based;
+    ours are one-based, which is what editors display).
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @classmethod
+    def point(cls, line: int, column: int) -> "Span":
+        """A zero-width span, e.g. the end-of-input position."""
+        return cls(line, column, line, column)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    @property
+    def start(self) -> str:
+        """The ``line:column`` rendering of the span's first character."""
+        return f"{self.line}:{self.column}"
+
+    def __str__(self) -> str:
+        return self.start
+
+
+def merge_spans(*spans: Optional[Span]) -> Optional[Span]:
+    """Merge any number of optional spans; ``None`` when all are ``None``."""
+    merged: Optional[Span] = None
+    for span in spans:
+        if span is None:
+            continue
+        merged = span if merged is None else merged.merge(span)
+    return merged

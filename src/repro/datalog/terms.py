@@ -14,13 +14,26 @@ as dictionary keys, which the evaluation engines rely on heavily.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spans import Span
 
 
 class Term:
-    """Abstract base class for :class:`Variable` and :class:`Constant`."""
+    """Abstract base class for :class:`Variable` and :class:`Constant`.
+
+    Every term carries an optional source :attr:`span` set by the parser --
+    pure metadata that never participates in equality or hashing (two
+    ``Variable("X")`` occurrences are the same variable wherever they were
+    read).  Programmatically built terms have ``span = None``.
+    """
 
     __slots__ = ()
+
+    #: Optional source location; declared per subclass (slots) and defaulted
+    #: in each constructor.
+    span: "Optional[Span]"
 
     @property
     def is_variable(self) -> bool:
@@ -54,12 +67,13 @@ class Variable(Term):
     anti-join) and otherwise behave as ordinary variables.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "span")
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError("variable name must be a non-empty string")
         self.name = name
+        self.span = None
 
     @property
     def is_variable(self) -> bool:
@@ -91,11 +105,12 @@ class Constant(Term):
     and ``Constant(3)`` are interchangeable.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "span")
 
     def __init__(self, value):
         hash(value)  # fail fast on unhashable payloads
         self.value = value
+        self.span = None
 
     @property
     def is_variable(self) -> bool:
@@ -136,7 +151,7 @@ class AggregateTerm(Term):
     post-fixpoint fold (:class:`repro.datalog.plans.AggregateFold`).
     """
 
-    __slots__ = ("func", "var")
+    __slots__ = ("func", "var", "span")
 
     def __init__(self, func: str, var: "Variable"):
         if func not in AGGREGATE_FUNCTIONS:
@@ -148,6 +163,7 @@ class AggregateTerm(Term):
             raise ValueError(f"aggregate {func}(...) takes a variable, got {var!r}")
         self.func = func
         self.var = var
+        self.span = None
 
     @property
     def is_variable(self) -> bool:

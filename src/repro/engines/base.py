@@ -90,7 +90,7 @@ a ``not`` is as non-monotone as an inserted one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Type
+from typing import Dict, List, Optional, Set, Tuple, Type
 
 from ..datalog.database import Database, Delta, Row, normalize_row
 from ..datalog.errors import NotApplicableError
@@ -453,8 +453,10 @@ class Engine:
         database is never mutated.
         """
         counters = counters if counters is not None else Counters()
+        from ..datalog.diagnostics import ensure_valid
         from ..session.facts import combined_database
 
+        ensure_valid(program)
         combined = combined_database(program, database, counters)
         return self._run(program, query, combined, counters)
 

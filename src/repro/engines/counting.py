@@ -28,7 +28,7 @@ of Figure 7 but quadratic on samples (b) and (c).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..core.cyclic import decompose_linear
 from ..core.lemma1 import transform

@@ -7,7 +7,6 @@ identical instrumentation and result types.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.planner import evaluate_query
 from ..datalog.database import Database

@@ -31,16 +31,16 @@ binding pattern, whose rewritten rules are structurally identical).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.adornment import AdornedProgram, AdornedRule, adorn
+from ..core.adornment import AdornedProgram, adorn
 from ..datalog.analysis import analyze
 from ..datalog.database import Database
 from ..datalog.errors import NotApplicableError
 from ..datalog.literals import Literal
 from ..datalog.rules import Program, Rule
 from ..datalog.semantics import answer_against_relation
-from ..datalog.terms import Constant, Term, Variable
+from ..datalog.terms import Constant, Term
 from ..instrumentation import Counters
 from .base import Engine, EngineResult, register
 from .seminaive import evaluate_seminaive, resume_seminaive

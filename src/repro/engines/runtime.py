@@ -58,7 +58,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, Stratification, analyze
-from ..datalog.database import Database, Delta, Row
+from ..datalog.database import Database, Delta
 from ..datalog.plans import aggregate_plan, delta_plan, delta_plans, rule_plan
 from ..datalog.rules import Program, Rule
 from ..instrumentation import Counters

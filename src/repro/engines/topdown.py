@@ -20,7 +20,7 @@ inherent in restarting the computation is visible to the benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..datalog.database import Database
 from ..datalog.errors import EvaluationError

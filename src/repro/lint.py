@@ -1,0 +1,190 @@
+"""``python -m repro.lint`` -- the command-line front end of the linter.
+
+Runs the program-level static analysis of
+:mod:`repro.datalog.diagnostics` over ``.dl`` files and prints the findings
+as compiler-style text or as JSON::
+
+    python -m repro.lint workloads examples            # discover *.dl
+    python -m repro.lint --format json program.dl
+    python -m repro.lint --strict workloads            # warnings also fail
+    python -m repro.lint --codes                       # the error-code table
+
+Directories are searched recursively for ``*.dl`` files; explicit file
+arguments are linted regardless of extension.  A file may declare the
+queries it is meant to serve with directive comments::
+
+    % query: tc(a, X)
+
+which become the roots of the reachability check (``DL402``) and the
+subjects of the binding-mode analysis (``DL501``).  A ``% lint: known p q``
+directive names external EDB relations so they are not reported as
+undefined (``DL401``).
+
+Exit status: ``0`` when no failing diagnostic was found, ``1`` otherwise,
+``2`` on usage errors.  Errors always fail; warnings fail under
+``--strict``; hints never fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .datalog.diagnostics import CODES, Diagnostic, Severity, lint_source
+from .datalog.errors import DatalogSyntaxError
+from .datalog.parser import parse_query
+from .datalog.spans import Span
+
+#: ``% query: tc(a, X)`` -- declare a query the file is meant to serve.
+_QUERY_DIRECTIVE = re.compile(r"^\s*%\s*query:\s*(?P<query>.+?)\s*$", re.MULTILINE)
+#: ``% lint: known edge node`` -- declare external EDB relation names.
+_KNOWN_DIRECTIVE = re.compile(r"^\s*%\s*lint:\s*known\s+(?P<names>.+?)\s*$", re.MULTILINE)
+
+
+def discover(paths: Sequence[str]) -> List[Path]:
+    """The files to lint: explicit files plus ``*.dl`` under directories."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.dl")))
+        else:
+            found.append(path)
+    # de-duplicate while keeping order (a file can be both explicit and
+    # discovered through its directory)
+    seen = set()
+    unique: List[Path] = []
+    for path in found:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def lint_file(path: Path) -> Tuple[List[Diagnostic], Optional[str]]:
+    """Lint one file; returns (diagnostics, fatal-read-error message)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [], f"cannot read {path}: {exc.strerror or exc}"
+    queries = []
+    for match in _QUERY_DIRECTIVE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        column = match.start("query") - (text.rfind("\n", 0, match.start("query")) + 1) + 1
+        try:
+            literal = parse_query(match.group("query"))
+        except DatalogSyntaxError as exc:
+            return [
+                Diagnostic(
+                    code=exc.code,
+                    severity=Severity.ERROR,
+                    message=f"bad query directive: {exc.bare_message}",
+                    span=Span.point(line, column),
+                )
+            ], None
+        # Anchor query diagnostics (DL501) at the directive's file position
+        # instead of the directive-relative parse span.
+        literal.span = Span.point(line, column)
+        queries.append(literal)
+    known: List[str] = []
+    for names in _KNOWN_DIRECTIVE.findall(text):
+        known.extend(names.split())
+    return lint_source(text, queries=queries, known_predicates=known), None
+
+
+def _fails(diagnostic: Diagnostic, strict: bool) -> bool:
+    if diagnostic.severity is Severity.ERROR:
+        return True
+    return strict and diagnostic.severity is Severity.WARNING
+
+
+def _print_codes() -> None:
+    width = max(len(code) for code in CODES)
+    for code, (severity, summary) in sorted(CODES.items()):
+        print(f"{code:<{width}}  {severity.value:<7}  {summary}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis for Datalog programs (.dl files).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint, or directories to search for *.dl files",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (errors always fail; hints never do)",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the error-code table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        _print_codes()
+        return 0
+    if not args.paths:
+        parser.error("no files or directories given (or use --codes)")
+
+    files = discover(args.paths)
+    failed = False
+    reports = []
+    total = {"error": 0, "warning": 0, "hint": 0}
+    for path in files:
+        diagnostics, fatal = lint_file(path)
+        if fatal is not None:
+            failed = True
+            if args.format == "text":
+                print(f"{path}: error: {fatal}", file=sys.stderr)
+            reports.append({"path": str(path), "error": fatal, "diagnostics": []})
+            continue
+        for diagnostic in diagnostics:
+            total[diagnostic.severity.value] += 1
+            if _fails(diagnostic, args.strict):
+                failed = True
+            if args.format == "text":
+                print(diagnostic.format(str(path)))
+        reports.append(
+            {
+                "path": str(path),
+                "diagnostics": [d.to_dict() for d in diagnostics],
+            }
+        )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": reports,
+                    "summary": {**total, "files": len(files), "ok": not failed},
+                },
+                indent=2,
+            )
+        )
+    elif not failed:
+        noise = total["warning"] + total["hint"]
+        print(
+            f"{len(files)} file(s) clean"
+            + (f" ({noise} non-failing finding(s))" if noise else "")
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ purposes:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..instrumentation import Counters
 from .automaton import ID, Automaton, thompson

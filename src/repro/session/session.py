@@ -35,11 +35,11 @@ amortization lives here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.planner import classify_query
 from ..datalog.analysis import ProgramAnalysis, analyze
-from ..datalog.database import Database, Row
+from ..datalog.database import Database
 from ..datalog.literals import Literal
 from ..datalog.parser import parse_query
 from ..datalog.rules import Program
@@ -47,6 +47,9 @@ from ..datalog.terms import Constant, Variable
 from ..engines import Engine, EngineResult, Materialization, get_engine
 from ..instrumentation import Counters
 from .facts import program_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalog.diagnostics import Diagnostic
 
 QueryLike = Union[str, Literal]
 
@@ -164,6 +167,22 @@ class QuerySession:
     engine:
         Registry name pinning every query to one strategy, or ``None``
         (default) to auto-select per query via :func:`select_engine`.
+    validate:
+        When true (the default), the session runs the program-level static
+        analysis (:func:`repro.datalog.diagnostics.check_program`) at
+        construction: error-severity findings raise immediately (e.g.
+        :class:`~repro.datalog.errors.StratificationError`, with its
+        structured diagnostic) instead of surfacing mid-fixpoint on the
+        first query, and warning/hint findings are collected on
+        :attr:`diagnostics` for the caller to inspect.  Pass ``False`` to
+        skip the analysis (the historical lazy behaviour); evaluation
+        results are identical either way.
+
+    Attributes
+    ----------
+    diagnostics:
+        Warning/hint :class:`~repro.datalog.diagnostics.Diagnostic` records
+        collected at construction (empty when ``validate=False``).
     """
 
     def __init__(
@@ -171,12 +190,18 @@ class QuerySession:
         program: Program,
         database: Optional[Database] = None,
         engine: Optional[str] = None,
+        validate: bool = True,
     ):
         self.program = program
         self.database = database if database is not None else Database()
         self.engine = engine
         self.fingerprint = program_fingerprint(program)
         self.analysis = analyze(program)
+        self.diagnostics: List["Diagnostic"] = []
+        if validate:
+            from ..datalog.diagnostics import check_program
+
+            self.diagnostics = check_program(program, database=self.database)
         self._engines: Dict[str, Engine] = {}
         #: (program fingerprint, database version, strategy) -> Materialization
         self._materializations: Dict[Tuple[str, int, str], Materialization] = {}
@@ -207,9 +232,31 @@ class QuerySession:
         params: Sequence[str] = (),
         engine: Optional[str] = None,
     ) -> PreparedQuery:
-        """A reusable parameterized query; ``params`` name template variables."""
+        """A reusable parameterized query; ``params`` name template variables.
+
+        When an engine is pinned (here or session-wide) and eager validation
+        is on, the pin is checked immediately against a probe binding
+        (parameters stand in as constants): an unknown engine name or an
+        inapplicable strategy raises
+        :class:`~repro.datalog.errors.NotApplicableError` at prepare time
+        instead of on the first call.
+        """
         literal = parse_query(query) if isinstance(query, str) else query
-        return PreparedQuery(self, literal, params, engine=engine)
+        prepared = PreparedQuery(self, literal, params, engine=engine)
+        strategy = engine or self.engine
+        if strategy is not None:
+            from ..datalog.diagnostics import eager_validation_enabled
+            from ..datalog.errors import NotApplicableError
+
+            if eager_validation_enabled():
+                probe = prepared.bind(*(["__probe__"] * len(prepared.params)))
+                if not self._engine_for(strategy).applicable(self.program, probe):
+                    raise NotApplicableError(
+                        f"engine {strategy!r} is not applicable to prepared "
+                        f"query {literal} (checked with a probe binding); "
+                        "pin a different engine or let the session auto-select"
+                    )
+        return prepared
 
     def strategy_for(self, query: QueryLike) -> str:
         """The strategy :meth:`query` would auto-select for ``query``."""

@@ -20,7 +20,7 @@ or a randomised hub-and-spoke network.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..datalog.database import Database
 from ..datalog.literals import Literal

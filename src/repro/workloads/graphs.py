@@ -10,11 +10,11 @@ right-linear closure program and a bound-first-argument query.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..datalog.database import Database
 from ..datalog.literals import Literal
-from ..datalog.parser import parse_literal, parse_program
+from ..datalog.parser import parse_program
 from ..datalog.rules import Program
 
 TRANSITIVE_CLOSURE_RULES = """

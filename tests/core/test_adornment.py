@@ -9,7 +9,6 @@ from repro.core.adornment import (
 )
 from repro.datalog.errors import NotApplicableError
 from repro.datalog.parser import parse_literal, parse_program
-from repro.datalog.terms import Variable
 
 SG = """
     sg(X, Y) :- flat(X, Y).

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.adornment import adorn
 from repro.core.chain_transform import (
     ChainTransformProvider,
     transform_to_binary_chain,

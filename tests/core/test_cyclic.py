@@ -13,7 +13,7 @@ from repro.datalog.database import Database
 from repro.datalog.errors import NotApplicableError
 from repro.datalog.parser import parse_literal, parse_program
 from repro.datalog.semantics import answer_query
-from repro.relalg.expressions import compose, pred, star, union
+from repro.relalg.expressions import pred
 
 SG = """
     sg(X, Y) :- flat(X, Y).

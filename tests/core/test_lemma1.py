@@ -7,7 +7,7 @@ from repro.datalog.errors import NotApplicableError
 from repro.datalog.parser import parse_program
 from repro.datalog.semantics import least_model
 from repro.core.lemma1 import equation_for, transform
-from repro.relalg.expressions import Pred, compose, pred, star, union
+from repro.relalg.expressions import compose, pred, star, union
 from repro.relalg.relation import BinaryRelation
 
 B = BinaryRelation
@@ -147,7 +147,6 @@ class TestStatementsOfLemma1:
         # still mentions a predicate mutually recursive to it (the paper's
         # final system has q2 = r2 U a.q2.r1 with r1, r2 expanded).
         for predicate in result.system.derived_predicates:
-            mutual = result.original_mutual_sets[predicate]
             if predicate == "q2":
                 assert result.system.rhs(predicate).occurrence_count({"q2"}) == 1
             else:

@@ -1,9 +1,7 @@
 """Unit tests for repro.datalog.analysis (recursion structure, Section 2 classes)."""
 
-import pytest
 
 from repro.datalog.analysis import (
-    ProgramAnalysis,
     analyze,
     reachable_from,
     strongly_connected_components,

@@ -1,0 +1,111 @@
+"""The ``python -m repro.lint`` command-line driver."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import discover, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = """\
+% lint: known edge
+% query: tc(a, Y)
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+"""
+
+WARNING = """\
+% lint: known q
+p(X) :- q(X, Unused).
+"""
+
+BROKEN = """\
+p(X, Y) :- q(X).
+"""
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.dl"
+        path.write_text(CLEAN)
+        assert main([str(path)]) == 0
+        assert "1 file(s) clean" in capsys.readouterr().out
+
+    def test_error_fails_with_position(self, tmp_path, capsys):
+        path = tmp_path / "broken.dl"
+        path.write_text(BROKEN)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:1:6: error[DL201]" in out
+
+    def test_warnings_fail_only_under_strict(self, tmp_path):
+        path = tmp_path / "warn.dl"
+        path.write_text(WARNING)
+        assert main([str(path)]) == 0
+        assert main(["--strict", str(path)]) == 1
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        path = tmp_path / "broken.dl"
+        path.write_text(BROKEN)
+        assert main(["--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 1
+        assert payload["summary"]["ok"] is False
+        (report,) = payload["files"]
+        (first, *_) = report["diagnostics"]
+        assert first["code"] == "DL201"
+        assert (first["line"], first["column"]) == (1, 6)
+
+    def test_directory_discovery_recurses(self, tmp_path):
+        (tmp_path / "nested").mkdir()
+        (tmp_path / "nested" / "a.dl").write_text(CLEAN)
+        (tmp_path / "top.dl").write_text(CLEAN)
+        (tmp_path / "ignored.txt").write_text("not datalog")
+        found = discover([str(tmp_path)])
+        assert [p.name for p in found] == ["a.dl", "top.dl"]
+
+    def test_bad_query_directive_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "directive.dl"
+        path.write_text("% query: tc(a,\ntc(X, Y) :- e(X, Y).\n")
+        assert main([str(path)]) == 1
+        assert "bad query directive" in capsys.readouterr().out
+
+    def test_codes_table(self, capsys):
+        assert main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "DL201" in out and "DL501" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.dl")]) == 1
+
+    def test_module_entry_point(self, tmp_path):
+        path = tmp_path / "clean.dl"
+        path.write_text(CLEAN)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(path)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestRepoCorpusSelfCheck:
+    """The CI invariant: every .dl program in the repo lints clean."""
+
+    @pytest.mark.parametrize(
+        "tree", ["workloads", "examples"], ids=["workloads", "examples"]
+    )
+    def test_tree_is_strict_clean(self, tree, capsys):
+        root = REPO_ROOT / tree
+        assert discover([str(root)]), f"no .dl corpus under {root}"
+        assert main(["--strict", "--format", "json", str(root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"] is True
+        assert payload["summary"]["error"] == 0
+        assert payload["summary"]["warning"] == 0

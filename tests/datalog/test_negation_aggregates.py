@@ -14,7 +14,7 @@ from repro.datalog.errors import (
 from repro.datalog.literals import Literal
 from repro.datalog.parser import parse_literal, parse_program, parse_rules
 from repro.datalog.plans import aggregate_plan, execution_mode, rule_plan
-from repro.datalog.rules import Program, Rule
+from repro.datalog.rules import Rule
 from repro.datalog.semantics import answer_query, least_model, stratified_model
 from repro.datalog.terms import AggregateTerm, Constant, Variable
 from repro.instrumentation import Counters

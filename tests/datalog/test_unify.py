@@ -1,11 +1,10 @@
 """Unit tests for repro.datalog.unify."""
 
-import pytest
 
 from repro.datalog.database import Database
 from repro.datalog.literals import Literal
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 from repro.datalog.unify import (
     apply_to_literal,
     apply_to_rule,

@@ -9,7 +9,7 @@ from repro.core.lemma1 import transform
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_literal
 from repro.datalog.semantics import answer_query
-from repro.relalg.expressions import compose, pred, star, union
+from repro.relalg.expressions import compose, pred, union
 
 
 class TestSection2Definitions:

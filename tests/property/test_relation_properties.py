@@ -1,6 +1,6 @@
 """Property-based tests for the binary-relation algebra (hypothesis)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relalg.relation import BinaryRelation

@@ -1,6 +1,5 @@
 """Unit tests for repro.relalg.automaton (the M(e) construction)."""
 
-import pytest
 
 from repro.relalg.automaton import ID, Automaton, simulate, thompson
 from repro.relalg.expressions import compose, empty, identity, inverse, pred, star, union

@@ -1,14 +1,10 @@
 """Unit tests for repro.relalg.expressions."""
 
-import pytest
 
 from repro.relalg.expressions import (
     Compose,
     Empty,
     Identity,
-    Inverse,
-    Pred,
-    Star,
     Union,
     compose,
     composition_factors,

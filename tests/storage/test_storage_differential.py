@@ -16,7 +16,6 @@ set, and the audit of the remaining accessors for leaked internals.
 import pytest
 
 from repro.datalog.database import Database, Relation
-from repro.datalog.parser import parse_literal
 from repro.datalog.semantics import answer_query
 from repro.engines import get_engine, run_engine
 from repro.instrumentation import Counters
