@@ -36,10 +36,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import subprocess
 import sys
 import time
+
+from helpers import alternating_passes, check_answer_parity, repo_src, write_report
 
 REPEAT_QUERY_THRESHOLD = 5.0
 STREAMING_THRESHOLD = 2.0
@@ -212,18 +212,7 @@ def main() -> int:
         json.dump(run_pass(args.measure_only), sys.stdout)
         return 0
 
-    here = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
-    )
-
-    def subprocess_pass(pythonpath, flavour):
-        env = dict(os.environ, PYTHONPATH=pythonpath)
-        output = subprocess.check_output(
-            [sys.executable, os.path.abspath(__file__), "--measure-only", flavour],
-            env=env,
-        )
-        return json.loads(output)
-
+    here = repo_src()
     baseline_src = args.baseline_path or here
     baseline_label = (
         f"pre-session checkout at {args.baseline_path}"
@@ -231,25 +220,16 @@ def main() -> int:
         else "per-query full recomputation (one-shot run_engine, current tree)"
     )
 
-    def merge_min(target, sample):
-        for cell, row in sample.items():
-            kept = target.get(cell)
-            if kept is None or row["seconds"] < kept["seconds"]:
-                target[cell] = row
-
-    # Alternate passes so machine-load drift hits both sides about equally.
-    before, after = {}, {}
-    for _ in range(args.rounds):
-        merge_min(before, subprocess_pass(baseline_src, "baseline"))
-        merge_min(after, subprocess_pass(here, "session"))
+    before, after = alternating_passes(
+        __file__, args.rounds, (baseline_src, "baseline"), (here, "session")
+    )
+    check_answer_parity(before, after)
 
     results = {}
     misses = []
     for cell in sorted(after):
         baseline_s = before[cell]["seconds"]
         session_s = after[cell]["seconds"]
-        if before[cell]["answers"] != after[cell]["answers"]:
-            raise SystemExit(f"answer count mismatch on {cell}")
         speedup = baseline_s / session_s if session_s else float("inf")
         target = (
             REPEAT_QUERY_THRESHOLD
@@ -277,9 +257,7 @@ def main() -> int:
         },
         "results": results,
     }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    write_report(args.output, report)
 
     width = max(len(cell) for cell in results)
     print(f"{'scenario'.ljust(width)}  baseline_s  session_s  speedup  target")

@@ -32,10 +32,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import subprocess
 import sys
-import time
+
+from helpers import (
+    alternating_passes,
+    calibrated_best,
+    check_answer_parity,
+    repo_src,
+    write_report,
+)
 
 
 def workload_matrix():
@@ -77,6 +82,8 @@ def measure_cell(generator, size, engine, repeats):
     until the measured batch covers at least ~80 ms, timeit-style, and the
     minimum per-run time is reported.
     """
+    import time
+
     from repro.engines import run_engine
     from repro.instrumentation import Counters
 
@@ -90,13 +97,7 @@ def measure_cell(generator, size, engine, repeats):
         result = run_engine(engine, program, query, fresh, counters)
         return time.perf_counter() - started, len(result.answers)
 
-    warmup, answers = one_run()
-    loops = max(repeats, min(300, int(0.06 / max(warmup, 1e-6)) + 1))
-    best = warmup
-    for _ in range(loops):
-        seconds, _ = one_run()
-        best = min(best, seconds)
-    return best, answers
+    return calibrated_best(one_run, repeats)
 
 
 def run_measurements(repeats, mode=None):
@@ -140,54 +141,27 @@ def main() -> int:
         json.dump(run_measurements(args.repeats, mode), sys.stdout)
         return 0
 
-    def subprocess_pass(pythonpath, flavour):
-        env = dict(os.environ, PYTHONPATH=pythonpath)
-        output = subprocess.check_output(
-            [
-                sys.executable,
-                os.path.abspath(__file__),
-                "--measure-only",
-                flavour,
-                "--repeats",
-                str(args.repeats),
-            ],
-            env=env,
-        )
-        return json.loads(output)
-
-    here = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    here = repo_src()
     if args.baseline_path:
         baseline_label = f"pre-kernel checkout at {args.baseline_path}"
-
-        def baseline_pass():
-            return subprocess_pass(args.baseline_path, "plain")
-
+        baseline = (args.baseline_path, "plain")
     else:
         baseline_label = "current tree under the 'reference' storage mode"
-
-        def baseline_pass():
-            return subprocess_pass(here, "reference")
-
-    def merge_min(target, sample):
-        for cell, row in sample.items():
-            kept = target.get(cell)
-            if kept is None or row["seconds"] < kept["seconds"]:
-                target[cell] = row
+        baseline = (here, "reference")
 
     # Alternate baseline and kernel passes so machine-load drift hits both
     # sides of the comparison about equally; keep the per-cell minimum.
-    before, after = {}, {}
-    for _ in range(args.rounds):
-        merge_min(before, baseline_pass())
-        merge_min(after, subprocess_pass(here, "kernel"))
+    extra = ("--repeats", str(args.repeats))
+    before, after = alternating_passes(
+        __file__, args.rounds, baseline, (here, "kernel"), extra
+    )
+    check_answer_parity(before, after)
 
     results = {}
     regressions, best_speedup = [], (None, 0.0)
     for cell in sorted(after):
         before_s = before[cell]["seconds"]
         after_s = after[cell]["seconds"]
-        if before[cell]["answers"] != after[cell]["answers"]:
-            raise SystemExit(f"answer count mismatch on {cell}")
         speedup = before_s / after_s if after_s else float("inf")
         results[cell] = {
             "before_s": round(before_s, 6),
@@ -207,9 +181,7 @@ def main() -> int:
         },
         "results": results,
     }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    write_report(args.output, report)
 
     width = max(len(cell) for cell in results)
     print(f"{'cell'.ljust(width)}  before_s  after_s  speedup")

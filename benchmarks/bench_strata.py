@@ -29,19 +29,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
+
+from helpers import best_of
 
 #: resume with a top-stratum delta must beat scratch by at least this factor
 RESUME_THRESHOLD = 1.5
-
-
-def _timed(fn, rounds):
-    best = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def stratified_eval_cells(rounds):
@@ -63,7 +55,7 @@ def stratified_eval_cells(rounds):
                 engine.answer(program, query, database.copy())
 
             cells[f"stratified-eval/{name}/{engine_name}"] = {
-                "seconds": _timed(run, rounds)
+                "seconds": best_of(run, rounds)
             }
     return cells
 
@@ -91,11 +83,11 @@ def resume_vs_scratch_cells(rounds):
         materialization.answer(query)
 
     # isolate the resume step: subtract the shared initial materialization
-    base_cost = _timed(
+    base_cost = best_of(
         lambda: engine.materialize(program, database.copy()).answer(query), rounds
     )
-    resume_cost = max(_timed(resume, rounds) - base_cost, 1e-9)
-    scratch_cost = _timed(scratch, rounds)
+    resume_cost = max(best_of(resume, rounds) - base_cost, 1e-9)
+    scratch_cost = best_of(scratch, rounds)
     cells["resume-vs-scratch/non-reachability-n150/top-stratum-delta"] = {
         "resume_seconds": resume_cost,
         "scratch_seconds": scratch_cost,
@@ -124,7 +116,7 @@ def positive_guard_cells(rounds):
                 engine.answer(program, query, database.copy())
 
             cells[f"positive-guard/{name}/{engine_name}"] = {
-                "seconds": _timed(run, rounds)
+                "seconds": best_of(run, rounds)
             }
     return cells
 

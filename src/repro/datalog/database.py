@@ -21,7 +21,18 @@ every engine on every workload family.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from itertools import repeat as _repeat
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..instrumentation import Counters
 from ..storage import runtime as _storage_runtime
@@ -219,6 +230,14 @@ class Database:
         # entries are also dropped eagerly on local mutations and on
         # instrumentation resets.
         self._charged: Dict[str, Dict[BucketToken, int]] = {}
+        # Direct-charging kernel probes reused across batches: (predicate,
+        # probe positions) -> (relation, table mutation epoch, probe).  A
+        # probe is valid while the relation object and its table's mutation
+        # epoch are unchanged (and is dropped wholesale on instrumentation
+        # resets, which swap the counters object it charges).  Reuse keeps
+        # the probe's per-batch key memo warm across fixpoint rounds for
+        # static relations.
+        self._probe_cache: Dict[Tuple[str, Tuple[int, ...]], tuple] = {}
         # Per-(predicate, position) image context: the adjacency dict, the
         # interner lookup and the charged-bucket memo for :meth:`image`,
         # validated per call by adjacency-dict identity (a cloned or unshared
@@ -290,6 +309,56 @@ class Database:
             if self.add_fact(predicate, row):
                 added += 1
         return added
+
+    def add_rows(
+        self,
+        predicate: str,
+        rows: Sequence[Row],
+        journal: bool = True,
+        distinct: bool = False,
+    ) -> List[Row]:
+        """Bulk-insert already-normalized rows; returns the new ones in order.
+
+        This is the batch-executor sink: the rows come from
+        :meth:`repro.datalog.plans.JoinPlan.head_batch`, whose values are
+        stored canonical values and unwrapped head constants, so the
+        :func:`normalize_row` pass of :meth:`add_fact` is skipped.  Journal
+        order, copy-on-write cloning and charging-memo invalidation are
+        exactly those of the equivalent :meth:`add_fact` sequence.  The
+        stratified runtime passes ``journal=False`` for its per-round
+        delta/frontier scratch databases, whose journals are discarded
+        unread with the round, and ``distinct=True`` when the rows are the
+        novel rows another database just reported (see
+        :meth:`repro.storage.table.IntTable.add_many`).
+        """
+        if not rows:
+            return []
+        relation = self.relations.get(predicate)
+        if relation is None:
+            relation = Relation(predicate, len(rows[0]))
+            self.relations[predicate] = relation
+        if predicate in self._shared:
+            # Pay the copy-on-write clone only when some row is actually new
+            # (the table-level bulk add unshares the snapshot lazily too, but
+            # the relations map and shared-set bookkeeping live here).
+            contains = relation.table.contains
+            if all(contains(row) for row in rows):
+                return []
+            relation = relation.clone()
+            self.relations[predicate] = relation
+            self._shared.discard(predicate)
+        if len(rows[0]) != relation.arity:
+            raise ValueError(
+                f"relation {predicate!r} has arity {relation.arity},"
+                f" got tuple of length {len(rows[0])}"
+            )
+        new_rows = relation.table.add_many(rows, distinct)
+        if new_rows:
+            if journal:
+                self._journal.extend(zip(_repeat(predicate), new_rows, _repeat(True)))
+            if self._charged:
+                self._charged.pop(predicate, None)
+        return new_rows
 
     def remove_fact(self, predicate: str, values: Iterable[object]) -> bool:
         """Delete a single fact; returns True when it was present.
@@ -623,16 +692,19 @@ class Database:
     # -- instrumentation -----------------------------------------------------------
 
     def _charge(self, predicate: str, rows: Iterable[Row]) -> None:
+        # Retrieval sets never repeat a row (buckets are deduplicated), so
+        # the distinct-fact count is the touched-set growth: one C-level
+        # set.update over (predicate, row) keys instead of a per-row
+        # membership loop.
         counters = self.counters
         touched = self._touched
-        retrieved = 0
-        for row in rows:
-            retrieved += 1
-            key = (predicate, row)
-            if key not in touched:
-                touched.add(key)
-                counters.distinct_facts += 1
-        counters.fact_retrievals += retrieved
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        counters.fact_retrievals += len(rows)
+        if rows:
+            before = len(touched)
+            touched.update(zip(_repeat(predicate), rows))
+            counters.distinct_facts += len(touched) - before
 
     def reset_instrumentation(self, counters: Optional[Counters] = None) -> None:
         """Start a fresh measurement (optionally swapping the counter object)."""
@@ -642,6 +714,7 @@ class Database:
             self.counters.reset()
         self._touched.clear()
         self._charged.clear()
+        self._probe_cache.clear()
         self._image_ctx.clear()
 
     # -- conversion ------------------------------------------------------------------

@@ -46,6 +46,7 @@ engines.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from itertools import repeat as _repeat
 from typing import (
     Callable,
     Dict,
@@ -58,6 +59,16 @@ from typing import (
     Tuple,
 )
 
+from ..storage import runtime as _storage_runtime
+from ..storage.columns import (
+    DIRECT_CHARGES,
+    BatchScan,
+    PendingCharges,
+    build_probes,
+    extern_columns,
+)
+from ..storage.runtime import MODE_KERNEL
+from ..storage.table import FULL_SCAN
 from .database import Database, Row
 from .errors import EvaluationError
 from .literals import BUILTIN_PREDICATES, Literal
@@ -73,19 +84,36 @@ SOURCE_BOTH = 2      # primary first, then secondary
 
 _MODE_COMPILED = "compiled"
 _MODE_INTERPRETED = "interpreted"
+_MODE_COLUMNAR = "columnar"
 _mode = _MODE_COMPILED
+
+#: A plan whose optimistic batch was aborted this many times stops trying:
+#: its data shape feeds its own later scans, so every attempt would pay the
+#: discarded batch on top of the row-loop re-run.
+_BATCH_ABORT_LIMIT = 2
 
 
 def set_execution_mode(mode: str) -> None:
-    """Select how plans execute: ``"compiled"`` (default) or ``"interpreted"``.
+    """Select how plans execute: ``"compiled"`` (default), ``"interpreted"``
+    or ``"columnar"``.
 
     The interpreted mode runs the reference substitution-dictionary
     nested-loop join over the *same* plan (same literal order, same builtin
     placement, same delta sources) and exists so the differential tests can
     assert the two executors agree on answers and counters.
+
+    The columnar mode keeps the compiled row executor for the generator
+    entry points (:meth:`JoinPlan.substitutions` / :meth:`JoinPlan.heads` /
+    :meth:`JoinPlan.pairs`, whose callers may interleave arbitrary writes
+    with consumption) and additionally offers :meth:`JoinPlan.head_batch`,
+    the whole-batch executor the stratified runtime drives: each scan step
+    processes the entire binding batch at once -- one indexed probe per
+    distinct join key, vectorized builtin filters over value columns,
+    anti-join reducers for negation -- with charging replicated bit for bit
+    (see :mod:`repro.storage.columns`).
     """
     global _mode
-    if mode not in (_MODE_COMPILED, _MODE_INTERPRETED):
+    if mode not in (_MODE_COMPILED, _MODE_INTERPRETED, _MODE_COLUMNAR):
         raise ValueError(f"unknown execution mode {mode!r}")
     _mode = mode
 
@@ -107,18 +135,23 @@ def execution_mode(mode: str):
 
 
 class BuiltinCheck:
-    """A built-in comparison compiled against slot positions."""
+    """A built-in comparison compiled against slot positions.
 
-    __slots__ = ("literal", "evaluate")
+    The compiled shape (operator plus slot/constant operands) is kept on the
+    instance so the columnar executor can evaluate the check over whole value
+    columns instead of calling :attr:`evaluate` once per row.
+    """
+
+    __slots__ = ("literal", "evaluate", "op", "lslot", "rslot", "lval", "rval")
 
     def __init__(self, literal: Literal, slot_of: Dict[Variable, int]):
         self.literal = literal
-        op = BUILTIN_PREDICATES[literal.predicate]
+        op = self.op = BUILTIN_PREDICATES[literal.predicate]
         left, right = literal.args
-        lslot = slot_of[left] if isinstance(left, Variable) else None
-        rslot = slot_of[right] if isinstance(right, Variable) else None
-        lval = left.value if isinstance(left, Constant) else None
-        rval = right.value if isinstance(right, Constant) else None
+        lslot = self.lslot = slot_of[left] if isinstance(left, Variable) else None
+        rslot = self.rslot = slot_of[right] if isinstance(right, Variable) else None
+        lval = self.lval = left.value if isinstance(left, Constant) else None
+        rval = self.rval = right.value if isinstance(right, Constant) else None
         if lslot is not None and rslot is not None:
             self.evaluate = lambda slots: op(slots[lslot], slots[rslot])
         elif lslot is not None:
@@ -128,6 +161,22 @@ class BuiltinCheck:
         else:
             constant = op(lval, rval)
             self.evaluate = lambda slots: constant
+
+    def evaluate_column(self, cols: Dict[int, list], n: int) -> Optional[List[bool]]:
+        """The check over a whole batch: a boolean mask, or ``None`` for
+        an all-true constant check (so callers skip the filter pass)."""
+        op = self.op
+        lslot = self.lslot
+        rslot = self.rslot
+        if lslot is not None and rslot is not None:
+            return [op(a, b) for a, b in zip(cols[lslot], cols[rslot])]
+        if lslot is not None:
+            rval = self.rval
+            return [op(a, rval) for a in cols[lslot]]
+        if rslot is not None:
+            lval = self.lval
+            return [op(lval, b) for b in cols[rslot]]
+        return None if op(self.lval, self.rval) else [False] * n
 
 
 class NegationCheck:
@@ -147,7 +196,14 @@ class NegationCheck:
     so the compiled and interpreted executors stay counter-identical.
     """
 
-    __slots__ = ("literal", "predicate", "const_bindings", "slot_bindings", "intra_eq")
+    __slots__ = (
+        "literal",
+        "predicate",
+        "const_bindings",
+        "slot_bindings",
+        "intra_eq",
+        "_buffer",
+    )
 
     def __init__(
         self,
@@ -175,9 +231,17 @@ class NegationCheck:
         self.const_bindings = tuple(const_bindings)
         self.slot_bindings = tuple(slot_bindings)
         self.intra_eq = tuple(intra_eq)
+        # Reusable probe-bindings buffer: the key set is fixed at compile
+        # time (constant positions never overwritten, slot positions
+        # overwritten on every probe) and Database.scan only reads the dict
+        # transiently, so one preallocated buffer replaces the historical
+        # per-row dict(self.const_bindings) copy on the anti-join hot path.
+        self._buffer: Dict[int, object] = dict(const_bindings)
+        for position, _ in slot_bindings:
+            self._buffer[position] = None
 
     def holds(self, slots: List[object], database: Database) -> bool:
-        bindings = dict(self.const_bindings)
+        bindings = self._buffer
         for position, slot in self.slot_bindings:
             bindings[position] = slots[slot]
         return not database.scan(self.predicate, bindings, self.intra_eq)
@@ -232,6 +296,113 @@ class ScanStep:
         self.neg_checks: Tuple[NegationCheck, ...] = ()
 
 
+# -- columnar batch shape analysis -----------------------------------------
+
+#: No later scan step can observe the rows the consumer inserts while the
+#: batch is being consumed: batch results are identical to the row loop's
+#: by construction, so charges go straight through (DIRECT_CHARGES).
+_SHAPE_SAFE = 0
+#: Some step at depth >= 1 re-scans the head relation from the main
+#: database: run the batch optimistically under PendingCharges, record every
+#: probe key into the head relation, and abort (fall back to the row loop)
+#: when a produced head row could have been observed by one of those probes.
+_SHAPE_VERIFY = 1
+#: Shapes head_batch does not handle (no head, unbound head, empty body,
+#: caller-bound variables, or negation over the head relation).
+_SHAPE_NEVER = 2
+
+_SOURCE_TAG = {SOURCE_MAIN: ":", SOURCE_DERIVED: "#", SOURCE_BOTH: "+"}
+
+
+def _probe_recipe(
+    key_positions: Tuple[int, ...], const_dict: Dict[int, object]
+) -> Tuple[Tuple[int, ...], Tuple[object, ...], tuple, tuple]:
+    """Precompiled key-interning recipe for a step's bound argument positions.
+
+    Returns ``(positions, template, consts, slots)``: the sorted bound
+    positions (the probe's index key), an all-``None`` template of that
+    length, ``(hole, value)`` pairs placing each constant's interned code
+    into its template hole, and ``(hole, key_index)`` pairs mapping the
+    components of a join-key tuple (ordered as ``key_slots``) into theirs.
+    The kernel probe path fills a template copy with interned codes and
+    probes the subset index directly, skipping the per-row bindings dict
+    that :meth:`IntTable.bucket` would otherwise rebuild and re-sort.
+    """
+    slot_index = {position: i for i, position in enumerate(key_positions)}
+    positions = tuple(sorted(set(key_positions) | set(const_dict)))
+    consts = []
+    slots = []
+    for hole, position in enumerate(positions):
+        if position in const_dict:
+            consts.append((hole, const_dict[position]))
+        else:
+            slots.append((hole, slot_index[position]))
+    return positions, (None,) * len(positions), tuple(consts), tuple(slots)
+
+
+class _NegStepInfo:
+    """A placed negation check precompiled for batch anti-join probing."""
+
+    __slots__ = (
+        "check",
+        "key_positions",
+        "key_slots",
+        "const_dict",
+        "probe_positions",
+        "probe_template",
+        "probe_consts",
+        "probe_slots",
+    )
+
+    def __init__(self, check: NegationCheck):
+        self.check = check
+        self.key_positions = tuple(p for p, _ in check.slot_bindings)
+        self.key_slots = tuple(s for _, s in check.slot_bindings)
+        self.const_dict = dict(check.const_bindings)
+        (
+            self.probe_positions,
+            self.probe_template,
+            self.probe_consts,
+            self.probe_slots,
+        ) = _probe_recipe(self.key_positions, self.const_dict)
+
+
+class _StepInfo:
+    """Per-step columnar metadata: probe keys, column liveness, verification.
+
+    ``carry`` are the slots gathered through from the parent batch,
+    ``out_take`` the ``(position, slot)`` outputs actually read later, and
+    ``alive`` the slots that must survive the step's filters.  For steps the
+    shape analysis marked unsafe, ``record_positions`` names the sorted bound
+    argument positions whose probe keys the verification pass records
+    (``loose`` when the step scans the head relation with no bound position
+    at all, in which case any fresh head row aborts the batch).
+    """
+
+    __slots__ = (
+        "node_key",
+        "carry",
+        "out_take",
+        "alive",
+        "key_positions",
+        "key_slots",
+        "const_dict",
+        "probe_positions",
+        "probe_template",
+        "probe_consts",
+        "probe_slots",
+        "record_positions",
+        "loose",
+        "negs",
+    )
+
+
+class _BatchInfo:
+    """Whole-plan batch shape: SAFE/VERIFY/NEVER plus per-step metadata."""
+
+    __slots__ = ("shape", "steps", "wanted_after")
+
+
 class JoinPlan:
     """A compiled body: ordered scan steps, placed builtins, head template."""
 
@@ -247,6 +418,9 @@ class JoinPlan:
         "head_template",
         "head_unbound",
         "out_vars",
+        "_binfo",
+        "_aborts",
+        "_scan0",
     )
 
     def __init__(
@@ -289,6 +463,14 @@ class JoinPlan:
                 else:
                     self.head_unbound = True
             self.head_template = tuple(template)
+        # Columnar batch-execution analysis, built lazily on first use, and
+        # the count of aborted optimistic batches (see head_batch).
+        self._binfo: Optional[_BatchInfo] = None
+        self._aborts = 0
+        # Step-0 full-scan column cache: (table, mutation epoch, columns).
+        # Valid while the scanned table object is unchanged; the cached
+        # lists are shared read-only (filters rebind, never mutate).
+        self._scan0 = None
 
     # -- public views ------------------------------------------------------
 
@@ -457,6 +639,841 @@ class JoinPlan:
         for db in sources:
             rows.extend(db.scan(step.predicate, bindings, step.intra_eq))
         return iter(rows)
+
+    # -- columnar batch executor -------------------------------------------
+
+    def _build_batch_info(self) -> _BatchInfo:
+        """Analyse the plan once for whole-batch execution (cached)."""
+        info = _BatchInfo()
+        steps = self.steps
+        head = self.head
+        negs: List[NegationCheck] = list(self.pre_negs)
+        for step in steps:
+            negs.extend(step.neg_checks)
+        if (
+            head is None
+            or self.head_unbound
+            or not steps
+            or self.bound_vars
+            or any(neg.predicate == head.predicate for neg in negs)
+        ):
+            info.shape = _SHAPE_NEVER
+            info.steps = ()
+            info.wanted_after = ()
+            self._binfo = info
+            return info
+        head_predicate = head.predicate
+        unsafe = {
+            index
+            for index in range(1, len(steps))
+            if steps[index].predicate == head_predicate
+            and steps[index].source != SOURCE_DERIVED
+        }
+        info.shape = _SHAPE_VERIFY if unsafe else _SHAPE_SAFE
+
+        # Backward liveness: ``need`` holds the slots required by the head
+        # and by every step after the one being analysed.
+        need: Set[int] = {slot for slot, _ in self.head_template if slot is not None}
+        step_infos: List[Optional[_StepInfo]] = [None] * len(steps)
+        for index in range(len(steps) - 1, -1, -1):
+            step = steps[index]
+            si = _StepInfo()
+            si.node_key = (
+                f"{head_predicate}[{index}]"
+                f"{_SOURCE_TAG[step.source]}{step.predicate}"
+            )
+            si.alive = tuple(sorted(need))
+            reads: Set[int] = set()
+            for check in step.checks:
+                if check.lslot is not None:
+                    reads.add(check.lslot)
+                if check.rslot is not None:
+                    reads.add(check.rslot)
+            for neg in step.neg_checks:
+                reads.update(slot for _, slot in neg.slot_bindings)
+            gather = need | reads
+            produced = {slot for _, slot in step.outputs}
+            si.carry = tuple(sorted(gather - produced))
+            si.out_take = tuple(
+                (position, slot) for position, slot in step.outputs if slot in gather
+            )
+            si.key_positions = tuple(p for p, _ in step.slot_bindings)
+            si.key_slots = tuple(s for _, s in step.slot_bindings)
+            si.const_dict = dict(step.const_bindings)
+            (
+                si.probe_positions,
+                si.probe_template,
+                si.probe_consts,
+                si.probe_slots,
+            ) = _probe_recipe(si.key_positions, si.const_dict)
+            si.record_positions = None
+            si.loose = False
+            if index in unsafe:
+                bound = sorted(set(si.key_positions) | set(si.const_dict))
+                if bound:
+                    si.record_positions = tuple(bound)
+                else:
+                    si.loose = True
+            si.negs = tuple(_NegStepInfo(neg) for neg in step.neg_checks)
+            step_infos[index] = si
+            need = (need - produced) | set(si.key_slots) | (reads - produced)
+        info.steps = tuple(step_infos)
+        # For each step, the union of key slots every *later* step probes
+        # on: the set of slots whose interned code columns are worth
+        # carrying forward (see the ``ccols`` threading in _run_batch).
+        wanted_after: List[FrozenSet[int]] = [frozenset()] * len(step_infos)
+        acc: Set[int] = set()
+        for wi in range(len(step_infos) - 1, -1, -1):
+            wanted_after[wi] = frozenset(acc)
+            acc.update(step_infos[wi].key_slots)
+        info.wanted_after = tuple(wanted_after)
+        self._binfo = info
+        return info
+
+    def head_batch(
+        self,
+        database: Database,
+        derived: Optional[Database] = None,
+        frozen: bool = False,
+    ) -> Optional[List[Row]]:
+        """Execute the whole plan as one batch; all head rows, or ``None``.
+
+        ``None`` means the caller must fall back to the row-at-a-time
+        :meth:`heads` loop: either the plan's shape is not batchable, or an
+        optimistic batch over a self-feeding plan was discarded by the
+        probe-overlap verification (in which case no counter, touched-set or
+        charging-memo state was modified).
+
+        The caller contract matches the stratified runtime's firing loops
+        exactly: nothing the plan reads is mutated until the returned batch
+        is fully consumed, and consumption only inserts the returned rows
+        into ``head.predicate`` of ``database`` (plus databases the plan
+        does not read).  ``frozen=True`` strengthens the promise to "no
+        mutation of ``database`` at all" (the DRed overdelete loop), letting
+        self-feeding shapes skip verification entirely.
+        """
+        binfo = self._binfo
+        if binfo is None:
+            binfo = self._build_batch_info()
+        stats = database.counters.batch
+        if binfo.shape == _SHAPE_NEVER:
+            stats.fallbacks += 1
+            return None
+        verify = binfo.shape == _SHAPE_VERIFY and not frozen
+        if verify and self._aborts >= _BATCH_ABORT_LIMIT:
+            stats.fallbacks += 1
+            return None
+        charges = PendingCharges() if verify else DIRECT_CHARGES
+        heads = self._run_batch(database, derived, binfo, charges, verify, stats)
+        if heads is None:
+            charges.discard()
+            self._aborts += 1
+            stats.fallbacks += 1
+            return None
+        charges.commit()
+        return heads
+
+    def _run_batch(
+        self,
+        database: Database,
+        derived: Optional[Database],
+        binfo: _BatchInfo,
+        charges,
+        verify: bool,
+        stats,
+    ) -> Optional[List[Row]]:
+        # Constant-only pre-filters (no variables are bound before step 0).
+        slots0: List[object] = [None] * self.nslots
+        for check in self.pre_checks:
+            if not check.evaluate(slots0):
+                return []
+        for neg in self.pre_negs:
+            if charges.scan(database, neg.predicate, neg._buffer, neg.intra_eq):
+                return []
+
+        steps = self.steps
+        infos = binfo.steps
+        step = steps[0]
+        info = infos[0]
+        sources = self._batch_sources(step, database, derived)
+        bindings0 = dict(step.const_bindings) if step.const_bindings else None
+        node_updates: List[Tuple[str, int, int]] = []
+        recorded: List[Tuple[Tuple[int, ...], Set[tuple]]] = []
+        loose_probed = False
+        cols: Dict[int, list] = {}
+        # Interned code columns threaded alongside ``cols`` for the slots
+        # later steps probe on, so those probes skip the per-row value
+        # re-interning.  A slot is absent when its codes are unknown (rows
+        # gathered from bucket values) or stale (a filter mask rebuilt the
+        # value columns); probing falls back to the interner then.
+        ccols: Dict[int, object] = {}
+        wanted_after = binfo.wanted_after
+        if (
+            bindings0 is None
+            and not step.intra_eq
+            and len(sources) == 1
+            and _storage_runtime._mode == MODE_KERNEL
+        ):
+            # Single-source full scan in kernel storage mode: charge through
+            # an inline copy of Database.scan's FULL_SCAN memo -- directly,
+            # into the pending buffer of a verified batch, or not at all for
+            # a runtime-internal source, whose counters are unobservable --
+            # and materialise columns through the packed code arrays, cached
+            # per plan while the table object is unchanged.
+            db0 = sources[0]
+            relation0 = db0.relations.get(step.predicate)
+            n = len(relation0.table) if relation0 is not None else 0
+            if n:
+                table = relation0.table
+                if db0.counters is database.counters:
+                    stamp = (n, table.mutations)
+                    if charges is DIRECT_CHARGES:
+                        charged = db0._charged.get(step.predicate)
+                        if charged is None:
+                            charged = db0._charged[step.predicate] = {}
+                        if charged.get(FULL_SCAN) == stamp:
+                            db0.counters.fact_retrievals += n
+                        else:
+                            db0._charge(step.predicate, table.all_rows())
+                            charged[FULL_SCAN] = stamp
+                    else:
+                        pend = charges._pending(db0)
+                        memo_key = (step.predicate, FULL_SCAN)
+                        known = pend.memo.get(memo_key)
+                        if known is None:
+                            charged = db0._charged.get(step.predicate)
+                            if charged is not None:
+                                known = charged.get(FULL_SCAN)
+                        if known == stamp:
+                            pend.retrievals += n
+                        else:
+                            charges._charge_rows(
+                                pend, step.predicate, table.all_rows()
+                            )
+                            pend.memo[memo_key] = stamp
+                if info.out_take:
+                    cached = self._scan0
+                    if (
+                        cached is not None
+                        and cached[0] is table
+                        and cached[1] == table.mutations
+                    ):
+                        cols = dict(cached[2])
+                        ccols = dict(cached[3])
+                    else:
+                        gathered = extern_columns(
+                            table, tuple(position for position, _ in info.out_take)
+                        )
+                        base = {
+                            slot: column
+                            for (_, slot), column in zip(info.out_take, gathered)
+                        }
+                        arrays = table.column_arrays()
+                        wanted0 = wanted_after[0]
+                        cbase = {
+                            slot: arrays[position]
+                            for position, slot in info.out_take
+                            if slot in wanted0
+                        }
+                        self._scan0 = (table, table.mutations, base, cbase)
+                        cols = dict(base)
+                        ccols = dict(cbase)
+        else:
+            rows0: List[Row] = []
+            for db in sources:
+                found = charges.scan(db, step.predicate, bindings0, step.intra_eq)
+                if found:
+                    rows0 = found if not rows0 else rows0 + found
+            n = len(rows0)
+            if n:
+                for position, slot in info.out_take:
+                    cols[slot] = [row[position] for row in rows0]
+        rows_in = n
+        if n:
+            kept = self._batch_filters(step, info, cols, n, database, charges)
+            if kept != n:
+                n = kept
+                ccols = {}
+            if cols and len(cols) != len(info.alive):
+                cols = {slot: cols[slot] for slot in info.alive}
+        node_updates.append((info.node_key, rows_in, n))
+
+        for index in range(1, len(steps)):
+            if not n:
+                break
+            step = steps[index]
+            info = infos[index]
+            entering = n
+            const_dict = info.const_dict
+            record_keys: Optional[Set[tuple]] = None
+            record_positions = info.record_positions
+            if verify:
+                if info.loose:
+                    loose_probed = True
+                elif record_positions is not None:
+                    record_keys = set()
+                    recorded.append((record_positions, record_keys))
+            key_slots = info.key_slots
+            out_parent: List[int] = []
+            out_rows: List[Row] = []
+            extend_parents = out_parent.extend
+            extend_rows = out_rows.extend
+            # Keyed scans in kernel storage mode go through inline index
+            # probes: same buckets, same charging memo, none of the
+            # per-probe scan machinery.  Under a pending transaction the
+            # probes buffer their charges (BufferedProbe) and the join
+            # records every probed key for the verification pass.
+            kernel = None
+            if (
+                key_slots
+                and not step.intra_eq
+                and _storage_runtime._mode == MODE_KERNEL
+            ):
+                kernel = build_probes(
+                    self._batch_sources(step, database, derived),
+                    step.predicate,
+                    info.probe_positions,
+                    database.counters,
+                    None if charges is DIRECT_CHARGES else charges,
+                )
+                if kernel is not None and not kernel and record_keys is not None:
+                    # No source holds the relation, but the verification
+                    # pass still needs the probed keys (the row loop's scans
+                    # would observe the relation once the consumer creates
+                    # it): use the generic path, whose misses record them.
+                    kernel = None
+            if kernel is not None:
+                scan = None
+                if kernel:
+                    ck = None
+                    if ccols and record_keys is None:
+                        ck = [ccols.get(slot) for slot in key_slots]
+                        if any(column is None for column in ck):
+                            ck = None
+                    self._kernel_join(
+                        kernel, info, cols, out_parent, out_rows, record_keys, ck
+                    )
+            else:
+                scan = BatchScan(
+                    charges,
+                    step.predicate,
+                    step.intra_eq,
+                    self._batch_sources(step, database, derived),
+                )
+                cache = scan.cache
+                get = cache.get
+                miss = scan.miss
+                replay = scan.replay
+            if scan is None:
+                pass
+            elif len(key_slots) == 1:
+                # The overwhelmingly common join shape: one bound position.
+                position = info.key_positions[0]
+                for i, value in enumerate(cols[key_slots[0]]):
+                    hit = get(value)
+                    if hit is None:
+                        if const_dict:
+                            bindings = dict(const_dict)
+                            bindings[position] = value
+                        else:
+                            bindings = {position: value}
+                        rows = miss(value, bindings)
+                        if record_keys is not None:
+                            record_keys.add(
+                                tuple(bindings[p] for p in record_positions)
+                            )
+                    else:
+                        replay(hit)
+                        rows = hit[0]
+                    if rows:
+                        extend_parents(_repeat(i, len(rows)))
+                        extend_rows(rows)
+            elif key_slots:
+                positions = info.key_positions
+                key_columns = [cols[slot] for slot in key_slots]
+                for i, key in enumerate(zip(*key_columns)):
+                    hit = get(key)
+                    if hit is None:
+                        bindings = dict(const_dict) if const_dict else {}
+                        for position, value in zip(positions, key):
+                            bindings[position] = value
+                        rows = miss(key, bindings)
+                        if record_keys is not None:
+                            record_keys.add(
+                                tuple(bindings[p] for p in record_positions)
+                            )
+                    else:
+                        replay(hit)
+                        rows = hit[0]
+                    if rows:
+                        extend_parents(_repeat(i, len(rows)))
+                        extend_rows(rows)
+            else:
+                # No join key: every parent row scans the same (possibly
+                # constant-bound) bucket -- one real scan, n-1 replays.
+                bindings = dict(const_dict) if const_dict else None
+                rows = miss((), bindings)
+                if record_keys is not None:
+                    record_keys.add(tuple(bindings[p] for p in record_positions))
+                if rows:
+                    count = len(rows)
+                    hit = cache[()]
+                    for i in range(n):
+                        if i:
+                            replay(hit)
+                        extend_parents(_repeat(i, count))
+                        extend_rows(rows)
+
+            n = len(out_rows)
+            if not n:
+                node_updates.append((info.node_key, entering, 0))
+                break
+            new_cols: Dict[int, list] = {}
+            for slot in info.carry:
+                column = cols[slot]
+                new_cols[slot] = [column[parent] for parent in out_parent]
+            for position, slot in info.out_take:
+                new_cols[slot] = [row[position] for row in out_rows]
+            cols = new_cols
+            if ccols:
+                wanted = wanted_after[index]
+                carried: Dict[int, object] = {}
+                for slot, column in ccols.items():
+                    if slot in wanted and slot in new_cols:
+                        carried[slot] = [column[parent] for parent in out_parent]
+                ccols = carried
+            kept = self._batch_filters(step, info, cols, n, database, charges)
+            if kept != n:
+                n = kept
+                ccols = {}
+            if cols and len(cols) != len(info.alive):
+                cols = {slot: cols[slot] for slot in info.alive}
+            node_updates.append((info.node_key, entering, n))
+
+        if n:
+            template = self.head_template
+            if not template:
+                heads: List[Row] = [()] * n
+            else:
+                head_columns: List[object] = []
+                constant_only = True
+                for slot, value in template:
+                    if slot is not None:
+                        constant_only = False
+                        head_columns.append(cols[slot])
+                    else:
+                        head_columns.append(_repeat(value))
+                if constant_only:
+                    heads = [tuple(value for _, value in template)] * n
+                else:
+                    heads = list(zip(*head_columns))
+        else:
+            heads = []
+
+        if verify and heads and self._verify_batch(database, heads, recorded, loose_probed):
+            return None
+
+        stats.batches += 1
+        stats.rows_in += rows_in
+        stats.rows_out += len(heads)
+        for key, into, out in node_updates:
+            cell = stats.node(key)
+            cell[0] += 1
+            cell[1] += into
+            cell[2] += out
+        return heads
+
+    @staticmethod
+    def _kernel_join(
+        probes,
+        info: _StepInfo,
+        cols: Dict[int, list],
+        out_parent: List[int],
+        out_rows: List[Row],
+        record_keys: Optional[Set[tuple]] = None,
+        code_columns: Optional[list] = None,
+    ) -> None:
+        """Expand one keyed scan step through inline kernel index probes.
+
+        One :meth:`KernelProbe.lookup` per parent row per source, in source
+        order -- the exact scan sequence of the row executor, with the
+        bucket-level memo making repeat keys O(1).  Join keys are interned
+        once per row through the shared interner's code map -- unless
+        ``code_columns`` supplies the already-interned key columns (threaded
+        through the batch from a step-0 column scan), in which case probes
+        use the codes directly; column values always come from stored rows,
+        so the interner-miss probe shape cannot arise for them.  When
+        ``record_keys`` is given (a verified batch probing an unsafe step),
+        every probed *value* key -- bound values in sorted argument-position
+        order, exactly the tuples the generic path records -- is added to it
+        (callers pass ``code_columns=None`` then).
+        """
+        code_get = probes[0].code_map.get
+        append_parent = out_parent.append
+        append_row = out_rows.append
+        extend_parents = out_parent.extend
+        extend_rows = out_rows.extend
+        key_slots = info.key_slots
+        consts = info.probe_consts
+        base = None
+        vbase = None
+        if record_keys is not None:
+            vbase = list(info.probe_template)
+            for hole, value in consts:
+                vbase[hole] = value
+        if consts:
+            base = list(info.probe_template)
+            for hole, value in consts:
+                code = code_get(value)
+                if code is None:
+                    # A constant the interner has never seen: every probe is
+                    # the shared ``(positions, None)`` empty bucket.  One
+                    # stamp per source charges the whole batch (repeats hit
+                    # the memo and add zero, exactly like the row loop).
+                    for probe in probes:
+                        probe.lookup(None)
+                    if record_keys is not None:
+                        record = record_keys.add
+                        slot_targets = info.probe_slots
+                        for key in zip(*[cols[slot] for slot in key_slots]):
+                            values = vbase[:]
+                            for vhole, key_index in slot_targets:
+                                values[vhole] = key[key_index]
+                            record(tuple(values))
+                    return
+                base[hole] = code
+        if len(probes) == 1 and len(key_slots) == 1 and base is None:
+            probe = probes[0]
+            column = (
+                code_columns[0] if code_columns is not None else cols[key_slots[0]]
+            )
+            coded = code_columns is not None
+            if record_keys is None and not probe.charging and probe.index is not None:
+                # Hottest shape of the fixpoint inner loop -- single-key
+                # probes into the per-round delta: raw dict gets only.
+                index_get = probe.index.get
+                if coded:
+                    for i, code in enumerate(column):
+                        rows = index_get((code,))
+                        if rows:
+                            if len(rows) == 1:
+                                append_parent(i)
+                                append_row(rows[0])
+                            else:
+                                extend_parents(_repeat(i, len(rows)))
+                                extend_rows(rows)
+                    return
+                for i, value in enumerate(column):
+                    code = code_get(value)
+                    if code is None:
+                        continue
+                    rows = index_get((code,))
+                    if rows:
+                        if len(rows) == 1:
+                            append_parent(i)
+                            append_row(rows[0])
+                        else:
+                            extend_parents(_repeat(i, len(rows)))
+                            extend_rows(rows)
+                return
+            lookup = probe.lookup
+            if record_keys is None:
+                if coded:
+                    for i, code in enumerate(column):
+                        rows = lookup((code,))
+                        if rows:
+                            if len(rows) == 1:
+                                append_parent(i)
+                                append_row(rows[0])
+                            else:
+                                extend_parents(_repeat(i, len(rows)))
+                                extend_rows(rows)
+                    return
+                for i, value in enumerate(column):
+                    code = code_get(value)
+                    rows = lookup(None if code is None else (code,))
+                    if rows:
+                        if len(rows) == 1:
+                            append_parent(i)
+                            append_row(rows[0])
+                        else:
+                            extend_parents(_repeat(i, len(rows)))
+                            extend_rows(rows)
+            else:
+                record = record_keys.add
+                for i, value in enumerate(column):
+                    record((value,))
+                    code = code_get(value)
+                    rows = lookup(None if code is None else (code,))
+                    if rows:
+                        extend_parents(_repeat(i, len(rows)))
+                        extend_rows(rows)
+            return
+        slot_targets = info.probe_slots
+        template0 = base if base is not None else list(info.probe_template)
+        single = probes[0].lookup if len(probes) == 1 else None
+        if code_columns is not None:
+            for i, ckey in enumerate(zip(*code_columns)):
+                template = template0[:]
+                for hole, key_index in slot_targets:
+                    template[hole] = ckey[key_index]
+                int_key = tuple(template)
+                if single is not None:
+                    rows = single(int_key)
+                else:
+                    rows = None
+                    for probe in probes:
+                        found = probe.lookup(int_key)
+                        if found:
+                            rows = found if rows is None else [*rows, *found]
+                if rows:
+                    if len(rows) == 1:
+                        append_parent(i)
+                        append_row(rows[0])
+                    else:
+                        extend_parents(_repeat(i, len(rows)))
+                        extend_rows(rows)
+            return
+        key_columns = [cols[slot] for slot in key_slots]
+        record = record_keys.add if record_keys is not None else None
+        for i, key in enumerate(zip(*key_columns)):
+            if record is not None:
+                values = vbase[:]
+                for hole, key_index in slot_targets:
+                    values[hole] = key[key_index]
+                record(tuple(values))
+            template = template0[:]
+            for hole, key_index in slot_targets:
+                code = code_get(key[key_index])
+                if code is None:
+                    int_key = None
+                    break
+                template[hole] = code
+            else:
+                int_key = tuple(template)
+            if single is not None:
+                rows = single(int_key)
+            else:
+                rows = None
+                for probe in probes:
+                    found = probe.lookup(int_key)
+                    if found:
+                        rows = found if rows is None else [*rows, *found]
+            if rows:
+                if len(rows) == 1:
+                    append_parent(i)
+                    append_row(rows[0])
+                else:
+                    extend_parents(_repeat(i, len(rows)))
+                    extend_rows(rows)
+
+    @staticmethod
+    def _kernel_antimask(
+        probe, neg_info: _NegStepInfo, cols: Dict[int, list]
+    ) -> Optional[List[bool]]:
+        """Keep-mask for one negation via inline kernel index probes.
+
+        ``None`` means every row passes with the whole batch's charges
+        already applied (a constant the interner has never seen: one shared
+        empty-bucket stamp, repeats add zero).
+        """
+        code_get = probe.code_map.get
+        lookup = probe.lookup
+        key_slots = neg_info.key_slots
+        consts = neg_info.probe_consts
+        base = None
+        if consts:
+            base = list(neg_info.probe_template)
+            for hole, value in consts:
+                code = code_get(value)
+                if code is None:
+                    lookup(None)
+                    return None
+                base[hole] = code
+        if len(key_slots) == 1 and base is None:
+            return [
+                not lookup(None if code is None else (code,))
+                for code in map(code_get, cols[key_slots[0]])
+            ]
+        slot_targets = neg_info.probe_slots
+        key_columns = [cols[slot] for slot in key_slots]
+        template0 = base if base is not None else list(neg_info.probe_template)
+        mask: List[bool] = []
+        keep = mask.append
+        for key in zip(*key_columns):
+            template = template0[:]
+            for hole, key_index in slot_targets:
+                code = code_get(key[key_index])
+                if code is None:
+                    int_key = None
+                    break
+                template[hole] = code
+            else:
+                int_key = tuple(template)
+            keep(not lookup(int_key))
+        return mask
+
+    def _batch_filters(
+        self,
+        step: ScanStep,
+        info: _StepInfo,
+        cols: Dict[int, list],
+        n: int,
+        database: Database,
+        charges,
+    ) -> int:
+        """Apply the step's builtin checks and negation anti-joins in place.
+
+        Filters run in placement order, matching the per-row executor's
+        short-circuit sequence observably: builtins charge nothing, and the
+        per-negation probe totals are order-independent sums.
+        """
+        for check in step.checks:
+            if not n:
+                return 0
+            mask = check.evaluate_column(cols, n)
+            if mask is None:
+                continue
+            kept = sum(mask)
+            if kept == n:
+                continue
+            for slot, column in cols.items():
+                cols[slot] = [v for v, ok in zip(column, mask) if ok]
+            n = kept
+        for neg_info in info.negs:
+            if not n:
+                return 0
+            neg = neg_info.check
+            key_slots = neg_info.key_slots
+            if (
+                key_slots
+                and not neg.intra_eq
+                and _storage_runtime._mode == MODE_KERNEL
+            ):
+                kernel = build_probes(
+                    (database,),
+                    neg.predicate,
+                    neg_info.probe_positions,
+                    database.counters,
+                    None if charges is DIRECT_CHARGES else charges,
+                )
+                if kernel is not None:
+                    if not kernel:
+                        continue  # no relation: uncharged empty scans, all pass
+                    mask = self._kernel_antimask(kernel[0], neg_info, cols)
+                    if mask is None:
+                        continue  # unknown constant: empty buckets, all pass
+                    kept = sum(mask)
+                    if kept != n:
+                        for slot, column in cols.items():
+                            cols[slot] = [v for v, ok in zip(column, mask) if ok]
+                        n = kept
+                    continue
+            scan = BatchScan(charges, neg.predicate, neg.intra_eq, (database,))
+            cache = scan.cache
+            get = cache.get
+            miss = scan.miss
+            replay = scan.replay
+            const_dict = neg_info.const_dict
+            key_slots = neg_info.key_slots
+            mask = []
+            keep = mask.append
+            if len(key_slots) == 1:
+                position = neg_info.key_positions[0]
+                for value in cols[key_slots[0]]:
+                    hit = get(value)
+                    if hit is None:
+                        if const_dict:
+                            bindings = dict(const_dict)
+                            bindings[position] = value
+                        else:
+                            bindings = {position: value}
+                        keep(not miss(value, bindings))
+                    else:
+                        replay(hit)
+                        keep(not hit[0])
+            elif key_slots:
+                positions = neg_info.key_positions
+                key_columns = [cols[slot] for slot in key_slots]
+                for key in zip(*key_columns):
+                    hit = get(key)
+                    if hit is None:
+                        bindings = dict(const_dict) if const_dict else {}
+                        for position, value in zip(positions, key):
+                            bindings[position] = value
+                        keep(not miss(key, bindings))
+                    else:
+                        replay(hit)
+                        keep(not hit[0])
+            else:
+                bindings = dict(const_dict) if const_dict else None
+                rows = miss((), bindings)
+                if rows:
+                    # Every parent row probes the same non-empty bucket and
+                    # fails; replay the n-1 repeat charges and empty the batch.
+                    hit = cache[()]
+                    for _ in range(n - 1):
+                        replay(hit)
+                    for slot in cols:
+                        cols[slot] = []
+                    return 0
+                continue  # empty bucket: all rows pass, repeats charge nothing
+            kept = sum(mask)
+            if kept == n:
+                continue
+            for slot, column in cols.items():
+                cols[slot] = [v for v, ok in zip(column, mask) if ok]
+            n = kept
+        return n
+
+    def _verify_batch(
+        self,
+        database: Database,
+        heads: List[Row],
+        recorded: List[Tuple[Tuple[int, ...], Set[tuple]]],
+        loose_probed: bool,
+    ) -> bool:
+        """True when a produced head row overlaps a recorded probe key.
+
+        The consumer will insert exactly the *fresh* head rows (the ones not
+        already stored).  The row-at-a-time loop diverges from the batch only
+        if some scan of the head relation could have returned one of those
+        rows mid-enumeration -- i.e. the row projects onto a probed key (or
+        any fresh row exists while an unkeyed full scan of the head relation
+        was probed).  Membership checks here are uncharged by design.
+        """
+        relation = database.relations.get(self.head.predicate)
+        contains = relation.table.contains if relation is not None else None
+        fresh: List[Row] = []
+        seen: Set[Row] = set()
+        for row in heads:
+            if row in seen:
+                continue
+            seen.add(row)
+            if contains is None or not contains(row):
+                fresh.append(row)
+        if not fresh:
+            return False
+        if loose_probed:
+            return True
+        for positions, keys in recorded:
+            for row in fresh:
+                if tuple(row[position] for position in positions) in keys:
+                    return True
+        return False
+
+    def _batch_sources(
+        self,
+        step: ScanStep,
+        database: Database,
+        derived: Optional[Database],
+    ) -> Tuple[Database, ...]:
+        source = step.source
+        if source == SOURCE_MAIN:
+            return (database,)
+        if source == SOURCE_DERIVED:
+            return (derived,) if derived is not None else ()
+        return (database,) if derived is None else (database, derived)
 
     # -- reference executor (interpreted mode) -----------------------------
 

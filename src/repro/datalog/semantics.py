@@ -228,17 +228,61 @@ def answer_query(
 def answer_against_relation(
     rows: Iterable[Row], query: Literal
 ) -> Set[Tuple[object, ...]]:
-    """Project the rows matching ``query`` onto its distinct variables."""
-    variables: List[Variable] = []
-    for term in query.args:
-        if isinstance(term, Variable) and term not in variables:
-            variables.append(term)
+    """Project the rows matching ``query`` onto its distinct variables.
+
+    Decomposes the query once into constant tests, repeated-variable
+    equality tests and a projection, instead of running the general
+    :func:`match_literal` unifier per row; a query of all-distinct
+    variables (the common "retrieve everything" shape) degenerates to a
+    set build over the row projections.
+    """
+    consts: List[Tuple[int, object]] = []
+    eqs: List[Tuple[int, int]] = []
+    first_of: dict = {}
+    proj: List[int] = []
+    for position, term in enumerate(query.args):
+        if isinstance(term, Constant):
+            consts.append((position, term.value))
+        else:
+            first = first_of.setdefault(term, position)
+            if first == position:
+                proj.append(position)
+            else:
+                eqs.append((position, first))
+    arity = len(query.args)
+    if not consts and not eqs:
+        if proj == list(range(arity)):
+            return {row for row in rows if len(row) == arity}
+        return {
+            tuple(row[position] for position in proj)
+            for row in rows
+            if len(row) == arity
+        }
+    if len(consts) == 1 and not eqs:
+        # One constant filter (the Fig-7 / reachability query shape): inline
+        # the test instead of running a genexpr pair per row.
+        (cpos, cval) = consts[0]
+        if len(proj) == 1:
+            ppos = proj[0]
+            return {
+                (row[ppos],)
+                for row in rows
+                if len(row) == arity and row[cpos] == cval
+            }
+        return {
+            tuple(row[position] for position in proj)
+            for row in rows
+            if len(row) == arity and row[cpos] == cval
+        }
     answers: Set[Tuple[object, ...]] = set()
     for row in rows:
-        substitution = match_literal(query, row)
-        if substitution is None:
+        if len(row) != arity:
             continue
-        answers.add(tuple(substitution[v] for v in variables))
+        if any(row[position] != value for position, value in consts):
+            continue
+        if any(row[position] != row[first] for position, first in eqs):
+            continue
+        answers.add(tuple(row[position] for position in proj))
     return answers
 
 

@@ -127,6 +127,17 @@ class EngineResult:
     iterations: int = 0
     details: Dict[str, object] = field(default_factory=dict)
 
+    @property
+    def batch_stats(self):
+        """Columnar batch telemetry accumulated while answering.
+
+        The :class:`~repro.instrumentation.BatchStats` carried by
+        :attr:`counters` -- batches committed, rows in/out, row-loop
+        fallbacks, and per-plan-node counts.  All zeros unless the run
+        executed under ``set_execution_mode("columnar")``.
+        """
+        return self.counters.batch
+
     def values(self) -> Set[object]:
         """Bare values for single-variable queries.
 

@@ -58,10 +58,32 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..datalog.analysis import ProgramAnalysis, Stratification, analyze
-from ..datalog.database import Database, Delta
+from ..datalog.database import Database, Delta, Row
+from ..datalog import plans as _plans
 from ..datalog.plans import aggregate_plan, delta_plan, delta_plans, rule_plan
 from ..datalog.rules import Program, Rule
 from ..instrumentation import Counters
+
+
+def _batch_heads(
+    plan,
+    database: Database,
+    derived: Optional[Database] = None,
+    frozen: bool = False,
+) -> Optional[List[Row]]:
+    """All head rows of one whole-batch plan execution, or ``None``.
+
+    ``None`` -- because the columnar mode is off, the plan's shape is not
+    batchable, or an optimistic batch was discarded -- sends the caller to
+    the row-at-a-time ``plan.heads`` loop.  Every firing loop below satisfies
+    :meth:`~repro.datalog.plans.JoinPlan.head_batch`'s consumption contract:
+    between the call and the insertion of the returned rows, only the plan's
+    head relation of ``database`` (and databases the plan does not read) is
+    written.
+    """
+    if _plans._mode != _plans._MODE_COLUMNAR:
+        return None
+    return plan.head_batch(database, derived=derived, frozen=frozen)
 
 
 # ---------------------------------------------------------------------------
@@ -116,6 +138,14 @@ def _jacobi_stratum(rules: List[Rule], database: Database, counters: Counters) -
         counters.iterations += 1
         changed = False
         for head_predicate, plan in plans:
+            batch = _batch_heads(plan, database)
+            if batch is not None:
+                counters.rule_firings += len(batch)
+                new_rows = database.add_rows(head_predicate, batch)
+                if new_rows:
+                    counters.derived_tuples += len(new_rows)
+                    changed = True
+                continue
             for head_row in plan.heads(database):
                 counters.rule_firings += 1
                 if database.add_fact(head_predicate, head_row):
@@ -195,6 +225,14 @@ def evaluate_component(
     round0 = [(rule, rule_plan(rule)) for rule in scan_rules]
     for rule, plan in round0:
         head_predicate = rule.head.predicate
+        batch = _batch_heads(plan, database)
+        if batch is not None:
+            counters.rule_firings += len(batch)
+            new_rows = database.add_rows(head_predicate, batch)
+            if new_rows:
+                counters.derived_tuples += len(new_rows)
+                delta.add_rows(head_predicate, new_rows, journal=False, distinct=True)
+            continue
         for head_row in plan.heads(database):
             counters.rule_firings += 1
             if database.add_fact(head_predicate, head_row):
@@ -211,6 +249,14 @@ def evaluate_component(
         for rule, plans in variants:
             head_predicate = rule.head.predicate
             for plan in plans:
+                batch = _batch_heads(plan, database, derived=delta)
+                if batch is not None:
+                    counters.rule_firings += len(batch)
+                    new_rows = database.add_rows(head_predicate, batch)
+                    if new_rows:
+                        counters.derived_tuples += len(new_rows)
+                        new_delta.add_rows(head_predicate, new_rows, journal=False, distinct=True)
+                    continue
                 for head_row in plan.heads(database, derived=delta):
                     counters.rule_firings += 1
                     if database.add_fact(head_predicate, head_row):
@@ -348,6 +394,15 @@ def _resume_component(
         head_predicate = rule.head.predicate
         for plan in delta_plans(rule, changed_predicates, delta_first=True):
             fired = True
+            batch = _batch_heads(plan, database, derived=changed)
+            if batch is not None:
+                counters.rule_firings += len(batch)
+                new_rows = database.add_rows(head_predicate, batch)
+                if new_rows:
+                    counters.derived_tuples += len(new_rows)
+                    new_tuples += len(new_rows)
+                    delta.add_rows(head_predicate, new_rows, journal=False, distinct=True)
+                continue
             for head_row in plan.heads(database, derived=changed):
                 counters.rule_firings += 1
                 if database.add_fact(head_predicate, head_row):
@@ -370,6 +425,15 @@ def _resume_component(
         for rule, plans in variants:
             head_predicate = rule.head.predicate
             for plan in plans:
+                batch = _batch_heads(plan, database, derived=delta)
+                if batch is not None:
+                    counters.rule_firings += len(batch)
+                    new_rows = database.add_rows(head_predicate, batch)
+                    if new_rows:
+                        counters.derived_tuples += len(new_rows)
+                        new_tuples += len(new_rows)
+                        new_delta.add_rows(head_predicate, new_rows, journal=False, distinct=True)
+                    continue
                 for head_row in plan.heads(database, derived=delta):
                     counters.rule_firings += 1
                     if database.add_fact(head_predicate, head_row):
@@ -438,6 +502,16 @@ def _dred_delete(
         for rule, plans in variants:
             head_predicate = rule.head.predicate
             for plan in plans:
+                # The overdelete loop never mutates ``database`` (it only
+                # accumulates into ``overdeleted``/``next_frontier``), so
+                # even self-feeding-shaped plans batch without verification.
+                batch = _batch_heads(plan, database, derived=frontier, frozen=True)
+                if batch is not None:
+                    counters.rule_firings += len(batch)
+                    new_rows = overdeleted.add_rows(head_predicate, batch, journal=False)
+                    if new_rows:
+                        next_frontier.add_rows(head_predicate, new_rows, journal=False, distinct=True)
+                    continue
                 for head_row in plan.heads(database, derived=frontier):
                     counters.rule_firings += 1
                     if overdeleted.add_fact(head_predicate, head_row):
@@ -470,6 +544,13 @@ def _dred_delete(
             # other occurrence of ``predicate`` reads the surviving database.
             guarded = Rule(rule.head, (rule.head,) + rule.body)
             plan = delta_plan(guarded, frozenset((predicate,)), 0, delta_first=True)
+            batch = _batch_heads(plan, database, derived=overdeleted)
+            if batch is not None:
+                counters.rule_firings += len(batch)
+                new_rows = database.add_rows(predicate, batch)
+                if new_rows:
+                    rederived.add_rows(predicate, new_rows, journal=False)
+                continue
             for head_row in plan.heads(database, derived=overdeleted):
                 counters.rule_firings += 1
                 if database.add_fact(predicate, head_row):

@@ -13,7 +13,87 @@ parameter sweep, alongside the pytest-benchmark wall-clock numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
+
+
+@dataclass
+class BatchStats:
+    """Columnar batch-execution telemetry (observability, not work counters).
+
+    The columnar executor (:func:`repro.datalog.plans.set_execution_mode`
+    with ``"columnar"``) processes whole binding batches per scan step.
+    These statistics record how much of the hot path actually ran batched --
+    batches executed, rows entering and leaving the pipeline, and how often
+    a plan fell back to the row-at-a-time loop -- without participating in
+    the paper's work-counter model: they are *excluded* from
+    :meth:`Counters.as_dict` (and from dataclass equality), so counter pins
+    and differential comparisons see bit-identical counters whichever
+    executor produced them.
+
+    Attributes
+    ----------
+    batches:
+        Number of batch plan executions committed.
+    rows_in:
+        Rows entering the pipelines (the depth-0 scan sizes).
+    rows_out:
+        Head rows leaving committed batch executions.
+    fallbacks:
+        Plan executions that ran the row-at-a-time loop instead -- either
+        statically (a shape the batch executor does not handle) or because
+        the optimistic batch of a self-feeding plan was discarded by the
+        probe-overlap verification.
+    nodes:
+        Per-plan-node counters: node key -> ``[batches, rows_in, rows_out]``
+        where the key names the head predicate, step index and scanned
+        predicate of one :class:`~repro.datalog.plans.ScanStep`.
+    """
+
+    batches: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    fallbacks: int = 0
+    nodes: Dict[str, List[int]] = field(default_factory=dict)
+
+    def node(self, key: str) -> List[int]:
+        """The mutable ``[batches, rows_in, rows_out]`` cell for one node."""
+        cell = self.nodes.get(key)
+        if cell is None:
+            cell = self.nodes[key] = [0, 0, 0]
+        return cell
+
+    def merge(self, other: "BatchStats") -> None:
+        """Fold another stats bundle into this one in place."""
+        self.batches += other.batches
+        self.rows_in += other.rows_in
+        self.rows_out += other.rows_out
+        self.fallbacks += other.fallbacks
+        for key, cell in other.nodes.items():
+            mine = self.node(key)
+            mine[0] += cell[0]
+            mine[1] += cell[1]
+            mine[2] += cell[2]
+
+    def reset(self) -> None:
+        """Zero every statistic in place."""
+        self.batches = 0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.fallbacks = 0
+        self.nodes.clear()
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict view for reports and benchmark JSON."""
+        return {
+            "batches": self.batches,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "fallbacks": self.fallbacks,
+            "nodes": {
+                key: {"batches": cell[0], "rows_in": cell[1], "rows_out": cell[2]}
+                for key, cell in sorted(self.nodes.items())
+            },
+        }
 
 
 @dataclass
@@ -50,6 +130,9 @@ class Counters:
     nodes_generated: int = 0
     iterations: int = 0
     extras: Dict[str, int] = field(default_factory=dict)
+    # Columnar batch telemetry: deliberately outside the work-counter model
+    # (no as_dict entry, no equality participation) -- see BatchStats.
+    batch: BatchStats = field(default_factory=BatchStats, compare=False, repr=False)
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment an ad-hoc named counter stored in :attr:`extras`."""
@@ -87,6 +170,7 @@ class Counters:
         self.nodes_generated = 0
         self.iterations = 0
         self.extras.clear()
+        self.batch.reset()
 
     def __add__(self, other: "Counters") -> "Counters":
         merged = Counters(
@@ -100,4 +184,6 @@ class Counters:
         for extras in (self.extras, other.extras):
             for key, value in extras.items():
                 merged.extras[key] = merged.extras.get(key, 0) + value
+        merged.batch.merge(self.batch)
+        merged.batch.merge(other.batch)
         return merged

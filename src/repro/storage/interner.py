@@ -36,11 +36,19 @@ IntRow = Tuple[int, ...]
 class Interner:
     """A bijection between hashable constants and dense integer codes."""
 
-    __slots__ = ("_code_of", "_value_of")
+    __slots__ = ("_code_of", "_value_of", "_introw_of")
 
     def __init__(self) -> None:
         self._code_of: Dict[Hashable, int] = {}
         self._value_of: List[Hashable] = []
+        # Row-level memo: object tuple -> interned tuple, for rows that have
+        # been fully interned at least once.  The fixpoint insert path runs
+        # every derived row through interning two or three times (main
+        # database, per-round delta, re-derivations in later rounds); the
+        # memo turns the repeats into one dict hit.  Append-only like the
+        # symbol table itself -- the same "retain everything ever stored"
+        # trade the interner already makes for constants.
+        self._introw_of: Dict[Tuple[Hashable, ...], IntRow] = {}
 
     # -- interning (growing) ------------------------------------------------
 

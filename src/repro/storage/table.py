@@ -31,6 +31,8 @@ variant can be swapped in behind the same accessors.
 
 from __future__ import annotations
 
+from array import array
+from itertools import islice
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .interner import Interner, IntRow, global_interner
@@ -65,8 +67,10 @@ class IntTable:
         "_interner",
         "_rows",
         "_indexes",
+        "_index_lag",
         "_adjacency",
         "_columns",
+        "_colarrays",
         "_shared",
         "_mutations",
     )
@@ -78,10 +82,19 @@ class IntTable:
         self._rows: Dict[IntRow, Row] = {}
         # Bound-position subset -> int key tuple -> bucket of object rows.
         self._indexes: Dict[FrozenSet[int], Dict[IntRow, List[Row]]] = {}
+        # Lazily-maintained indexes: positions -> count of leading rows of
+        # ``_rows`` (insertion order) the index reflects.  Bulk inserts mark
+        # every index lagging instead of paying per-row maintenance; the
+        # next probe catches the index up from the row-map tail, appending
+        # in insertion order so buckets are bit-identical to eager upkeep.
+        self._index_lag: Dict[FrozenSet[int], int] = {}
         # Position -> code -> (other-position value set, bucket of object rows).
         self._adjacency: Dict[int, Dict[int, Tuple[set, List[Row]]]] = {}
         # Per-position distinct code sets (lazy).
         self._columns: Optional[List[Set[int]]] = None
+        # Parallel packed code columns over the rows in insertion order
+        # (lazy; appended to on insert, dropped on removal).
+        self._colarrays: Optional[List[array]] = None
         # True while the row map and indexes are shared with a snapshot.
         self._shared = False
         # Monotone mutation epoch: bumps on every effective add or remove.
@@ -106,8 +119,10 @@ class IntTable:
         dup = IntTable(self.arity, self._interner)
         dup._rows = self._rows
         dup._indexes = self._indexes
+        dup._index_lag = self._index_lag
         dup._adjacency = self._adjacency
         dup._columns = self._columns
+        dup._colarrays = self._colarrays
         dup._mutations = self._mutations
         dup._shared = True
         self._shared = True
@@ -117,8 +132,10 @@ class IntTable:
         """Pay the copy before the first mutation of a shared table."""
         self._rows = dict(self._rows)
         self._indexes = {}
+        self._index_lag = {}
         self._adjacency = {}
         self._columns = None
+        self._colarrays = None
         self._shared = False
 
     # -- mutation -----------------------------------------------------------
@@ -132,24 +149,32 @@ class IntTable:
         # Inlined copy of Interner.intern_row (skips the per-row method call;
         # keep in sync with it): this is the insert path of every stored tuple.
         interner = self._interner
-        code_map = interner._code_of
-        values = interner._value_of
-        codes = []
-        for value in row:
-            code = code_map.get(value)
-            if code is None:
-                code = len(values)
-                code_map[value] = code
-                values.append(value)
-            codes.append(code)
-        introw = tuple(codes)
+        introw = interner._introw_of.get(row)
+        if introw is None:
+            code_map = interner._code_of
+            values = interner._value_of
+            codes = []
+            for value in row:
+                code = code_map.get(value)
+                if code is None:
+                    code = len(values)
+                    code_map[value] = code
+                    values.append(value)
+                codes.append(code)
+            introw = tuple(codes)
+            interner._introw_of[row] = introw
         if introw in self._rows:
             return False
         if self._shared:
             self._unshare()
         self._mutations += 1
         self._rows[introw] = row
+        lag = self._index_lag
         for positions, index in self._indexes.items():
+            if lag and positions in lag:
+                # A lagging index stays lagging: this row lands in the
+                # un-indexed tail the next probe's catch-up will replay.
+                continue
             key = tuple(introw[i] for i in sorted(positions))
             bucket = index.get(key)
             if bucket is None:
@@ -167,7 +192,122 @@ class IntTable:
         if self._columns is not None:
             for position, code in enumerate(introw):
                 self._columns[position].add(code)
+        if self._colarrays is not None:
+            for position, code in enumerate(introw):
+                self._colarrays[position].append(code)
         return True
+
+    def add_many(self, rows: Iterable[Row], distinct: bool = False) -> List[Row]:
+        """Bulk :meth:`add`; returns the rows that were new, in order.
+
+        Semantically ``[row for row in rows if self.add(row)]`` with the
+        per-row call tower flattened: interner, row map and maintained
+        index structures are hoisted into locals once per batch, and the
+        per-index position ordering is computed once instead of per row.
+        This is the insert path of the columnar batch executor, where a
+        fixpoint round lands thousands of head rows at once.
+
+        ``distinct=True`` promises that ``rows`` are pairwise distinct and
+        none is already stored (the fixpoint runtime's per-round delta
+        sink, which receives exactly the rows the main database just
+        reported new).  The duplicate probe is skipped on a structure-free
+        table; a lying caller corrupts the row map.
+        """
+        arity = self.arity
+        interner = self._interner
+        code_of = interner._code_of.__getitem__
+        introw_of = interner._introw_of
+        memo_get = introw_of.get
+        rows_map = self._rows
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        if (
+            distinct
+            and not self._shared
+            and not self._indexes
+            and not self._adjacency
+            and self._columns is None
+            and self._colarrays is None
+        ):
+            for row, introw in zip(rows, map(memo_get, rows)):
+                if introw is None:
+                    if len(row) != arity:
+                        raise ValueError(
+                            f"table has arity {arity},"
+                            f" got tuple of length {len(row)}"
+                        )
+                    try:
+                        introw = tuple(map(code_of, row))
+                    except KeyError:
+                        introw = interner.intern_row(row)
+                    introw_of[row] = introw
+                elif len(introw) != arity:
+                    raise ValueError(
+                        f"table has arity {arity},"
+                        f" got tuple of length {len(introw)}"
+                    )
+                rows_map[introw] = row
+            self._mutations += len(rows)
+            return rows if isinstance(rows, list) else list(rows)
+        if self._indexes and not self._shared:
+            # Defer subset-index maintenance for the whole batch: mark every
+            # index as lagging at the current row count and let the next
+            # probe replay the tail (see ``_index_lag``).  A fixpoint's head
+            # relation is often never probed again on the batch path, so
+            # this turns per-row upkeep into nothing at all.
+            lag = self._index_lag
+            count = len(rows_map)
+            for positions in self._indexes:
+                if positions not in lag:
+                    lag[positions] = count
+        adjacency = self._adjacency if self._adjacency else None
+        columns = self._columns
+        colarrays = self._colarrays
+        new_rows: List[Row] = []
+        added = 0
+        for row, introw in zip(rows, map(memo_get, rows)):
+            if introw is None:
+                if len(row) != arity:
+                    raise ValueError(
+                        f"table has arity {arity}, got tuple of length {len(row)}"
+                    )
+                try:
+                    introw = tuple(map(code_of, row))
+                except KeyError:
+                    introw = interner.intern_row(row)
+                introw_of[row] = introw
+            elif len(introw) != arity:
+                raise ValueError(
+                    f"table has arity {arity}, got tuple of length {len(introw)}"
+                )
+            if introw in rows_map:
+                continue
+            if self._shared:
+                self._unshare()  # drops the lazy structures with the sharing
+                rows_map = self._rows
+                adjacency = None
+                columns = None
+                colarrays = None
+            added += 1
+            rows_map[introw] = row
+            new_rows.append(row)
+            if adjacency is not None:
+                for position, buckets in adjacency.items():
+                    code = introw[position]
+                    entry = buckets.get(code)
+                    if entry is None:
+                        buckets[code] = ({row[1 - position]}, [row])
+                    else:
+                        entry[0].add(row[1 - position])
+                        entry[1].append(row)
+            if columns is not None:
+                for position, code in enumerate(introw):
+                    columns[position].add(code)
+            if colarrays is not None:
+                for position, code in enumerate(introw):
+                    colarrays[position].append(code)
+        self._mutations += added
+        return new_rows
 
     def remove(self, row: Row) -> bool:
         """Delete a row; returns True when it was present.
@@ -195,6 +335,12 @@ class IntTable:
             del self._rows[introw]
             self._columns = None
             return True
+        if self._index_lag:
+            # Deleting from the row map would shift the tail a lagging
+            # index's watermark counts; bring every lagging index current
+            # first (deletions are rare on the bulk-insert path).
+            for positions in list(self._index_lag):
+                self._index_for(positions)
         canonical = self._rows.pop(introw)
         for positions, index in self._indexes.items():
             key = tuple(introw[i] for i in sorted(positions))
@@ -214,12 +360,16 @@ class IntTable:
                 # only one in this bucket carrying its other-position value.
                 targets.discard(canonical[1 - position])
         self._columns = None
+        self._colarrays = None
         return True
 
     # -- membership and iteration ------------------------------------------
 
     def contains(self, row: Row) -> bool:
-        introw = self._interner.row_code_of(row)
+        interner = self._interner
+        introw = interner._introw_of.get(row)
+        if introw is None:
+            introw = interner.row_code_of(row)
         return introw is not None and introw in self._rows
 
     def all_rows(self) -> Iterable[Row]:
@@ -244,16 +394,52 @@ class IntTable:
 
     def _index_for(self, positions: FrozenSet[int]) -> Dict[IntRow, List[Row]]:
         index = self._indexes.get(positions)
+        if index is not None and positions in self._index_lag:
+            # Catch a lagging index up: replay the un-indexed row-map tail
+            # in insertion order, exactly the appends eager upkeep would
+            # have made (so bucket contents and ordering are identical).
+            behind = self._index_lag.pop(positions)
+            tail = islice(self._rows.items(), behind, None)
+            ordered = sorted(positions)
+            if len(ordered) == 1:
+                position = ordered[0]
+                for introw, row in tail:
+                    key = (introw[position],)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for introw, row in tail:
+                    key = tuple(introw[i] for i in ordered)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [row]
+                    else:
+                        bucket.append(row)
         if index is None:
             index = {}
             ordered = sorted(positions)
-            for introw, row in self._rows.items():
-                key = tuple(introw[i] for i in ordered)
-                bucket = index.get(key)
-                if bucket is None:
-                    index[key] = [row]
-                else:
-                    bucket.append(row)
+            if len(ordered) == 1:
+                # Single-column indexes dominate the join path; build them
+                # without the per-row key genexpr.
+                position = ordered[0]
+                for introw, row in self._rows.items():
+                    key = (introw[position],)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for introw, row in self._rows.items():
+                    key = tuple(introw[i] for i in ordered)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [row]
+                    else:
+                        bucket.append(row)
             self._indexes[positions] = index
         return index
 
@@ -305,7 +491,7 @@ class IntTable:
                 key.append(code)
             int_key = tuple(key)
         index = self._indexes.get(positions)
-        if index is None:
+        if index is None or self._index_lag:
             index = self._index_for(positions)
         bucket = index.get(int_key)
         if bucket is None:
@@ -347,6 +533,29 @@ class IntTable:
                     columns[index].add(code)
             self._columns = columns
         return self._columns[position]
+
+    # -- packed code columns ---------------------------------------------------
+
+    def column_arrays(self) -> List[array]:
+        """Parallel ``array('q')`` code columns over the rows, insertion order.
+
+        ``column_arrays()[p][i]`` is the interned code of row ``i``'s value at
+        position ``p``; externing a whole column is one gather through
+        :attr:`Interner._value_of`.  Built lazily in one pass, then maintained
+        incrementally: inserts append to every column (so a growing fixpoint
+        relation keeps its columns warm across rounds), removals and
+        copy-on-write unsharing drop the cache.  The returned arrays are live
+        internal state -- callers must treat them as read-only and must not
+        hold them across table mutations.
+        """
+        arrays = self._colarrays
+        if arrays is None:
+            arrays = [array("q") for _ in range(self.arity)]
+            for introw in self._rows:
+                for position, code in enumerate(introw):
+                    arrays[position].append(code)
+            self._colarrays = arrays
+        return arrays
 
     def __repr__(self) -> str:
         return f"IntTable(arity={self.arity}, rows={len(self._rows)})"

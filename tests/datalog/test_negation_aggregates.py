@@ -117,7 +117,7 @@ class TestNegationPlans:
             {"node": [(1,), (2,), (3,)], "tc": [(1, 2), (1, 3)]}
         )
 
-    @pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+    @pytest.mark.parametrize("mode", ["compiled", "interpreted", "columnar"])
     def test_anti_join_filters_matching_rows(self, mode):
         (rule,) = parse_rules("unreach(X, Y) :- node(X), node(Y), not tc(X, Y).")
         with execution_mode(mode):
@@ -129,7 +129,7 @@ class TestNegationPlans:
     def test_compiled_and_interpreted_charge_identically(self):
         (rule,) = parse_rules("unreach(X, Y) :- node(X), node(Y), not tc(X, Y).")
         results = {}
-        for mode in ("compiled", "interpreted"):
+        for mode in ("compiled", "interpreted", "columnar"):
             counters = Counters()
             database = self._db()
             database.reset_instrumentation(counters)
@@ -156,7 +156,7 @@ class TestNegationPlans:
 
 
 class TestAggregateFolds:
-    @pytest.mark.parametrize("mode", ["compiled", "interpreted"])
+    @pytest.mark.parametrize("mode", ["compiled", "interpreted", "columnar"])
     def test_folds_group_by_plain_head_terms(self, mode):
         (rule,) = parse_rules("best(X, min(N), max(N)) :- d(X, N).")
         database = Database.from_dict({"d": [(1, 5), (1, 2), (2, 7), (2, 7)]})

@@ -1,0 +1,56 @@
+"""Per-plan-node batch telemetry exposed through ``EngineResult.batch_stats``."""
+
+from repro.datalog.plans import execution_mode
+from repro.engines import run_engine
+from repro.instrumentation import Counters
+from repro.workloads import binary_tree, chain
+
+
+def _run(workload, mode):
+    program, database, query = workload
+    counters = Counters()
+    fresh = database.copy()
+    fresh.reset_instrumentation(counters)
+    result = run_engine("seminaive", program, query, fresh, counters)
+    return result, counters
+
+
+class TestBatchStats:
+    def test_columnar_run_reports_batches_and_per_node_rows(self):
+        with execution_mode("columnar"):
+            result, _ = _run(chain(12), "columnar")
+        stats = result.batch_stats
+        assert stats.batches > 0
+        assert stats.rows_in > 0
+        assert stats.rows_out > 0
+        # Node entries are (batches, rows_in, rows_out) per plan scan step.
+        assert stats.nodes
+        for key, (batches, rows_in, rows_out) in stats.nodes.items():
+            assert batches > 0
+            assert rows_in >= rows_out >= 0
+            assert "tc[" in key
+
+    def test_row_executor_reports_no_batches(self):
+        with execution_mode("compiled"):
+            result, _ = _run(chain(12), "compiled")
+        stats = result.batch_stats
+        assert stats.batches == 0
+        assert stats.rows_in == 0
+        assert not stats.nodes
+
+    def test_self_feeding_round_zero_counts_a_fallback(self):
+        # The recursive self-join of round 0 must discard its optimistic
+        # batch (the row loop's mid-firing probes are observable) and is
+        # recorded as a fallback rather than silently absorbed.
+        with execution_mode("columnar"):
+            result, _ = _run(binary_tree(4), "columnar")
+        assert result.batch_stats.fallbacks > 0
+
+    def test_batch_stats_stay_out_of_the_work_counter_model(self):
+        with execution_mode("columnar"):
+            _, columnar_counters = _run(chain(12), "columnar")
+        with execution_mode("compiled"):
+            _, compiled_counters = _run(chain(12), "compiled")
+        assert columnar_counters.as_dict() == compiled_counters.as_dict()
+        assert "batch" not in columnar_counters.as_dict()
+        assert "batches" not in columnar_counters.as_dict()

@@ -1,10 +1,10 @@
 """Differential tests: compiled plans vs the interpreted reference executor.
 
-Every engine is run on every workload family twice -- once with the compiled
-slot-array executor (the default) and once with the interpreted
-substitution-dictionary executor over the same plans -- and must produce
-identical answers *and* identical work counters.  The answers are also
-checked against the least-model semantics.
+Every engine is run on every workload family three times -- with the
+compiled slot-array executor (the default), with the interpreted
+substitution-dictionary executor, and with the columnar batch executor over
+the same plans -- and must produce identical answers *and* identical work
+counters.  The answers are also checked against the least-model semantics.
 
 The module also carries the regression tests for the three bug fixes that
 landed with the plan compiler: the top-down builtin-deferral divergence, the
@@ -88,8 +88,11 @@ def test_compiled_and_interpreted_agree(engine, workload_name):
         pytest.skip(f"{engine} not applicable to {workload_name}")
     compiled_answers, compiled_counters = _measure(engine, workload, "compiled")
     interpreted_answers, interpreted_counters = _measure(engine, workload, "interpreted")
+    columnar_answers, columnar_counters = _measure(engine, workload, "columnar")
     assert compiled_answers == interpreted_answers
     assert compiled_counters == interpreted_counters
+    assert columnar_answers == compiled_answers
+    assert columnar_counters == compiled_counters
     assert compiled_answers == answer_query(program, query, database)
 
 
