@@ -1,0 +1,88 @@
+"""Parallel and sharded fixpoint evaluation over columnar batches.
+
+Evaluates a two-relation reachability program whose single stratum holds
+three SCCs (two independent closures plus a join-closure above them) --
+exactly the shape the parallel stratum scheduler exploits: independent
+components run concurrently on copy-on-write overlays (Level 1), and
+shard-eligible delta rounds fan out over a fork worker pool (Level 2).
+
+The point of the demo is the invariant, not the speed-up: whatever the
+worker count, answers and work counters are identical to the sequential
+run, which stays the differential oracle.
+
+Run with:  python examples/parallel_fixpoint.py [n]
+"""
+
+import sys
+
+from repro import set_parallelism
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.plans import execution_mode
+from repro.engines import run_engine
+from repro.engines.runtime import set_shard_min_rows
+from repro.parallel import fork_available
+
+PROGRAM = """
+    reach_a(X, Y) :- edge_a(X, Y).
+    reach_a(X, Z) :- reach_a(X, Y), edge_a(Y, Z).
+    reach_b(X, Y) :- edge_b(X, Y).
+    reach_b(X, Z) :- reach_b(X, Y), edge_b(Y, Z).
+    joint(X, Y) :- reach_a(X, Y), reach_b(X, Y).
+    joint(X, Z) :- joint(X, Y), reach_a(Y, Z).
+"""
+
+
+def build(n):
+    database = Database()
+    for i in range(n):
+        database.add_fact("edge_a", (i, i + 1))
+        database.add_fact("edge_b", (i, (i + 1) % (n + 1)))
+    return parse_program(PROGRAM), database, parse_literal("joint(X, Y)")
+
+
+def evaluate(workers, n):
+    program, database, query = build(n)
+    previous = set_parallelism(workers)
+    try:
+        with execution_mode("columnar"):
+            result = run_engine("seminaive", program, query, database)
+    finally:
+        set_parallelism(previous)
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    # Shard every delta round, not just the big ones, so a small demo
+    # exercises the same machinery as a multi-million-row run.
+    threshold = set_shard_min_rows(1)
+    try:
+        sequential = evaluate(1, n)
+        parallel = evaluate(4, n)
+    finally:
+        set_shard_min_rows(threshold)
+
+    print(f"Parallel fixpoint demo (n = {n}, fork available: {fork_available()})")
+    print(f"  answers:      {len(sequential.answers)} rows")
+    print(f"  seq counters: {sequential.counters}")
+    print(f"  par counters: {parallel.counters}")
+    stats = parallel.batch_stats
+    print(
+        f"  par batches:  {stats.batches} "
+        f"(shards: {stats.shards}, merge: {stats.merge_seconds * 1000:.1f} ms)"
+    )
+    same_answers = parallel.answers == sequential.answers
+    same_counters = parallel.counters == sequential.counters
+    print(f"  answers identical:  {'yes' if same_answers else 'NO'}")
+    print(f"  counters identical: {'yes' if same_counters else 'NO'}")
+    print(
+        "\nLevel 1 ran reach_a and reach_b concurrently (one thread per SCC,\n"
+        "merged in evaluation order); Level 2 hash-sharded each left-linear\n"
+        "delta round across the fork pool.  Both replay the sequential\n"
+        "charging contract exactly -- the counters above must match."
+    )
+
+
+if __name__ == "__main__":
+    main()

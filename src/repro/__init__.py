@@ -60,6 +60,7 @@ from .datalog import (
     parse_rules,
 )
 from .instrumentation import Counters
+from .parallel import parallelism, set_parallelism
 
 __version__ = "1.0.0"
 
@@ -77,10 +78,12 @@ __all__ = [
     "answer_query",
     "evaluate_query",
     "least_model",
+    "parallelism",
     "parse_literal",
     "parse_program",
     "parse_query",
     "parse_rules",
+    "set_parallelism",
     "QuerySession",
     "__version__",
 ]

@@ -43,6 +43,12 @@ class BatchStats:
         statically (a shape the batch executor does not handle) or because
         the optimistic batch of a self-feeding plan was discarded by the
         probe-overlap verification.
+    shards:
+        Delta shards executed by worker processes (``repro.parallel``); zero
+        under sequential evaluation.
+    merge_seconds:
+        Wall-clock seconds the parent spent decoding and merging shard
+        results (the sequential portion of the sharded rounds).
     nodes:
         Per-plan-node counters: node key -> ``[batches, rows_in, rows_out]``
         where the key names the head predicate, step index and scanned
@@ -53,6 +59,8 @@ class BatchStats:
     rows_in: int = 0
     rows_out: int = 0
     fallbacks: int = 0
+    shards: int = 0
+    merge_seconds: float = 0.0
     nodes: Dict[str, List[int]] = field(default_factory=dict)
 
     def node(self, key: str) -> List[int]:
@@ -68,6 +76,8 @@ class BatchStats:
         self.rows_in += other.rows_in
         self.rows_out += other.rows_out
         self.fallbacks += other.fallbacks
+        self.shards += other.shards
+        self.merge_seconds += other.merge_seconds
         for key, cell in other.nodes.items():
             mine = self.node(key)
             mine[0] += cell[0]
@@ -80,6 +90,8 @@ class BatchStats:
         self.rows_in = 0
         self.rows_out = 0
         self.fallbacks = 0
+        self.shards = 0
+        self.merge_seconds = 0.0
         self.nodes.clear()
 
     def as_dict(self) -> Dict[str, object]:
@@ -89,6 +101,8 @@ class BatchStats:
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "fallbacks": self.fallbacks,
+            "shards": self.shards,
+            "merge_seconds": self.merge_seconds,
             "nodes": {
                 key: {"batches": cell[0], "rows_in": cell[1], "rows_out": cell[2]}
                 for key, cell in sorted(self.nodes.items())
@@ -171,6 +185,25 @@ class Counters:
         self.iterations = 0
         self.extras.clear()
         self.batch.reset()
+
+    def absorb(self, other: "Counters") -> None:
+        """Fold ``other`` into this bundle in place.
+
+        Every counter is a commutative sum, so folding per-component bundles
+        back into the caller's bundle in evaluation order yields exactly the
+        totals sequential evaluation would have produced -- this is what the
+        parallel stratum scheduler (:mod:`repro.engines.runtime`) relies on
+        when independent SCCs of a stratum charge their own bundles.
+        """
+        self.fact_retrievals += other.fact_retrievals
+        self.distinct_facts += other.distinct_facts
+        self.rule_firings += other.rule_firings
+        self.derived_tuples += other.derived_tuples
+        self.nodes_generated += other.nodes_generated
+        self.iterations += other.iterations
+        for key, value in other.extras.items():
+            self.extras[key] = self.extras.get(key, 0) + value
+        self.batch.merge(other.batch)
 
     def __add__(self, other: "Counters") -> "Counters":
         merged = Counters(

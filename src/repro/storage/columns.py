@@ -58,7 +58,7 @@ def extern_columns(table, positions: Tuple[int, ...]) -> List[list]:
 class _DbCharges:
     """Buffered charges against one database (one side of a batch scan)."""
 
-    __slots__ = ("db", "retrievals", "distinct", "touched", "memo")
+    __slots__ = ("db", "retrievals", "distinct", "touched", "memo", "lock")
 
     def __init__(self, db):
         self.db = db
@@ -68,6 +68,10 @@ class _DbCharges:
         self.touched: List[Tuple[str, Row]] = []
         # (predicate, token) -> (bucket size, mutation epoch) memo updates.
         self.memo: Dict[Tuple[str, object], Tuple[int, int]] = {}
+        # Non-None when the database's touched set is shared with sibling
+        # overlays evaluating concurrently (parallel SCC scheduling); every
+        # mutation of that set must then hold the lock.
+        self.lock = db._charge_lock
 
 
 class PendingCharges:
@@ -146,11 +150,20 @@ class PendingCharges:
             rows = list(rows)
         db_touched = pending.db._touched
         new_keys = set(zip(_repeat(predicate), rows))
-        new_keys -= db_touched
-        if new_keys:
-            db_touched |= new_keys
-            pending.touched.extend(new_keys)
-            pending.distinct += len(new_keys)
+        lock = pending.lock
+        if lock is None:
+            new_keys -= db_touched
+            if new_keys:
+                db_touched |= new_keys
+                pending.touched.extend(new_keys)
+                pending.distinct += len(new_keys)
+        else:
+            with lock:
+                new_keys -= db_touched
+                if new_keys:
+                    db_touched |= new_keys
+                    pending.touched.extend(new_keys)
+                    pending.distinct += len(new_keys)
         pending.retrievals += len(rows)
 
     def commit(self) -> None:
@@ -171,8 +184,14 @@ class PendingCharges:
         """Drop every buffered charge, undoing the speculative touches."""
         for pending in self._by_db.values():
             db_touched = pending.db._touched
-            for key in pending.touched:
-                db_touched.discard(key)
+            lock = pending.lock
+            if lock is None:
+                for key in pending.touched:
+                    db_touched.discard(key)
+            else:
+                with lock:
+                    for key in pending.touched:
+                        db_touched.discard(key)
         self._by_db.clear()
 
 
@@ -272,6 +291,7 @@ class KernelProbe:
         "index",
         "counters",
         "touched",
+        "lock",
         "charged",
         "mutations",
         "predicate",
@@ -293,6 +313,10 @@ class KernelProbe:
             self.index = table._index_for(pos_set)
         self.counters = db.counters
         self.touched = db._touched
+        # Serialises touched-set growth when the database shares it with
+        # sibling overlays evaluating concurrently; None on the (lock-free)
+        # sequential path.
+        self.lock = db._charge_lock
         charged = db._charged.get(relation.name)
         if charged is None:
             charged = db._charged[relation.name] = {}
@@ -342,10 +366,18 @@ class KernelProbe:
             counters.fact_retrievals += stamp[0]
             return rows
         touched = self.touched
-        before = len(touched)
-        touched.update(zip(_repeat(self.predicate), rows))
+        lock = self.lock
+        if lock is None:
+            before = len(touched)
+            touched.update(zip(_repeat(self.predicate), rows))
+            grown = len(touched) - before
+        else:
+            with lock:
+                before = len(touched)
+                touched.update(zip(_repeat(self.predicate), rows))
+                grown = len(touched) - before
         counters.fact_retrievals += stamp[0]
-        counters.distinct_facts += len(touched) - before
+        counters.distinct_facts += grown
         self.charged[token] = stamp
         return rows
 
@@ -374,6 +406,7 @@ class BufferedProbe:
         "pending",
         "base_charged",
         "db_touched",
+        "lock",
         "local",
     )
 
@@ -395,6 +428,7 @@ class BufferedProbe:
         # writes db._charged until commit), so snapshot the view once.
         self.base_charged = db._charged.get(relation.name) or _NO_BINDINGS
         self.db_touched = db._touched
+        self.lock = db._charge_lock
         # Per-batch key memo, exactly as on :class:`KernelProbe`.
         self.local = {}
 
@@ -434,11 +468,20 @@ class BufferedProbe:
             return rows
         db_touched = self.db_touched
         new_keys = set(zip(_repeat(self.predicate), rows))
-        new_keys -= db_touched
-        if new_keys:
-            db_touched |= new_keys
-            pending.touched.extend(new_keys)
-            pending.distinct += len(new_keys)
+        lock = self.lock
+        if lock is None:
+            new_keys -= db_touched
+            if new_keys:
+                db_touched |= new_keys
+                pending.touched.extend(new_keys)
+                pending.distinct += len(new_keys)
+        else:
+            with lock:
+                new_keys -= db_touched
+                if new_keys:
+                    db_touched |= new_keys
+                    pending.touched.extend(new_keys)
+                    pending.distinct += len(new_keys)
         pending.retrievals += stamp[0]
         pending.memo[key] = stamp
         return rows

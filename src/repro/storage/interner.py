@@ -24,10 +24,27 @@ returns the first-interned representative.  The historical storage already
 collapsed such values *within* a relation (set membership); the interner
 makes the canonical representative process-wide.  Query answers remain
 ``==``-identical either way.
+
+Concurrency invariants (relied on by :mod:`repro.parallel` and the parallel
+stratum scheduler in :mod:`repro.engines.runtime`):
+
+* **Concurrent readers are always safe.**  The table is append-only; a code
+  observed by any thread or forked child stays valid forever, and the
+  non-growing lookups (:meth:`Interner.code_of`, ``extern*``) touch only
+  already-published entries.
+* **Growth is multi-writer safe.**  Allocation of a *new* code goes through
+  :meth:`Interner.allocate` -- a double-checked, lock-guarded append -- so
+  two threads interning the same fresh value race to one code, never two.
+  The fast path (value already interned) stays a single lock-free dict hit.
+* **Forked children must not rely on codes allocated after the fork.**  A
+  child's copy diverges from the parent at fork time; the worker-pool
+  protocol therefore validates that every code it ships was allocated
+  before the pool was forked (see ``runtime``'s shard freshness checks).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 IntRow = Tuple[int, ...]
@@ -36,11 +53,13 @@ IntRow = Tuple[int, ...]
 class Interner:
     """A bijection between hashable constants and dense integer codes."""
 
-    __slots__ = ("_code_of", "_value_of", "_introw_of")
+    __slots__ = ("_code_of", "_value_of", "_introw_of", "_grow_lock")
 
     def __init__(self) -> None:
         self._code_of: Dict[Hashable, int] = {}
         self._value_of: List[Hashable] = []
+        # Serialises *allocation* only; every read path stays lock-free.
+        self._grow_lock = threading.Lock()
         # Row-level memo: object tuple -> interned tuple, for rows that have
         # been fully interned at least once.  The fixpoint insert path runs
         # every derived row through interning two or three times (main
@@ -52,13 +71,29 @@ class Interner:
 
     # -- interning (growing) ------------------------------------------------
 
+    def allocate(self, value: Hashable) -> int:
+        """Allocate (or find) the code of a value missed by the fast path.
+
+        The slow half of :meth:`intern`, factored out so call sites that
+        inline the fast-path dict hit (``IntTable.add`` and friends) share
+        one locked, double-checked allocation: publishing the code into
+        ``_code_of`` *after* the value is appended keeps lock-free readers
+        from ever observing a code without its value.
+        """
+        with self._grow_lock:
+            code = self._code_of.get(value)
+            if code is None:
+                values = self._value_of
+                code = len(values)
+                values.append(value)
+                self._code_of[value] = code
+        return code
+
     def intern(self, value: Hashable) -> int:
         """The code of ``value``, allocating the next dense code when new."""
         code = self._code_of.get(value)
         if code is None:
-            code = len(self._value_of)
-            self._code_of[value] = code
-            self._value_of.append(value)
+            code = self.allocate(value)
         return code
 
     def intern_many(self, values: Iterable[Hashable]) -> List[int]:
@@ -69,19 +104,18 @@ class Interner:
     def intern_row(self, row: Iterable[Hashable]) -> IntRow:
         """Intern every component of a tuple-like row into an int tuple.
 
-        One call per row, allocation inlined (no per-value method call).
+        One call per row, with only the lock-free fast path inlined (no
+        per-value method call until a value is actually new).
         :meth:`repro.storage.table.IntTable.add` duplicates this loop on its
         insert path to also skip the per-row call -- keep the two in sync.
         """
         code_map = self._code_of
-        values = self._value_of
+        allocate = self.allocate
         codes = []
         for value in row:
             code = code_map.get(value)
             if code is None:
-                code = len(values)
-                code_map[value] = code
-                values.append(value)
+                code = allocate(value)
             codes.append(code)
         return tuple(codes)
 

@@ -31,6 +31,7 @@ variant can be swapped in behind the same accessors.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from itertools import islice
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
@@ -46,6 +47,16 @@ BucketToken = Tuple[Optional[FrozenSet[int]], Optional[IntRow]]
 FULL_SCAN: BucketToken = (None, None)
 
 _EMPTY_ROWS: List[Row] = []
+
+#: Serialises lazy index construction and lag catch-up across threads.  The
+#: parallel stratum scheduler lets independent SCCs *read* shared lower-
+#: stratum tables concurrently; the first probe of a cold or lagging index
+#: mutates shared state (building the index dict, replaying the un-indexed
+#: tail in place), so those cold paths -- and only those -- take this lock.
+#: Hot-path reads of an up-to-date index stay lock-free.  A single process-
+#: wide lock (rather than per-table) is fine: the guarded work is rare and
+#: contention is effectively zero.
+_INDEX_LOCK = threading.Lock()
 
 _SINGLE_POSITIONS: Dict[int, FrozenSet[int]] = {}
 
@@ -152,14 +163,12 @@ class IntTable:
         introw = interner._introw_of.get(row)
         if introw is None:
             code_map = interner._code_of
-            values = interner._value_of
+            allocate = interner.allocate
             codes = []
             for value in row:
                 code = code_map.get(value)
                 if code is None:
-                    code = len(values)
-                    code_map[value] = code
-                    values.append(value)
+                    code = allocate(value)
                 codes.append(code)
             introw = tuple(codes)
             interner._introw_of[row] = introw
@@ -309,6 +318,36 @@ class IntTable:
         self._mutations += added
         return new_rows
 
+    def add_coded_rows(self, introws: Iterable[IntRow]) -> int:
+        """Bulk-insert pre-interned rows into a fresh table; returns the count.
+
+        The worker-side fast path of sharded fixpoint rounds: the parent
+        ships a delta shard as packed code tuples, and the forked worker
+        rebuilds its shard table by decoding each tuple through the
+        inherited interner -- no interning, no duplicate probe, no index
+        upkeep.  The caller guarantees the rows are pairwise distinct, every
+        code is valid in this process's interner, and the table is fresh
+        (nothing stored, no snapshot sharing, no indexes built); anything
+        else is a programming error and raises.
+        """
+        if (
+            self._rows
+            or self._shared
+            or self._indexes
+            or self._adjacency
+            or self._columns is not None
+            or self._colarrays is not None
+        ):
+            raise ValueError("add_coded_rows requires a fresh, structure-free table")
+        value_of = self._interner._value_of
+        rows_map = self._rows
+        count = 0
+        for introw in introws:
+            rows_map[introw] = tuple(value_of[code] for code in introw)
+            count += 1
+        self._mutations += count
+        return count
+
     def remove(self, row: Row) -> bool:
         """Delete a row; returns True when it was present.
 
@@ -393,54 +432,62 @@ class IntTable:
     # -- subset indexes ------------------------------------------------------
 
     def _index_for(self, positions: FrozenSet[int]) -> Dict[IntRow, List[Row]]:
-        index = self._indexes.get(positions)
-        if index is not None and positions in self._index_lag:
-            # Catch a lagging index up: replay the un-indexed row-map tail
-            # in insertion order, exactly the appends eager upkeep would
-            # have made (so bucket contents and ordering are identical).
-            behind = self._index_lag.pop(positions)
-            tail = islice(self._rows.items(), behind, None)
-            ordered = sorted(positions)
-            if len(ordered) == 1:
-                position = ordered[0]
-                for introw, row in tail:
-                    key = (introw[position],)
-                    bucket = index.get(key)
-                    if bucket is None:
-                        index[key] = [row]
-                    else:
-                        bucket.append(row)
-            else:
-                for introw, row in tail:
-                    key = tuple(introw[i] for i in ordered)
-                    bucket = index.get(key)
-                    if bucket is None:
-                        index[key] = [row]
-                    else:
-                        bucket.append(row)
-        if index is None:
-            index = {}
-            ordered = sorted(positions)
-            if len(ordered) == 1:
-                # Single-column indexes dominate the join path; build them
-                # without the per-row key genexpr.
-                position = ordered[0]
-                for introw, row in self._rows.items():
-                    key = (introw[position],)
-                    bucket = index.get(key)
-                    if bucket is None:
-                        index[key] = [row]
-                    else:
-                        bucket.append(row)
-            else:
-                for introw, row in self._rows.items():
-                    key = tuple(introw[i] for i in ordered)
-                    bucket = index.get(key)
-                    if bucket is None:
-                        index[key] = [row]
-                    else:
-                        bucket.append(row)
-            self._indexes[positions] = index
+        # Cold path only: hot probes hit an up-to-date index straight off
+        # ``self._indexes`` in :meth:`bucket`.  Everything here mutates state
+        # that concurrent readers may share, so it runs under _INDEX_LOCK,
+        # re-reading the index and lag inside the lock.  The lag entry is
+        # deleted only *after* the tail replay, so a lock-free reader that
+        # observes an empty lag is guaranteed a fully caught-up index.
+        with _INDEX_LOCK:
+            index = self._indexes.get(positions)
+            if index is not None and positions in self._index_lag:
+                # Catch a lagging index up: replay the un-indexed row-map tail
+                # in insertion order, exactly the appends eager upkeep would
+                # have made (so bucket contents and ordering are identical).
+                behind = self._index_lag[positions]
+                tail = islice(self._rows.items(), behind, None)
+                ordered = sorted(positions)
+                if len(ordered) == 1:
+                    position = ordered[0]
+                    for introw, row in tail:
+                        key = (introw[position],)
+                        bucket = index.get(key)
+                        if bucket is None:
+                            index[key] = [row]
+                        else:
+                            bucket.append(row)
+                else:
+                    for introw, row in tail:
+                        key = tuple(introw[i] for i in ordered)
+                        bucket = index.get(key)
+                        if bucket is None:
+                            index[key] = [row]
+                        else:
+                            bucket.append(row)
+                del self._index_lag[positions]
+            if index is None:
+                index = {}
+                ordered = sorted(positions)
+                if len(ordered) == 1:
+                    # Single-column indexes dominate the join path; build them
+                    # without the per-row key genexpr.
+                    position = ordered[0]
+                    for introw, row in self._rows.items():
+                        key = (introw[position],)
+                        bucket = index.get(key)
+                        if bucket is None:
+                            index[key] = [row]
+                        else:
+                            bucket.append(row)
+                else:
+                    for introw, row in self._rows.items():
+                        key = tuple(introw[i] for i in ordered)
+                        bucket = index.get(key)
+                        if bucket is None:
+                            index[key] = [row]
+                        else:
+                            bucket.append(row)
+                self._indexes[positions] = index
         return index
 
     def bucket(self, bindings: Dict[int, object]) -> Tuple[List[Row], BucketToken]:
@@ -509,17 +556,22 @@ class IntTable:
             raise ValueError("adjacency indexes are defined for binary tables only")
         buckets = self._adjacency.get(position)
         if buckets is None:
-            buckets = {}
-            other = 1 - position
-            for introw, row in self._rows.items():
-                code = introw[position]
-                entry = buckets.get(code)
-                if entry is None:
-                    buckets[code] = ({row[other]}, [row])
-                else:
-                    entry[0].add(row[other])
-                    entry[1].append(row)
-            self._adjacency[position] = buckets
+            # Cold build; locked so concurrent first probes from parallel SCC
+            # evaluation build the structure once (see _INDEX_LOCK).
+            with _INDEX_LOCK:
+                buckets = self._adjacency.get(position)
+                if buckets is None:
+                    buckets = {}
+                    other = 1 - position
+                    for introw, row in self._rows.items():
+                        code = introw[position]
+                        entry = buckets.get(code)
+                        if entry is None:
+                            buckets[code] = ({row[other]}, [row])
+                        else:
+                            entry[0].add(row[other])
+                            entry[1].append(row)
+                    self._adjacency[position] = buckets
         return buckets
 
     # -- column code sets ------------------------------------------------------

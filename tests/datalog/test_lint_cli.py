@@ -79,6 +79,39 @@ class TestCli:
         out = capsys.readouterr().out
         assert "DL201" in out and "DL501" in out
 
+
+class TestParallelJobs:
+    """``--jobs N`` must not change output, ordering, or exit status."""
+
+    def _populate(self, tmp_path):
+        (tmp_path / "a_warn.dl").write_text(WARNING)
+        (tmp_path / "b_clean.dl").write_text(CLEAN)
+        (tmp_path / "c_broken.dl").write_text(BROKEN)
+        (tmp_path / "d_warn.dl").write_text(WARNING)
+        (tmp_path / "missing.dl").touch()
+        (tmp_path / "missing.dl").unlink()
+
+    def test_jobs_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", str(tmp_path)])
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_output_identical_to_sequential(self, tmp_path, capsys, fmt):
+        self._populate(tmp_path)
+        sequential_status = main(["--format", fmt, str(tmp_path)])
+        sequential = capsys.readouterr()
+        parallel_status = main(["--format", fmt, "--jobs", "4", str(tmp_path)])
+        parallel = capsys.readouterr()
+        assert parallel_status == sequential_status == 1
+        assert parallel.out == sequential.out
+        assert parallel.err == sequential.err
+
+    def test_jobs_with_unreadable_file(self, tmp_path, capsys):
+        path = tmp_path / "gone.dl"
+        assert main(["--jobs", "2", str(path), str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+
     def test_missing_file_fails(self, tmp_path, capsys):
         assert main([str(tmp_path / "absent.dl")]) == 1
 
