@@ -127,6 +127,52 @@ def classify_query(
     return "bottom-up"
 
 
+def estimate_strategy_costs(
+    program: Program,
+    query: Literal,
+    database: Database,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> Dict[str, float]:
+    """Estimated evaluation cost per serving strategy, from data statistics.
+
+    Complements the purely syntactic :func:`classify_query`: where the
+    classifier asks *which strategies apply*, this asks *what each would
+    cost on this data*.  The full-model cost is the cost model's estimate
+    of one round of every IDB rule body (:func:`repro.datalog.plans
+    .estimated_body_cost` over a :class:`repro.stats.PlanStatistics` view);
+    the demand strategies (graph traversal, magic sets) touch only the
+    fraction of the model reachable from the query's bound constants, which
+    the uniform model prices at ``1/|active domain|`` per bound argument --
+    magic pays a further 2x for evaluating the rewritten (roughly doubled)
+    program.  Units are arbitrary "row visits": only ratios between the
+    returned entries are meaningful.  An unbound query gets no demand
+    discount, so the model strategies win it, matching the session's
+    legacy preference.
+    """
+    from ..datalog.plans import estimated_body_cost
+    from ..stats import PlanStatistics
+
+    statistics = PlanStatistics(database)
+    model_cost = 1.0
+    for rule in program.idb_rules():
+        if rule.body:
+            model_cost += estimated_body_cost(rule.body, statistics)
+    bound_count = sum(1 for term in query.args if not isinstance(term, Variable))
+    demand_fraction = 1.0
+    if bound_count:
+        adom = max(1, database.active_domain_size())
+        demand_fraction = 1.0 / adom
+    costs: Dict[str, float] = {
+        "seminaive": model_cost,
+        "graph": model_cost * demand_fraction,
+        "magic": model_cost * demand_fraction * 2.0,
+    }
+    if query.predicate not in program.derived_predicates:
+        relation = database.relations.get(query.predicate)
+        costs["base"] = float(len(relation.table)) if relation is not None else 1.0
+    return costs
+
+
 def evaluate_query(
     program: Program,
     query: Literal,

@@ -51,10 +51,14 @@ from .plans import (
     compile_plan,
     delta_plan,
     delta_plans,
+    drain_planner_events,
     execution_mode,
     get_execution_mode,
+    get_plan_mode,
+    plan_mode,
     rule_plan,
     set_execution_mode,
+    set_plan_mode,
 )
 from .rules import Program, Rule, program_from_rules, rule
 from .semantics import (
@@ -106,8 +110,12 @@ __all__ = [
     "delta_plan",
     "delta_plans",
     "derived_relation",
+    "drain_planner_events",
     "execution_mode",
     "get_execution_mode",
+    "get_plan_mode",
+    "plan_mode",
+    "set_plan_mode",
     "ground_atom",
     "is_true",
     "least_model",

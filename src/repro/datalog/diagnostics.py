@@ -132,6 +132,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "DL405": (Severity.WARNING, "rule subsumed by a more general rule"),
     "DL406": (Severity.WARNING, "contradictory builtins: rule body is provably empty"),
     "DL501": (Severity.HINT, "binding modes rule out the demand strategies"),
+    "DL601": (Severity.HINT, "cardinality estimate wildly off; plan re-costed at runtime"),
 }
 
 

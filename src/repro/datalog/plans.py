@@ -45,6 +45,7 @@ engines.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
 from itertools import repeat as _repeat
 from typing import (
@@ -132,6 +133,67 @@ def execution_mode(mode: str):
         yield
     finally:
         set_execution_mode(previous)
+
+
+_PLAN_LEGACY = "legacy"
+_PLAN_COST = "cost"
+_plan_mode = _PLAN_LEGACY
+
+
+def set_plan_mode(mode: str) -> None:
+    """Select how plans are *ordered*: ``"legacy"`` (default) or ``"cost"``.
+
+    Orthogonal to :func:`set_execution_mode` (how the chosen plan runs).
+    The legacy planner is the greedy bound-count order with textual
+    tie-breaking whose work counters are pinned bit-identically on the
+    paper samples.  The cost planner reads relation statistics
+    (:mod:`repro.stats`) through the ``database=`` argument of the plan
+    builders and orders scans by estimated intermediate-result size --
+    Selinger-style dynamic programming up to :data:`_DP_LIMIT` scan
+    literals, greedy with pairwise lookahead beyond -- and is only active
+    when a builder is given a database to measure; without one it falls
+    back to the legacy order, so cache keys (and plans) for statistics-free
+    call sites are byte-identical in both modes.
+    """
+    global _plan_mode
+    if mode not in (_PLAN_LEGACY, _PLAN_COST):
+        raise ValueError(f"unknown plan mode {mode!r}")
+    _plan_mode = mode
+
+
+def get_plan_mode() -> str:
+    """The currently selected plan mode."""
+    return _plan_mode
+
+
+@contextmanager
+def plan_mode(mode: str):
+    """Context manager temporarily switching the plan mode."""
+    previous = _plan_mode
+    set_plan_mode(mode)
+    try:
+        yield
+    finally:
+        set_plan_mode(previous)
+
+
+#: Bounded ring of planner runtime events (adaptive re-plans, estimate
+#: misses).  Entries are :class:`~repro.datalog.diagnostics.Diagnostic`
+#: objects; the ring keeps only the most recent so long-running fixpoints
+#: cannot grow it without bound.
+_PLANNER_EVENTS: deque = deque(maxlen=64)
+
+
+def record_planner_event(event) -> None:
+    """Append a runtime planner diagnostic to the bounded event ring."""
+    _PLANNER_EVENTS.append(event)
+
+
+def drain_planner_events() -> list:
+    """Pop and return every recorded planner event, oldest first."""
+    events = list(_PLANNER_EVENTS)
+    _PLANNER_EVENTS.clear()
+    return events
 
 
 class BuiltinCheck:
@@ -474,6 +536,7 @@ class JoinPlan:
         "head_template",
         "head_unbound",
         "out_vars",
+        "estimates",
         "_binfo",
         "_aborts",
         "_scan0",
@@ -520,6 +583,10 @@ class JoinPlan:
                 else:
                     self.head_unbound = True
             self.head_template = tuple(template)
+        # Cost-model estimates for explain(): None under the legacy planner,
+        # one StepEstimate per scan step when the cost planner chose the
+        # order (set by compile_plan after construction).
+        self.estimates: Optional[Tuple["StepEstimate", ...]] = None
         # Columnar batch-execution analysis, built lazily on first use, and
         # the count of aborted optimistic batches (see head_batch).
         self._binfo: Optional[_BatchInfo] = None
@@ -549,6 +616,75 @@ class JoinPlan:
             ordered.extend(check.literal for check in step.checks)
             ordered.extend(neg.literal for neg in step.neg_checks)
         return tuple(ordered)
+
+    def explain(self, counters=None) -> str:
+        """A deterministic text rendering of the chosen plan.
+
+        One line per scan step with its source (``main``/``delta``), access
+        path (``index[positions]`` or ``full-scan``) and -- when the cost
+        planner chose the order -- the model's estimated rows per probe and
+        running frontier.  Filters are listed under the step they attach
+        to.  Passing the :class:`~repro.instrumentation.Counters` of a run
+        adds observed per-node cardinalities (``actual in=... out=...``)
+        wherever the batch executor recorded them, lining estimates up
+        against reality.
+        """
+        source_names = {
+            SOURCE_MAIN: "main",
+            SOURCE_DERIVED: "delta",
+            SOURCE_BOTH: "main+delta",
+        }
+
+        def fmt(value: float) -> str:
+            return f"{value:.3g}"
+
+        target = str(self.head) if self.head is not None else "<body>"
+        mode = "cost" if self.estimates is not None else "legacy"
+        lines = [f"plan for {target}  [{mode}]"]
+        if self.bound_vars:
+            names = ", ".join(sorted(v.name for v in self.bound_vars))
+            lines.append(f"  bound on entry: {names}")
+        for check in self.pre_checks:
+            lines.append(f"  pre-filter {check.literal}")
+        for neg in self.pre_negs:
+            lines.append(f"  pre-filter {neg.literal}")
+        nodes = counters.batch.nodes if counters is not None else {}
+        for index, step in enumerate(self.steps):
+            positions = sorted(
+                {p for p, _ in step.const_bindings}
+                | {p for p, _ in step.slot_bindings}
+            )
+            if positions:
+                access = "index[" + ",".join(str(p) for p in positions) + "]"
+            else:
+                access = "full-scan"
+            line = (
+                f"  {index}. scan {step.literal}"
+                f"  source={source_names[step.source]}  access={access}"
+            )
+            if self.estimates is not None:
+                estimate = self.estimates[index]
+                line += (
+                    f"  est={fmt(estimate.rows)} rows/probe"
+                    f"  frontier={fmt(estimate.frontier)}"
+                )
+            if self.head is not None:
+                node_key = (
+                    f"{self.head.predicate}[{index}]"
+                    f"{_SOURCE_TAG[step.source]}{step.predicate}"
+                )
+                cell = nodes.get(node_key)
+                if cell is not None:
+                    line += (
+                        f"  actual in={cell[1]} out={cell[2]}"
+                        f" batches={cell[0]}"
+                    )
+            lines.append(line)
+            for check in step.checks:
+                lines.append(f"       filter {check.literal}")
+            for neg in step.neg_checks:
+                lines.append(f"       filter {neg.literal}")
+        return "\n".join(lines)
 
     # -- execution ---------------------------------------------------------
 
@@ -1660,6 +1796,268 @@ class JoinPlan:
             yield dict(result)
 
 
+# -- cost model ------------------------------------------------------------
+
+#: Scan-literal count up to which the cost planner runs exact Selinger
+#: dynamic programming over join orders; beyond it, greedy with pairwise
+#: lookahead (exact DP is 2^n states).
+_DP_LIMIT = 8
+
+#: Assumed pass rates for built-in filters when ordering by cost.  These are
+#: the classic System-R magic fractions: equality is very selective, an
+#: inequality barely filters, a comparison keeps somewhat under half.
+_BUILTIN_SELECTIVITY = {"=": 0.1, "==": 0.1, "!=": 0.9}
+_BUILTIN_DEFAULT_SELECTIVITY = 0.4
+
+#: A negation filter is never assumed to keep fewer than this fraction --
+#: an estimated pass rate of exactly 0 would zero the frontier and make
+#: every downstream order look equally free.
+_MIN_PASS_RATE = 0.05
+#: Frontier floor for cost propagation.  A relation that is empty at plan
+#: time (an intensional predicate before round 0, a magic/supplementary
+#: scratch relation) estimates 0 rows per probe; multiplying the frontier
+#: by that zero would make every *subsequent* step free and the order
+#: search degenerate to arbitrary tie-breaking -- over relations that do
+#: grow at runtime.  Propagating at least this fraction keeps downstream
+#: scans comparable, so the residual order stays sensible even when it is
+#: entered through a currently-empty relation.
+_FRONTIER_FLOOR = 0.1
+
+
+class StepEstimate:
+    """The cost model's view of one ordered scan step, kept for explain().
+
+    ``bound_positions`` are the argument positions probed through an index
+    (empty means a full scan), ``rows`` the estimated rows one probe
+    returns, and ``frontier`` the estimated number of binding tuples alive
+    *after* the step (filters the step enables included).
+    """
+
+    __slots__ = ("literal", "bound_positions", "rows", "frontier")
+
+    def __init__(
+        self,
+        literal: Literal,
+        bound_positions: Tuple[int, ...],
+        rows: float,
+        frontier: float,
+    ):
+        self.literal = literal
+        self.bound_positions = bound_positions
+        self.rows = rows
+        self.frontier = frontier
+
+    @property
+    def access(self) -> str:
+        """``index[p,...]`` when the scan probes bound positions, else
+        ``full-scan``."""
+        if self.bound_positions:
+            inner = ",".join(str(p) for p in self.bound_positions)
+            return f"index[{inner}]"
+        return "full-scan"
+
+
+def _scan_estimate(literal, bound, statistics, scaled):
+    """``(estimated rows per probe, probed positions)`` for one scan.
+
+    ``bound`` is the variable set known before the scan; constants probe by
+    their exact interned frequency (an un-interned constant matches zero
+    rows).  ``scaled`` marks the seminaive delta occurrence: the full
+    relation's distribution is kept but its cardinality is replaced by the
+    statistics view's override (the observed or assumed delta size).
+    """
+    predicate = literal.predicate
+    stats = statistics.stats_for(predicate)
+    bound_positions: List[int] = []
+    known: Dict[int, Optional[int]] = {}
+    for position, term in enumerate(literal.args):
+        if isinstance(term, Constant):
+            bound_positions.append(position)
+            known[position] = statistics.code_of(predicate, term.value)
+        elif isinstance(term, Variable) and term in bound:
+            bound_positions.append(position)
+    if stats is None:
+        # Unknown relation (typically intensional scratch): assume the
+        # override cardinality if any, with a token fan-in per bound slot.
+        estimate = statistics.cardinality(predicate)
+        for _ in bound_positions:
+            estimate *= 0.2
+    else:
+        estimate = stats.estimate_rows(bound_positions, known)
+        if scaled and stats.cardinality:
+            estimate *= statistics.cardinality(predicate) / stats.cardinality
+    return estimate, tuple(bound_positions)
+
+
+def _filter_pass_rate(kind, literal, bound, statistics):
+    """Estimated fraction of binding tuples surviving a placed filter."""
+    if kind == "builtin":
+        return _BUILTIN_SELECTIVITY.get(
+            literal.predicate, _BUILTIN_DEFAULT_SELECTIVITY
+        )
+    # Negation: the anti-join drops a tuple when a matching row exists.  The
+    # expected matches per tuple double as a (capped) match probability.
+    matches, _ = _scan_estimate(literal, bound, statistics, False)
+    return max(_MIN_PASS_RATE, 1.0 - min(1.0, matches))
+
+
+def _body_filters(builtins, negations):
+    """The placeable-filter descriptors the cost simulation consults.
+
+    Each is ``(kind, literal, needed)`` where ``needed`` is the variable set
+    that must be positively bound before the filter applies (named variables
+    only under negation, matching the placement legality rule).
+    """
+    filters = []
+    for _, literal in builtins:
+        filters.append(("builtin", literal, frozenset(literal.variables())))
+    for _, literal in negations:
+        named = frozenset(v for v in literal.variables() if not v.is_anonymous)
+        filters.append(("neg", literal, named))
+    return filters
+
+
+def _cost_step(entry, bound, frontier, statistics, filters, delta_indexes):
+    """Cost one candidate scan from a simulation state.
+
+    Returns ``(step_cost, new_bound, new_frontier, est_rows, positions)``.
+    A step pays one probe plus the rows it enumerates per live binding
+    tuple; filters that become placeable once the step's variables are
+    bound shrink the frontier immediately (they attach to the earliest
+    legal point -- the frontier only ever grows later, so earliest is also
+    the cheapest placement and needs no search of its own).
+    """
+    index, literal = entry
+    est, positions = _scan_estimate(
+        literal, bound, statistics, index in delta_indexes
+    )
+    cost = frontier * (1.0 + est)
+    new_bound = bound | set(literal.variables())
+    new_frontier = frontier * max(est, _FRONTIER_FLOOR)
+    for kind, flit, needed in filters:
+        if needed <= new_bound and not needed <= bound:
+            new_frontier *= _filter_pass_rate(kind, flit, new_bound, statistics)
+    return cost, new_bound, new_frontier, est, positions
+
+
+def _cost_order(entries, initial_bound, statistics, filters, delta_indexes, forced=None):
+    """Order scan entries by estimated total cost.
+
+    ``forced`` (the seminaive delta occurrence) is pinned outermost -- the
+    delta drives the round -- and only the *residual* join is searched,
+    exactly the textbook delta-as-driver costing.  Up to :data:`_DP_LIMIT`
+    residual literals the search is exact dynamic programming over subsets
+    (best cost per joined set, Selinger-style); beyond that, greedy with a
+    one-step lookahead.  Ties are broken deterministically toward textual
+    body order.
+    """
+    bound = frozenset(initial_bound)
+    cost0, frontier0 = 0.0, 1.0
+    ordered: List[Tuple[int, Literal]] = []
+    if forced is not None:
+        cost0, bound, frontier0, _, _ = _cost_step(
+            forced, bound, frontier0, statistics, filters, delta_indexes
+        )
+        ordered.append(forced)
+    remaining = list(entries)
+    if not remaining:
+        return ordered
+    if len(remaining) <= _DP_LIMIT:
+        n = len(remaining)
+        states = {0: (cost0, frontier0, bound, ())}
+        for mask in range((1 << n) - 1):
+            state = states.get(mask)
+            if state is None:
+                continue
+            cost, frontier, known, order = state
+            for i in range(n):
+                bit = 1 << i
+                if mask & bit:
+                    continue
+                step_cost, nb, nf, _, _ = _cost_step(
+                    remaining[i], known, frontier, statistics, filters, delta_indexes
+                )
+                total = cost + step_cost
+                prev = states.get(mask | bit)
+                if prev is None or total < prev[0]:
+                    states[mask | bit] = (total, nf, nb, order + (i,))
+        _, _, _, order = states[(1 << n) - 1]
+        ordered.extend(remaining[i] for i in order)
+        return ordered
+    cost, frontier, known = cost0, frontier0, bound
+    while remaining:
+        best = None
+        for i, entry in enumerate(remaining):
+            step_cost, nb, nf, _, _ = _cost_step(
+                entry, known, frontier, statistics, filters, delta_indexes
+            )
+            lookahead = 0.0
+            if len(remaining) > 1:
+                lookahead = min(
+                    _cost_step(
+                        other, nb, nf, statistics, filters, delta_indexes
+                    )[0]
+                    for j, other in enumerate(remaining)
+                    if j != i
+                )
+            key = (step_cost + lookahead, entry[0])
+            if best is None or key < best[0]:
+                best = (key, i, nb, nf)
+        _, i, known, frontier = best
+        ordered.append(remaining.pop(i))
+    return ordered
+
+
+def estimated_body_cost(
+    body: Sequence[Literal],
+    statistics,
+    bound_vars: FrozenSet[Variable] = frozenset(),
+) -> float:
+    """The cost model's estimated total cost of one evaluation of ``body``.
+
+    Orders the body with :func:`_cost_order` against ``statistics`` (a
+    :class:`repro.stats.PlanStatistics`) and sums the per-step costs --
+    probes plus enumerated rows.  The absolute number is in arbitrary
+    "row visits" units; it is meaningful only relative to other bodies
+    estimated against the same statistics, which is exactly how
+    :func:`repro.core.planner.estimate_strategy_costs` uses it.
+    """
+    scans: List[Tuple[int, Literal]] = []
+    builtins: List[Tuple[int, Literal]] = []
+    negations: List[Tuple[int, Literal]] = []
+    for index, literal in enumerate(body):
+        if literal.is_builtin:
+            builtins.append((index, literal))
+        elif literal.negated:
+            negations.append((index, literal))
+        else:
+            scans.append((index, literal))
+    filters = _body_filters(builtins, negations)
+    ordered = _cost_order(scans, bound_vars, statistics, filters, frozenset())
+    bound = frozenset(bound_vars)
+    frontier = 1.0
+    total = 0.0
+    for entry in ordered:
+        cost, bound, frontier, _, _ = _cost_step(
+            entry, bound, frontier, statistics, filters, frozenset()
+        )
+        total += cost
+    return total
+
+
+def _estimate_steps(ordered, initial_bound, statistics, filters, delta_indexes):
+    """Per-step :class:`StepEstimate` records for the chosen order."""
+    bound = frozenset(initial_bound)
+    frontier = 1.0
+    estimates: List[StepEstimate] = []
+    for entry in ordered:
+        _, bound, frontier, est, positions = _cost_step(
+            entry, bound, frontier, statistics, filters, delta_indexes
+        )
+        estimates.append(StepEstimate(entry[1], positions, est, frontier))
+    return tuple(estimates)
+
+
 # -- compilation -----------------------------------------------------------
 
 
@@ -1672,6 +2070,7 @@ def compile_plan(
     delta_predicates: FrozenSet[str] = frozenset(),
     delta_occurrence: Optional[int] = None,
     delta_first: bool = False,
+    statistics=None,
 ) -> JoinPlan:
     """Analyse ``body`` once and build an executable :class:`JoinPlan`.
 
@@ -1689,6 +2088,18 @@ def compile_plan(
     full relations -- and is what the incremental resume path uses.  The
     historical engine loops keep the default (purely greedy) order, whose
     work counters are pinned on the paper samples.
+
+    ``statistics`` (a :class:`repro.stats.PlanStatistics` view, supplied by
+    the cached builders under ``set_plan_mode("cost")``) switches the scan
+    ordering from the greedy bound-count heuristic to the estimated-cost
+    search of :func:`_cost_order`: the delta occurrence -- when one exists
+    -- is always the driver and only the residual join is searched, and the
+    chosen order's per-step estimates are kept on the plan (``.estimates``)
+    for :meth:`JoinPlan.explain`.  Builtin and negation *placement* stays
+    earliest-point in both modes: the frontier is non-decreasing along a
+    plan, so the earliest legal point minimises both the filter's own
+    probes and every later step's input -- the cost search instead orders
+    scans so that selective filters become placeable early.
     """
     body = tuple(body)
     scans: List[Tuple[int, Literal]] = []
@@ -1706,34 +2117,54 @@ def compile_plan(
         else:
             scans.append((index, literal))
 
-    # Greedy sideways-information-passing order: repeatedly pick the literal
-    # with the most bound argument positions; ties fall back to textual order.
+    # Scan order.  Legacy: greedy sideways-information-passing -- repeatedly
+    # pick the literal with the most bound argument positions, ties falling
+    # back to textual order.  Cost mode (``statistics`` given): estimated-
+    # cost search, delta occurrence pinned as the driver.
     bound: Set[Variable] = set(bound_vars)
     ordered: List[Tuple[int, Literal]] = []
     remaining = list(scans)
-    if delta_first and delta_occurrence is not None:
+    forced_delta: Optional[Tuple[int, Literal]] = None
+    if delta_occurrence is not None and (delta_first or statistics is not None):
         seen_delta = 0
         for entry in scans:
             if entry[1].predicate in delta_predicates:
                 if seen_delta == delta_occurrence:
+                    forced_delta = entry
                     remaining.remove(entry)
-                    ordered.append(entry)
-                    bound.update(entry[1].variables())
                     break
                 seen_delta += 1
-    while remaining:
-        def bound_count(entry: Tuple[int, Literal]) -> Tuple[int, int]:
-            _, literal = entry
-            count = 0
-            for term in literal.args:
-                if isinstance(term, Constant) or term in bound:
-                    count += 1
-            return (count, -entry[0])
+    estimates: Optional[Tuple[StepEstimate, ...]] = None
+    if statistics is not None:
+        filters = _body_filters(builtins, negations)
+        delta_indexes = frozenset()
+        if forced_delta is not None:
+            delta_indexes = frozenset((forced_delta[0],))
+        ordered = _cost_order(
+            remaining, bound, statistics, filters, delta_indexes, forced_delta
+        )
+        estimates = _estimate_steps(
+            ordered, bound_vars, statistics, filters, delta_indexes
+        )
+        for entry in ordered:
+            bound.update(entry[1].variables())
+    else:
+        if forced_delta is not None:
+            ordered.append(forced_delta)
+            bound.update(forced_delta[1].variables())
+        while remaining:
+            def bound_count(entry: Tuple[int, Literal]) -> Tuple[int, int]:
+                _, literal = entry
+                count = 0
+                for term in literal.args:
+                    if isinstance(term, Constant) or term in bound:
+                        count += 1
+                return (count, -entry[0])
 
-        best = max(remaining, key=bound_count)
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(best[1].variables())
+            best = max(remaining, key=bound_count)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(best[1].variables())
 
     # Slot assignment: caller-bound variables first (sorted for determinism
     # across call sites sharing the cached plan), then first occurrence order.
@@ -1830,9 +2261,11 @@ def compile_plan(
         steps.append(step)
         bound_so_far.update(literal.variables())
 
-    return JoinPlan(
+    plan = JoinPlan(
         body, head, frozenset(bound_vars), slot_of, pre_checks, tuple(steps), pre_negs
     )
+    plan.estimates = estimates
+    return plan
 
 
 # -- plan cache ------------------------------------------------------------
@@ -1857,15 +2290,39 @@ def clear_plan_cache() -> None:
     _IMAGE_CACHE.clear()
 
 
+def _body_statistics(body: Sequence[Literal], database, overrides=None):
+    """``(PlanStatistics, cache-key suffix)`` when the cost planner applies.
+
+    Returns ``(None, ())`` under the legacy plan mode or when the caller
+    supplied no database to measure -- in which case the builders' cache
+    keys (and plans) are byte-identical to the historical ones.  In cost
+    mode the suffix is the coarse cardinality fingerprint of the body's
+    relations, so cached cost-based plans are reused while relative sizes
+    hold and recompiled only when a relation crosses a power-of-two
+    boundary (or an override -- an observed delta size -- does).
+    """
+    if _plan_mode != _PLAN_COST or database is None:
+        return None, ()
+    from ..stats import PlanStatistics
+
+    statistics = PlanStatistics(database, overrides)
+    predicates = [
+        literal.predicate for literal in body if not literal.is_builtin
+    ]
+    return statistics, ("cost", statistics.fingerprint(predicates))
+
+
 def body_plan(
     body: Sequence[Literal],
     bound_vars: FrozenSet[Variable] = frozenset(),
     derived_only_for: FrozenSet[str] = frozenset(),
     has_derived: bool = False,
+    database=None,
 ) -> JoinPlan:
     """Cached plan for a bare body (the :func:`satisfy_body` entry point)."""
     body = tuple(body)
-    key = ("body", body, bound_vars, derived_only_for, has_derived)
+    statistics, suffix = _body_statistics(body, database)
+    key = ("body", body, bound_vars, derived_only_for, has_derived) + suffix
     return _cached_plan(
         key,
         lambda: compile_plan(
@@ -1873,6 +2330,7 @@ def body_plan(
             bound_vars=bound_vars,
             derived_only_for=derived_only_for,
             has_derived=has_derived,
+            statistics=statistics,
         ),
     )
 
@@ -1882,9 +2340,11 @@ def rule_plan(
     bound_vars: FrozenSet[Variable] = frozenset(),
     derived_only_for: FrozenSet[str] = frozenset(),
     has_derived: bool = False,
+    database=None,
 ) -> JoinPlan:
     """Cached plan for a full rule (the :func:`instantiate_rule` entry point)."""
-    key = ("rule", rule, bound_vars, derived_only_for, has_derived)
+    statistics, suffix = _body_statistics(rule.body, database)
+    key = ("rule", rule, bound_vars, derived_only_for, has_derived) + suffix
     return _cached_plan(
         key,
         lambda: compile_plan(
@@ -1893,6 +2353,7 @@ def rule_plan(
             bound_vars=bound_vars,
             derived_only_for=derived_only_for,
             has_derived=has_derived,
+            statistics=statistics,
         ),
     )
 
@@ -1902,9 +2363,18 @@ def delta_plan(
     delta_predicates: FrozenSet[str],
     delta_occurrence: int,
     delta_first: bool = False,
+    database=None,
+    overrides=None,
 ) -> JoinPlan:
-    """Cached seminaive variant: one plan per recursive-occurrence index."""
-    key = ("delta", rule, delta_predicates, delta_occurrence, delta_first)
+    """Cached seminaive variant: one plan per recursive-occurrence index.
+
+    In cost mode ``overrides`` carries assumed cardinalities -- the
+    adaptive re-planner passes the observed delta size for the recursive
+    predicates, so the residual join is costed against the delta that
+    actually drives it rather than the full relation.
+    """
+    statistics, suffix = _body_statistics(rule.body, database, overrides)
+    key = ("delta", rule, delta_predicates, delta_occurrence, delta_first) + suffix
     return _cached_plan(
         key,
         lambda: compile_plan(
@@ -1913,12 +2383,17 @@ def delta_plan(
             delta_predicates=delta_predicates,
             delta_occurrence=delta_occurrence,
             delta_first=delta_first,
+            statistics=statistics,
         ),
     )
 
 
 def delta_plans(
-    rule: Rule, delta_predicates: FrozenSet[str], delta_first: bool = False
+    rule: Rule,
+    delta_predicates: FrozenSet[str],
+    delta_first: bool = False,
+    database=None,
+    overrides=None,
 ) -> List[JoinPlan]:
     """All delta variants of ``rule``: one per recursive body occurrence."""
     occurrences = sum(
@@ -1929,7 +2404,8 @@ def delta_plans(
         and literal.predicate in delta_predicates
     )
     return [
-        delta_plan(rule, delta_predicates, k, delta_first) for k in range(occurrences)
+        delta_plan(rule, delta_predicates, k, delta_first, database, overrides)
+        for k in range(occurrences)
     ]
 
 

@@ -199,7 +199,10 @@ def _jacobi_stratum(rules: List[Rule], database: Database, counters: Counters) -
     """
     scan_rules = [rule for rule in rules if not rule.is_aggregate]
     _fire_folds(rules, database, counters)
-    plans = [(rule.head.predicate, rule_plan(rule)) for rule in scan_rules]
+    plans = [
+        (rule.head.predicate, rule_plan(rule, database=database))
+        for rule in scan_rules
+    ]
     iterations = 0
     changed = True
     while changed:
@@ -401,7 +404,7 @@ def evaluate_component(
     # Round 0: fire every rule once over the current database.
     delta = Database()
     _fire_folds(rules, database, counters, delta)
-    round0 = [(rule, rule_plan(rule)) for rule in scan_rules]
+    round0 = [(rule, rule_plan(rule, database=database)) for rule in scan_rules]
     for rule, plan in round0:
         head_predicate = rule.head.predicate
         batch = _batch_heads(plan, database)
@@ -422,7 +425,10 @@ def evaluate_component(
     # One plan variant per occurrence of a recursive predicate, with that
     # occurrence restricted to the delta.  Non-recursive rules have no
     # variants and cannot produce anything new after round 0.
-    variants = [(rule, delta_plans(rule, recursive_key)) for rule in scan_rules]
+    variants = [
+        (rule, delta_plans(rule, recursive_key, database=database))
+        for rule in scan_rules
+    ]
     shard: Optional[_ShardContext] = None
     if (
         allow_sharding
@@ -434,10 +440,28 @@ def evaluate_component(
         shard = _ShardContext(database, recursive_key, variants)
         if not shard.plans:
             shard = None
+    # Mid-fixpoint adaptive re-planning (cost mode, unsharded rounds only:
+    # the shard executor's charge replay is tied to the plan objects it was
+    # built with).  ``assumed`` records the cardinality each recursive
+    # predicate was costed with when the current variants were compiled.
+    adaptive = shard is None and _plans._plan_mode == _plans._PLAN_COST
+    assumed: Dict[str, float] = {}
+    if adaptive:
+        for predicate in recursive_key:
+            relation = database.relations.get(predicate)
+            assumed[predicate] = (
+                float(len(relation.table)) if relation is not None else 1.0
+            )
     try:
         if shard is not None and shard.run_fixpoint(delta, counters):
             delta = Database()  # the offloaded fixpoint ran to completion
         while delta.total_facts():
+            if adaptive:
+                replanned = _adapt_delta_variants(
+                    scan_rules, recursive_key, database, delta, assumed
+                )
+                if replanned is not None:
+                    variants = replanned
             new_delta = Database()
             for rule, plans in variants:
                 head_predicate = rule.head.predicate
@@ -464,6 +488,71 @@ def evaluate_component(
     finally:
         if shard is not None:
             shard.close()
+
+
+#: Adaptive re-planning threshold: a delta round's observed cardinality
+#: must diverge from the costed assumption by this factor (in either
+#: direction) before the cached cost-based delta variants are re-costed.
+_REPLAN_RATIO = 8.0
+
+
+def _adapt_delta_variants(
+    scan_rules: List[Rule],
+    recursive_key: FrozenSet[str],
+    database: Database,
+    delta: Database,
+    assumed: Dict[str, float],
+) -> Optional[List[Tuple[Rule, List[object]]]]:
+    """Swap in re-costed delta variants when the delta defies its estimate.
+
+    Compares each recursive predicate's observed per-round delta size with
+    the cardinality the current plans were costed under (``assumed``); when
+    any diverges by :data:`_REPLAN_RATIO` or more, rebuilds every variant
+    through :func:`~repro.datalog.plans.delta_plans` with the observed
+    sizes as overrides (the builders' fingerprinted cache makes repeated
+    same-magnitude re-plans cache hits), records a ``DL601`` planner event,
+    and returns the replacement variants.  Returns ``None`` -- change
+    nothing -- while estimates hold.
+    """
+    observed: Dict[str, float] = {}
+    diverged: List[Tuple[str, float, float]] = []
+    for predicate in sorted(recursive_key):
+        relation = delta.relations.get(predicate)
+        rows = float(len(relation.table)) if relation is not None else 0.0
+        rows = max(rows, 1.0)
+        observed[predicate] = rows
+        previous = max(assumed.get(predicate, 1.0), 1.0)
+        ratio = max(previous, rows) / min(previous, rows)
+        if ratio >= _REPLAN_RATIO:
+            diverged.append((predicate, previous, rows))
+    if not diverged:
+        return None
+    assumed.update(observed)
+    overrides = {predicate: int(rows) for predicate, rows in observed.items()}
+    variants = [
+        (
+            rule,
+            delta_plans(
+                rule, recursive_key, database=database, overrides=overrides
+            ),
+        )
+        for rule in scan_rules
+    ]
+    from ..datalog.diagnostics import CODES, Diagnostic
+
+    predicate, previous, rows = diverged[0]
+    _plans.record_planner_event(
+        Diagnostic(
+            code="DL601",
+            severity=CODES["DL601"][0],
+            message=(
+                f"delta cardinality for '{predicate}' was costed at "
+                f"~{previous:.0f} rows but a round observed {rows:.0f}; "
+                "delta plan variants re-costed"
+            ),
+        )
+    )
+    return variants
 
 
 # ---------------------------------------------------------------------------
@@ -1214,7 +1303,9 @@ def _resume_component(
     fired = False
     for rule in rules:
         head_predicate = rule.head.predicate
-        for plan in delta_plans(rule, changed_predicates, delta_first=True):
+        for plan in delta_plans(
+            rule, changed_predicates, delta_first=True, database=database
+        ):
             fired = True
             batch = _batch_heads(plan, database, derived=changed)
             if batch is not None:
@@ -1238,7 +1329,8 @@ def _resume_component(
     # Ordinary recursive delta rounds, delta-driven like round 0.
     recursive_key = frozenset(recursive_predicates)
     variants = [
-        (rule, delta_plans(rule, recursive_key, delta_first=True)) for rule in rules
+        (rule, delta_plans(rule, recursive_key, delta_first=True, database=database))
+        for rule in rules
     ]
     while delta.total_facts():
         for predicate in delta.predicates():
@@ -1314,7 +1406,7 @@ def _dred_delete(
     delta_predicates = frozenset(program.predicates)
     scan_rules = [rule for rule in program.idb_rules() if not rule.is_aggregate]
     variants = [
-        (rule, delta_plans(rule, delta_predicates, delta_first=True))
+        (rule, delta_plans(rule, delta_predicates, delta_first=True, database=database))
         for rule in scan_rules
     ]
     overdeleted = Database()
@@ -1365,7 +1457,9 @@ def _dred_delete(
             # candidates.  ``delta_occurrence=0`` is the guard itself; every
             # other occurrence of ``predicate`` reads the surviving database.
             guarded = Rule(rule.head, (rule.head,) + rule.body)
-            plan = delta_plan(guarded, frozenset((predicate,)), 0, delta_first=True)
+            plan = delta_plan(
+                guarded, frozenset((predicate,)), 0, delta_first=True, database=database
+            )
             batch = _batch_heads(plan, database, derived=overdeleted)
             if batch is not None:
                 counters.rule_firings += len(batch)

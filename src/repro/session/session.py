@@ -37,13 +37,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.planner import classify_query
+from ..core.planner import classify_query, estimate_strategy_costs
 from ..datalog.analysis import ProgramAnalysis, analyze
 from ..datalog.database import Database
 from ..datalog.literals import Literal
 from ..datalog.parser import parse_query
 from ..datalog.rules import Program
 from ..datalog.terms import Constant, Variable
+from ..datalog.plans import (
+    drain_planner_events,
+    get_execution_mode,
+    get_plan_mode,
+    rule_plan,
+)
 from ..engines import Engine, EngineResult, Materialization, get_engine
 from ..instrumentation import Counters
 from .facts import program_fingerprint
@@ -62,6 +68,7 @@ def select_engine(
     program: Program,
     query: Literal,
     analysis: Optional[ProgramAnalysis] = None,
+    database: Optional[Database] = None,
 ) -> str:
     """Pick a serving strategy for ``query`` under session semantics.
 
@@ -77,6 +84,13 @@ def select_engine(
     * other adornable queries with at least one bound argument go to magic
       sets, whose cached fixpoints are seminaively resumable per query;
     * everything else falls back to the model.
+
+    Under ``set_plan_mode("cost")`` -- and when a ``database`` to measure is
+    supplied -- the static choice is additionally checked against
+    :func:`repro.core.planner.estimate_strategy_costs`: the session
+    switches to a differently-classified applicable strategy only when the
+    estimates say the static choice is more than twice as expensive, so
+    ties and near-ties keep the legacy behaviour.
     """
     analysis = analysis or analyze(program)
     if not program.is_positive:
@@ -86,19 +100,36 @@ def select_engine(
         # reject non-positive programs).
         return _MODEL_FALLBACK
     classification = classify_query(program, query, analysis)
-    if classification == "base":
-        return _MODEL_FALLBACK
     has_bound = any(isinstance(term, Constant) for term in query.args)
-    if not has_bound:
-        # Unbound queries ask for the entire derived relation: only a model
-        # materialization amortizes that across repetitions.
-        return _MODEL_FALLBACK
-    if classification in ("graph", "chain"):
+    choice = _MODEL_FALLBACK
+    if classification != "base" and has_bound:
+        if classification in ("graph", "chain") and get_engine("graph").applicable(
+            program, query
+        ):
+            choice = "graph"
+        elif get_engine("magic").applicable(program, query):
+            choice = "magic"
+    if (
+        database is None
+        or classification == "base"
+        or get_plan_mode() != "cost"
+    ):
+        return choice
+    # Cost mode: let the statistics overrule the static pick, with a 2x
+    # legacy-preference margin.
+    candidates = {choice, _MODEL_FALLBACK}
+    if has_bound:
         if get_engine("graph").applicable(program, query):
-            return "graph"
-    if get_engine("magic").applicable(program, query):
-        return "magic"
-    return _MODEL_FALLBACK
+            candidates.add("graph")
+        if get_engine("magic").applicable(program, query):
+            candidates.add("magic")
+    costs = estimate_strategy_costs(program, query, database, analysis)
+    chosen_cost = costs.get(choice, float("inf"))
+    best = min(sorted(candidates), key=lambda name: costs.get(name, float("inf")))
+    best_cost = costs.get(best, float("inf"))
+    if best != choice and chosen_cost > 2.0 * best_cost:
+        return best
+    return choice
 
 
 class PreparedQuery:
@@ -261,7 +292,52 @@ class QuerySession:
     def strategy_for(self, query: QueryLike) -> str:
         """The strategy :meth:`query` would auto-select for ``query``."""
         literal = parse_query(query) if isinstance(query, str) else query
-        return select_engine(self.program, literal, self.analysis)
+        return select_engine(
+            self.program, literal, self.analysis, database=self.database
+        )
+
+    def explain(
+        self,
+        query: QueryLike,
+        engine: Optional[str] = None,
+        counters: Optional[Counters] = None,
+    ) -> str:
+        """A text report of how the session would serve ``query``.
+
+        Shows the (auto-selected or pinned) strategy, the active plan and
+        execution modes, and -- for every IDB rule -- the compiled join
+        plan via :meth:`~repro.datalog.plans.JoinPlan.explain`: chosen scan
+        order, per-step access paths, the cost model's estimates under
+        ``set_plan_mode("cost")``, and observed per-node cardinalities when
+        the ``counters`` of a previous run are passed in.  Any planner
+        events recorded since the last explain (the adaptive re-planner's
+        ``DL601`` estimate-miss hints) are appended and drained.
+        """
+        literal = parse_query(query) if isinstance(query, str) else query
+        strategy = engine or self.engine or self.strategy_for(literal)
+        lines = [
+            f"query {literal}",
+            f"strategy: {strategy}",
+            f"plan mode: {get_plan_mode()}",
+            f"execution mode: {get_execution_mode()}",
+        ]
+        rules = [
+            rule
+            for rule in self.program.idb_rules()
+            if rule.body and not rule.is_aggregate
+        ]
+        if rules:
+            lines.append("rule plans:")
+            for rule in rules:
+                plan = rule_plan(rule, database=self.database)
+                for line in plan.explain(counters).splitlines():
+                    lines.append(f"  {line}")
+        events = drain_planner_events()
+        if events:
+            lines.append("planner events:")
+            for event in events:
+                lines.append(f"  {event.format()}")
+        return "\n".join(lines)
 
     # -- materialization cache ---------------------------------------------
 
