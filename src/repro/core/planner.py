@@ -147,12 +147,24 @@ def estimate_strategy_costs(
     program.  Units are arbitrary "row visits": only ratios between the
     returned entries are meaningful.  An unbound query gets no demand
     discount, so the model strategies win it, matching the session's
-    legacy preference.
+    legacy preference.  Under ``set_plan_mode("cost")`` the statistics are
+    sharpened with :class:`repro.datalog.abstract.AbstractAnalysis`
+    overrides: provably-empty derived predicates price at zero and finite
+    inferred domains cap estimated cardinalities.
     """
-    from ..datalog.plans import estimated_body_cost
+    from ..datalog.plans import estimated_body_cost, get_plan_mode
     from ..stats import PlanStatistics
 
-    statistics = PlanStatistics(database)
+    overrides: Dict[str, int] = {}
+    if get_plan_mode() == "cost":
+        # Under the cost model, sharpen the statistics with the abstract
+        # interpreter's verdicts: derived predicates proven empty cost
+        # nothing, and all-finite inferred domains bound the cardinality
+        # by the product of their widths.
+        from ..datalog.abstract import AbstractAnalysis
+
+        overrides = AbstractAnalysis.of(program, database).planner_overrides()
+    statistics = PlanStatistics(database, overrides=overrides)
     model_cost = 1.0
     for rule in program.idb_rules():
         if rule.body:

@@ -657,7 +657,7 @@ class Database:
             return result
         key = (predicate, position)
         ctx = self._image_ctx.get(key)
-        if ctx is None or ctx[0] is not relation.table._adjacency.get(position):
+        if ctx is None or ctx[0] is not relation.table.built_adjacency(position):
             table = relation.table
             ctx = (table.adjacency(position), table.interner.code_of, {})
             self._image_ctx[key] = ctx

@@ -44,7 +44,18 @@ code        severity  meaning
 ``DL405``   warning   rule subsumed by a more general rule
 ``DL406``   warning   contradictory builtins: body is provably empty
 ``DL501``   hint      binding modes rule out the demand strategies
+``DL701``   warning   join is provably empty (disjoint inferred domains)
+``DL702``   warning   sort-mismatched recursion (recursive case vs base case)
+``DL703``   warning   built-in comparison over incompatible sorts
+``DL704``   hint      rule can never fire under the current EDB
 ==========  ========  =====================================================
+
+The DL7xx family is produced by the abstract-interpretation layer
+(:mod:`repro.datalog.abstract`): a dataflow fixpoint inferring per-column
+sorts, constant sets, integer intervals and emptiness for every predicate.
+It runs in :func:`check_program` (so ``session.diagnostics`` carries the
+findings), in :func:`ensure_valid` (surfaced through the planner event ring
+``explain()`` drains) and in the lint CLI behind ``--analyze``.
 
 Entry points
 ------------
@@ -97,6 +108,7 @@ __all__ = [
     "set_eager_validation",
     "eager_validation_enabled",
     "ensure_valid",
+    "abstract_diagnostics",
 ]
 
 
@@ -133,6 +145,10 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "DL406": (Severity.WARNING, "contradictory builtins: rule body is provably empty"),
     "DL501": (Severity.HINT, "binding modes rule out the demand strategies"),
     "DL601": (Severity.HINT, "cardinality estimate wildly off; plan re-costed at runtime"),
+    "DL701": (Severity.WARNING, "join is provably empty: the variable's positive occurrences admit disjoint domains"),
+    "DL702": (Severity.WARNING, "sort-mismatched recursion: the recursive case produces sorts no base case produces"),
+    "DL703": (Severity.WARNING, "built-in comparison over incompatible sorts can never succeed"),
+    "DL704": (Severity.HINT, "rule can never fire under the current extensional database"),
 }
 
 
@@ -259,19 +275,138 @@ def eager_validation_enabled() -> bool:
     return _EAGER_VALIDATION
 
 
-def ensure_valid(program: Program) -> None:
+def ensure_valid(program: Program, database: Optional[object] = None) -> None:
     """Raise eagerly when ``program`` cannot evaluate; cheap when it can.
 
     Positive programs were fully validated at construction; the one check
     that historically fired mid-evaluation is stratifiability, so that is
     what runs here (memoized per program -- repeated calls are O(1)).
     Honors :func:`set_eager_validation`.
-    """
-    if not _EAGER_VALIDATION or program.is_positive:
-        return
-    from .analysis import Stratification
 
-    Stratification.of(program)
+    When ``database`` is supplied the abstract-interpretation layer also
+    runs (memoized per program instance and database version) and records
+    its DL7xx findings on the planner event ring, where ``explain()``
+    surfaces them.  The analysis never charges a work counter and never
+    raises: its findings are warnings and hints, not errors.
+    """
+    if not _EAGER_VALIDATION:
+        return
+    if not program.is_positive:
+        from .analysis import Stratification
+
+        Stratification.of(program)
+    if database is not None:
+        _record_abstract_events(program, database)
+
+
+def _record_abstract_events(program: Program, database: object) -> None:
+    """Record the DL7xx findings as planner events, once per analysis."""
+    from .abstract import AbstractAnalysis
+
+    analysis = AbstractAnalysis.of(program, database)
+    if getattr(analysis, "_events_recorded", False):
+        return
+    analysis._events_recorded = True
+    findings = _abstract_findings(analysis)
+    if not findings:
+        return
+    from .plans import record_planner_event
+
+    for finding in findings:
+        record_planner_event(finding)
+
+
+def abstract_diagnostics(
+    program: Program,
+    database: Optional[object] = None,
+    known: Iterable[str] = (),
+) -> List[Diagnostic]:
+    """The DL7xx findings of the abstract interpretation, sorted by span.
+
+    ``database`` supplies the extensional facts (closed world: a base
+    predicate it does not store is *known* empty); without one the analysis
+    is open-world and only program-text facts seed the domains.  ``known``
+    names base predicates whose facts live elsewhere (the lint corpus'
+    ``% lint: known`` directive).
+    """
+    from .abstract import AbstractAnalysis
+
+    analysis = AbstractAnalysis.of(program, database, known=known)
+    return _abstract_findings(analysis)
+
+
+def _abstract_findings(analysis) -> List[Diagnostic]:
+    """Convert converged rule insights into DL7xx diagnostics."""
+    findings: List[Diagnostic] = []
+    for insight in analysis.insights:
+        rule = insight.rule
+        span = None
+        if insight.literal is not None:
+            span = insight.literal.span
+        if span is None:
+            span = rule.span
+        if insight.kind == "empty-join":
+            findings.append(
+                Diagnostic(
+                    code="DL701",
+                    severity=Severity.WARNING,
+                    message=f"join is provably empty: {insight.detail}",
+                    span=span,
+                    rule=str(rule),
+                    hint=(
+                        "the rule can never derive a fact; check the "
+                        "joined predicates' argument sorts and constants"
+                    ),
+                )
+            )
+        elif insight.kind == "builtin-sorts":
+            findings.append(
+                Diagnostic(
+                    code="DL703",
+                    severity=Severity.WARNING,
+                    message=insight.detail,
+                    span=span,
+                    rule=str(rule),
+                    hint=(
+                        "an ordered comparison of incompatible sorts raises "
+                        "TypeError at evaluation time"
+                    ),
+                )
+            )
+        elif insight.kind == "never-fires" and analysis.seed_facts > 0:
+            findings.append(
+                Diagnostic(
+                    code="DL704",
+                    severity=Severity.HINT,
+                    message=(
+                        "rule can never fire under the current extensional "
+                        f"database: {insight.detail}"
+                    ),
+                    span=span,
+                    rule=str(rule),
+                )
+            )
+    for rule, position in analysis.recursion_mismatches:
+        head_span = rule.head.span if rule.head.span is not None else rule.span
+        findings.append(
+            Diagnostic(
+                code="DL702",
+                severity=Severity.WARNING,
+                message=(
+                    f"sort-mismatched recursion: column {position} of "
+                    f"{rule.head.predicate!r} receives sorts from this "
+                    "recursive rule that no base case of the predicate "
+                    "produces"
+                ),
+                span=head_span,
+                rule=str(rule),
+                hint=(
+                    "the recursion can only recirculate values its base "
+                    "cases never supply; check the column's sorts"
+                ),
+            )
+        )
+    return sorted(findings, key=Diagnostic.sort_key)
 
 
 # ---------------------------------------------------------------------------
@@ -602,6 +737,7 @@ def lint_source(
     text: str,
     queries: Sequence[QueryLike] = (),
     known_predicates: Iterable[str] = (),
+    analyze: bool = False,
 ) -> List[Diagnostic]:
     """Lint program *text*: parse errors become ``DL101`` diagnostics."""
     from .parser import parse_query, parse_rules
@@ -613,20 +749,26 @@ def lint_source(
         ]
     except DatalogSyntaxError as exc:
         return [exc.diagnostic]
-    return lint_rules(rules, queries=parsed_queries, known_predicates=known_predicates)
+    return lint_rules(
+        rules,
+        queries=parsed_queries,
+        known_predicates=known_predicates,
+        analyze=analyze,
+    )
 
 
 def lint_program(
     program: Program,
     queries: Sequence[QueryLike] = (),
     known_predicates: Iterable[str] = (),
+    analyze: bool = False,
 ) -> List[Diagnostic]:
     """Lint an (already constructed) :class:`Program`."""
     from .parser import parse_query
 
     parsed = [parse_query(q) if isinstance(q, str) else q for q in queries]
     linter = _Linter(
-        program.rules, parsed, known_predicates, program=program
+        program.rules, parsed, known_predicates, program=program, analyze=analyze
     )
     return linter.run()
 
@@ -635,14 +777,17 @@ def lint_rules(
     rules: Sequence[Rule],
     queries: Sequence[Literal] = (),
     known_predicates: Iterable[str] = (),
+    analyze: bool = False,
 ) -> List[Diagnostic]:
     """Run every check over a (possibly invalid) rule list.
 
     Unlike :class:`Program` construction, nothing raises: every problem --
     including the ones construction would reject -- comes back as a
-    :class:`Diagnostic`, sorted by source position.
+    :class:`Diagnostic`, sorted by source position.  ``analyze=True`` adds
+    the abstract-interpretation DL7xx checks (open-world: predicates in
+    ``known_predicates`` are assumed non-empty with unknown domains).
     """
-    linter = _Linter(rules, queries, known_predicates)
+    linter = _Linter(rules, queries, known_predicates, analyze=analyze)
     return linter.run()
 
 
@@ -668,7 +813,9 @@ def check_program(
     relations = getattr(database, "relations", None)
     if relations:
         known.update(relations.keys())
-    return lint_program(program, queries=queries, known_predicates=known)
+    diagnostics = lint_program(program, queries=queries, known_predicates=known)
+    diagnostics.extend(abstract_diagnostics(program, database=database))
+    return sorted(diagnostics, key=Diagnostic.sort_key)
 
 
 class _Linter:
@@ -684,11 +831,13 @@ class _Linter:
         queries: Sequence[Literal],
         known_predicates: Iterable[str],
         program: Optional[Program] = None,
+        analyze: bool = False,
     ):
         self.rules = list(rules)
         self.queries = list(queries)
         self.known = set(known_predicates)
         self.program = program  # reuse the caller's (memoized) analysis
+        self.analyze = analyze
         self.diagnostics: List[Diagnostic] = []
 
     def run(self) -> List[Diagnostic]:
@@ -724,7 +873,20 @@ class _Linter:
         self._check_undefined()
         self._check_unused(program)
         self._check_query_feasibility(program)
+        if self.analyze:
+            self._check_abstract(program)
         return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def _check_abstract(self, program: Program) -> None:
+        """The opt-in DL7xx abstract-interpretation checks (open world)."""
+        try:
+            self.diagnostics.extend(
+                abstract_diagnostics(program, known=self.known)
+            )
+        except Exception:
+            # Lint never raises; a rule list broken enough to defeat the
+            # abstract interpreter already produced error diagnostics above.
+            pass
 
     # -- structural errors -------------------------------------------------
 

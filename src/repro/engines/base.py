@@ -465,10 +465,28 @@ class Engine:
         """
         counters = counters if counters is not None else Counters()
         from ..datalog.diagnostics import ensure_valid
+        from ..datalog.transform import get_program_opt, optimize
         from ..session.facts import combined_database
 
         ensure_valid(program)
         combined = combined_database(program, database, counters)
+        # With the combined EDB in hand the abstract-interpretation layer
+        # can run (memoized per program instance and database version); its
+        # DL7xx findings land on the planner event ring for ``explain()``.
+        ensure_valid(program, combined)
+        if get_program_opt() == "on":
+            rewritten = optimize(
+                program, queries=(query.predicate,), database=combined
+            )
+            optimized = rewritten.program
+            if (
+                rewritten.report.changed
+                and query.predicate in optimized.predicates
+                and self.applicable(optimized, query)
+            ):
+                outcome = self._run(optimized, query, combined, counters)
+                outcome.details["program_opt"] = rewritten.report.format()
+                return outcome
         return self._run(program, query, combined, counters)
 
     def _run(

@@ -712,7 +712,7 @@ class _ShardContext:
         value_of = self.interner._value_of
         head_arity = len(plan.head_template)
         probe_relation = database.relations.get(recipe.probe_predicate)
-        rows_map = probe_relation.table._rows if probe_relation is not None else {}
+        rows_map = probe_relation.table.rows_map if probe_relation is not None else {}
         probe_arity = probe_relation.arity if probe_relation is not None else 0
         predicate = recipe.probe_predicate
         touched = database._touched
@@ -843,7 +843,7 @@ class _ShardContext:
         head_predicate = plan.head.predicate
         head_arity = len(plan.head_template)
         probe_relation = database.relations.get(recipe.probe_predicate)
-        rows_map = probe_relation.table._rows if probe_relation is not None else {}
+        rows_map = probe_relation.table.rows_map if probe_relation is not None else {}
         probe_arity = probe_relation.arity if probe_relation is not None else 0
         touched = database._touched
         before = len(touched)
@@ -851,24 +851,17 @@ class _ShardContext:
         # The workers' dedup is exact and their shards disjoint, so every
         # shipped row is novel: on an unshared head table the insert is a
         # straight dict update over C-level zips -- the single largest
-        # serial cost of the offload.  Column caches extend with strided
-        # slices, subset indexes defer through the ``_index_lag`` replay
-        # exactly as ``add_many`` does; only sharing or an adjacency cache
-        # (per-row upkeep) sends the rows through the checked path.
+        # serial cost of the offload (``IntTable.merge_novel_coded``).
+        # Column caches extend with strided slices, subset indexes defer
+        # through the lag replay exactly as ``add_many`` does; only sharing
+        # or an adjacency cache sends the rows through the checked path.
         head_relation = database.relations.get(head_predicate)
         table = head_relation.table if head_relation is not None else None
         bulk = (
             table is not None
             and head_predicate not in database._shared
-            and not table._shared
-            and not table._adjacency
+            and table.can_bulk_merge
         )
-        if bulk and table._indexes:
-            lag = table._index_lag
-            count = len(table._rows)
-            for positions in table._indexes:
-                if positions not in lag:
-                    lag[positions] = count
         slow_rows: List[Row] = []
         derived = 0
         produced_total = 0
@@ -883,14 +876,7 @@ class _ShardContext:
                 values = map(value_of.__getitem__, codes)
                 rows = list(zip(*(values,) * head_arity))
                 if bulk:
-                    table._rows.update(zip(introws, rows))
-                    table._mutations += len(rows)
-                    if table._columns is not None:
-                        for position, column in enumerate(table._columns):
-                            column.update(codes[position::head_arity])
-                    if table._colarrays is not None:
-                        for position, column in enumerate(table._colarrays):
-                            column.extend(codes[position::head_arity])
+                    table.merge_novel_coded(introws, rows, codes, head_arity)
                     database._journal.extend(
                         zip(_repeat(head_predicate), rows, _repeat(True))
                     )
@@ -978,7 +964,7 @@ def _shard_worker(payload):
         # which worker derived them.
         seen.update(zip(*columns))
     head_relation = database.relations.get(head_predicate)
-    known = head_relation.table._rows if head_relation is not None else {}
+    known = head_relation.table.rows_map if head_relation is not None else {}
     lead = columns[recipe.lead_position]
     keep = [i for i in range(len(lead)) if lead[i] % workers == windex]
     arity = len(columns)
@@ -1079,7 +1065,7 @@ def _shard_fixpoint_worker(payload):
     arity = len(columns)
     head_predicate = plan.head.predicate
     head_relation = database.relations.get(head_predicate)
-    known = head_relation.table._rows if head_relation is not None else {}
+    known = head_relation.table.rows_map if head_relation is not None else {}
     invariant = columns[recipe.invariant_position]
     keep = [i for i in range(len(invariant)) if invariant[i] % workers == windex]
     current = [tuple(column[i] for column in columns) for i in keep]
@@ -1118,10 +1104,9 @@ def _shard_fixpoint_worker(payload):
         # Seed the scratch table columnarly: the step-0 scan only reads the
         # code columns, the interner and the row-map *keys*, so the value
         # tuples ``add_coded_rows`` would decode are never looked at.
-        table = relation.table
-        table._rows = dict.fromkeys(current)
-        table._colarrays = [rflat[position::arity] for position in range(arity)]
-        table._mutations = len(current)
+        relation.table.seed_coded_rows(
+            current, [rflat[position::arity] for position in range(arity)]
+        )
         shard.relations[recipe.delta_predicate] = relation
         heads = plan.head_batch(database, derived=shard, frozen=True)
         if heads is None:  # pragma: no cover - SAFE shapes cannot fall back

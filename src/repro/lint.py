@@ -9,6 +9,8 @@ as compiler-style text or as JSON::
     python -m repro.lint --strict workloads            # warnings also fail
     python -m repro.lint --codes                       # the error-code table
     python -m repro.lint --jobs 4 workloads            # lint files in parallel
+    python -m repro.lint --analyze workloads           # + DL7xx abstract checks
+                                                       #   and inferred signatures
 
 ``--jobs N`` lints files on ``N`` forked workers (the same pool the
 parallel fixpoint runs on, :mod:`repro.parallel`).  Results are collected
@@ -74,7 +76,9 @@ def discover(paths: Sequence[str]) -> List[Path]:
     return unique
 
 
-def lint_file(path: Path) -> Tuple[List[Diagnostic], Optional[str]]:
+def lint_file(
+    path: Path, analyze: bool = False
+) -> Tuple[List[Diagnostic], Optional[str]]:
     """Lint one file; returns (diagnostics, fatal-read-error message)."""
     try:
         text = path.read_text(encoding="utf-8")
@@ -102,7 +106,36 @@ def lint_file(path: Path) -> Tuple[List[Diagnostic], Optional[str]]:
     known: List[str] = []
     for names in _KNOWN_DIRECTIVE.findall(text):
         known.extend(names.split())
-    return lint_source(text, queries=queries, known_predicates=known), None
+    return (
+        lint_source(text, queries=queries, known_predicates=known, analyze=analyze),
+        None,
+    )
+
+
+def inferred_signatures(path: Path) -> List[str]:
+    """The abstract interpreter's per-predicate signatures for one file.
+
+    Open-world, like the lint checks: predicates named by ``% lint: known``
+    directives are assumed non-empty with unknown domains.  Unreadable or
+    unparsable files yield no signatures (the lint pass reports them).
+    """
+    from .datalog.abstract import AbstractAnalysis
+    from .datalog.parser import parse_rules
+    from .datalog.rules import Program
+
+    try:
+        text = path.read_text(encoding="utf-8")
+        rules = parse_rules(text)
+        program = Program(rules, validate=False)
+    except Exception:
+        return []
+    known: List[str] = []
+    for names in _KNOWN_DIRECTIVE.findall(text):
+        known.extend(names.split())
+    try:
+        return AbstractAnalysis.of(program, known=known).signature_report()
+    except Exception:
+        return []
 
 
 def _fails(diagnostic: Diagnostic, strict: bool) -> bool:
@@ -111,37 +144,46 @@ def _fails(diagnostic: Diagnostic, strict: bool) -> bool:
     return strict and diagnostic.severity is Severity.WARNING
 
 
-def _lint_payload(path_str: str):
-    """One file's report in picklable form: ``(fatal, items)``.
+def _lint_payload(spec):
+    """One file's report in picklable form: ``(fatal, items, signatures)``.
 
-    ``items`` carries, per diagnostic, everything the reporting loop needs
-    -- severity value, pre-formatted text line, and the JSON dict -- so the
-    parent process never has to reconstruct Diagnostic objects from a
-    worker's result.
+    ``spec`` is the path string, or ``(path, analyze)``.  ``items`` carries,
+    per diagnostic, everything the reporting loop needs -- severity value,
+    pre-formatted text line, and the JSON dict -- so the parent process
+    never has to reconstruct Diagnostic objects from a worker's result.
+    ``signatures`` holds the inferred predicate signatures under
+    ``--analyze`` (empty otherwise).
     """
+    if isinstance(spec, str):
+        path_str, analyze = spec, False
+    else:
+        path_str, analyze = spec
     path = Path(path_str)
-    diagnostics, fatal = lint_file(path)
+    diagnostics, fatal = lint_file(path, analyze=analyze)
     if fatal is not None:
-        return fatal, []
-    return None, [
-        (d.severity.value, d.format(path_str), d.to_dict()) for d in diagnostics
-    ]
+        return fatal, [], []
+    signatures = inferred_signatures(path) if analyze else []
+    return (
+        None,
+        [(d.severity.value, d.format(path_str), d.to_dict()) for d in diagnostics],
+        signatures,
+    )
 
 
 _parallel.register_task("lint_file", _lint_payload)
 
 
-def _collect(files: Sequence[Path], jobs: int):
+def _collect(files: Sequence[Path], jobs: int, analyze: bool = False):
     """All per-file payloads, in file order, sequentially or on a pool."""
-    paths = [str(path) for path in files]
-    workers = min(jobs, len(paths))
+    specs = [(str(path), analyze) for path in files]
+    workers = min(jobs, len(specs))
     if workers > 1 and _parallel.fork_available():
         try:
             with _parallel.WorkerPool(workers) as pool:
-                return pool.run([("lint_file", path) for path in paths])
+                return pool.run([("lint_file", spec) for spec in specs])
         except _parallel.WorkerError:
             pass  # fall through to the sequential path
-    return [_lint_payload(path) for path in paths]
+    return [_lint_payload(spec) for spec in specs]
 
 
 def _print_codes() -> None:
@@ -172,6 +214,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="treat warnings as failures (errors always fail; hints never do)",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the abstract-interpretation DL7xx checks and print each "
+        "file's inferred predicate signatures",
+    )
+    parser.add_argument(
         "--codes",
         action="store_true",
         help="print the error-code table and exit",
@@ -198,7 +246,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failed = False
     reports = []
     total = {"error": 0, "warning": 0, "hint": 0}
-    for path, (fatal, items) in zip(files, _collect(files, args.jobs)):
+    for path, (fatal, items, signatures) in zip(
+        files, _collect(files, args.jobs, analyze=args.analyze)
+    ):
         if fatal is not None:
             failed = True
             if args.format == "text":
@@ -211,12 +261,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 failed = True
             if args.format == "text":
                 print(line)
-        reports.append(
-            {
-                "path": str(path),
-                "diagnostics": [payload for _severity, _line, payload in items],
-            }
-        )
+        if args.analyze and args.format == "text" and signatures:
+            print(f"{path}: inferred signatures:")
+            for signature in signatures:
+                print(f"  {signature}")
+        report = {
+            "path": str(path),
+            "diagnostics": [payload for _severity, _line, payload in items],
+        }
+        if args.analyze:
+            report["signatures"] = signatures
+        reports.append(report)
     if args.format == "json":
         print(
             json.dumps(

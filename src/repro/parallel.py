@@ -37,7 +37,8 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 __all__ = [
     "parallelism",
@@ -159,7 +160,7 @@ class WorkerPool:
         self.workers = workers
         self.state = state
         self._conns: List[multiprocessing.connection.Connection] = []
-        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._procs: List[BaseProcess] = []
         context = multiprocessing.get_context("fork")
         _CHILD_STATE = state
         try:
@@ -205,7 +206,8 @@ class WorkerPool:
             inflight[conn] = next_task
             next_task += 1
         while inflight:
-            for conn in multiprocessing.connection.wait(list(inflight)):
+            for ready in multiprocessing.connection.wait(list(inflight)):
+                conn = cast(multiprocessing.connection.Connection, ready)
                 index = inflight.pop(conn)
                 try:
                     ok, value = conn.recv()

@@ -50,6 +50,7 @@ from ..datalog.plans import (
     get_plan_mode,
     rule_plan,
 )
+from ..datalog.transform import get_program_opt, optimize
 from ..engines import Engine, EngineResult, Materialization, get_engine
 from ..instrumentation import Counters
 from .facts import program_fingerprint
@@ -311,7 +312,10 @@ class QuerySession:
         ``set_plan_mode("cost")``, and observed per-node cardinalities when
         the ``counters`` of a previous run are passed in.  Any planner
         events recorded since the last explain (the adaptive re-planner's
-        ``DL601`` estimate-miss hints) are appended and drained.
+        ``DL601`` estimate-miss hints) are appended and drained.  Under
+        ``set_program_opt("on")`` the report of the query-directed program
+        optimizer (:mod:`repro.datalog.transform`) is included and the rule
+        plans shown are those of the optimized program.
         """
         literal = parse_query(query) if isinstance(query, str) else query
         strategy = engine or self.engine or self.strategy_for(literal)
@@ -321,9 +325,17 @@ class QuerySession:
             f"plan mode: {get_plan_mode()}",
             f"execution mode: {get_execution_mode()}",
         ]
+        program = self.program
+        if get_program_opt() == "on":
+            rewritten = optimize(
+                program, queries=(literal.predicate,), database=self.database
+            )
+            if rewritten.report.changed:
+                program = rewritten.program
+                lines.extend(rewritten.report.format())
         rules = [
             rule
-            for rule in self.program.idb_rules()
+            for rule in program.idb_rules()
             if rule.body and not rule.is_aggregate
         ]
         if rules:

@@ -37,9 +37,12 @@ the cost-mode plan cache is keyed on.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .storage.table import IntTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .datalog.database import Database
 
 #: Most-common-value sketch width: the top-K (code, count) pairs kept per
 #: column for reporting; the full frequency dict backs the sound bounds.
@@ -147,8 +150,8 @@ class TableStats:
         """
         if table.arity != 2:
             return None
-        left = table._adjacency.get(0)
-        right = table._adjacency.get(1)
+        left = table.built_adjacency(0)
+        right = table.built_adjacency(1)
         if left is None or right is None:
             return None
         stats = cls(2)
@@ -231,7 +234,7 @@ def table_stats(table: IntTable) -> TableStats:
     tables hit one entry, insert-only growth replays just the row-map tail,
     removals (or a copy-on-write unshare) rebuild.
     """
-    rows = table._rows
+    rows = table.rows_map
     key = id(rows)
     epoch = table.mutations
     entry = _CACHE.get(key)
@@ -285,7 +288,7 @@ class PlanStatistics:
 
     def __init__(
         self,
-        database,
+        database: "Database",
         overrides: Optional[Dict[str, int]] = None,
     ) -> None:
         self.database = database
@@ -319,7 +322,7 @@ class PlanStatistics:
 
     def fingerprint(self, predicates: Iterable[str]) -> Tuple:
         """The coarse size signature cost-mode plan caching keys on."""
-        parts = []
+        parts: List[Tuple[object, ...]] = []
         for predicate in sorted(set(predicates)):
             override = self.overrides.get(predicate)
             if override is not None:

@@ -123,6 +123,27 @@ class IntTable:
         """The mutation epoch: total effective adds + removes ever applied."""
         return self._mutations
 
+    @property
+    def rows_map(self) -> Dict[IntRow, Row]:
+        """The interned-row -> object-row map (live, read-only to callers).
+
+        The canonical zero-copy view for engines that probe membership by
+        code tuple or decode interned rows back to object rows.  Mutating it
+        directly bypasses index maintenance and the mutation epoch; use
+        :meth:`add`/:meth:`add_many`/:meth:`merge_novel_coded` instead.
+        """
+        return self._rows
+
+    @property
+    def can_bulk_merge(self) -> bool:
+        """True when :meth:`merge_novel_coded` may bypass per-row upkeep.
+
+        A shared (copy-on-write) table must pay its copy first, and a built
+        adjacency cache needs per-row maintenance, so both send inserts
+        through the checked :meth:`add_many` path instead.
+        """
+        return not self._shared and not self._adjacency
+
     # -- copy-on-write snapshots -------------------------------------------
 
     def snapshot(self) -> "IntTable":
@@ -348,6 +369,76 @@ class IntTable:
         self._mutations += count
         return count
 
+    def merge_novel_coded(
+        self,
+        introws: Iterable[IntRow],
+        rows: Iterable[Row],
+        codes: "array",
+        stride: int,
+    ) -> int:
+        """Bulk-merge pre-interned, pre-decoded rows known to be novel.
+
+        The merge path of the sharded fixpoint: workers deduplicate exactly
+        and ship disjoint shards, so every ``(introw, row)`` pair is new and
+        the insert is a straight dict update over C-level zips.  ``codes``
+        is the flat code array the pairs were decoded from (row-major,
+        ``stride`` codes per row); column caches extend from its strided
+        slices.  Built subset indexes are marked lagging for the usual
+        :meth:`bucket`-time replay.  Requires :attr:`can_bulk_merge`; a
+        caller lying about novelty corrupts the row map.  Returns the
+        number of rows merged.
+        """
+        if not self.can_bulk_merge:
+            raise ValueError(
+                "merge_novel_coded requires an unshared table with no "
+                "adjacency cache (check can_bulk_merge)"
+            )
+        if self._indexes:
+            lag = self._index_lag
+            count = len(self._rows)
+            for positions in self._indexes:
+                if positions not in lag:
+                    lag[positions] = count
+        before = len(self._rows)
+        self._rows.update(zip(introws, rows))
+        added = len(self._rows) - before
+        self._mutations += added
+        if self._columns is not None:
+            for position, column in enumerate(self._columns):
+                column.update(codes[position::stride])
+        if self._colarrays is not None:
+            for position, column in enumerate(self._colarrays):
+                column.extend(codes[position::stride])
+        return added
+
+    def seed_coded_rows(
+        self, introws: Iterable[IntRow], colarrays: List["array"]
+    ) -> int:
+        """Seed a fresh table columnarly from pre-interned rows, skipping decode.
+
+        The scratch-table path of the sharded fixpoint's inner loop: the
+        step-0 scan reads only the code columns, the interner and the
+        row-map *keys*, so the object tuples :meth:`add_coded_rows` would
+        decode are never looked at -- the row map is seeded with ``None``
+        values instead.  The table is only valid for frozen columnar scans
+        afterwards (``all_rows`` would yield ``None``); like
+        :meth:`add_coded_rows` it requires a fresh, structure-free table.
+        Returns the row count.
+        """
+        if (
+            self._rows
+            or self._shared
+            or self._indexes
+            or self._adjacency
+            or self._columns is not None
+            or self._colarrays is not None
+        ):
+            raise ValueError("seed_coded_rows requires a fresh, structure-free table")
+        self._rows = dict.fromkeys(introws)
+        self._colarrays = list(colarrays)
+        self._mutations += len(self._rows)
+        return len(self._rows)
+
     def remove(self, row: Row) -> bool:
         """Delete a row; returns True when it was present.
 
@@ -546,6 +637,17 @@ class IntTable:
         return bucket, (positions, int_key)
 
     # -- adjacency (binary fast path) ----------------------------------------
+
+    def built_adjacency(
+        self, position: int
+    ) -> Optional[Dict[int, Tuple[set, List[Row]]]]:
+        """The adjacency index at ``position`` if already built, else ``None``.
+
+        A peek that never triggers the cold build: statistics sketches and
+        charging-memo validity checks want to *reuse* a warm index, not pay
+        for one.
+        """
+        return self._adjacency.get(position)
 
     def adjacency(self, position: int) -> Dict[int, Tuple[set, List[Row]]]:
         """code-at-``position`` -> (values at the other position, bucket rows).

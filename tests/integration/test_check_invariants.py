@@ -1,0 +1,69 @@
+"""The storage-encapsulation invariant checker (``tools/check_invariants.py``).
+
+Pins three things: the real source tree is clean, a synthetic violation is
+flagged with an exact ``line:column``, and the ``self``/storage-package
+exemptions hold so the checker never cries wolf.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+CHECKER = REPO / "tools" / "check_invariants.py"
+
+sys.path.insert(0, str(REPO / "tools"))
+import check_invariants  # noqa: E402
+
+
+class TestCheckFile:
+    def test_flags_external_private_access(self, tmp_path):
+        source = tmp_path / "client.py"
+        source.write_text("def peek(table):\n    return table._rows\n")
+        violations = check_invariants.check_file(source)
+        assert len(violations) == 1
+        line, column, message = violations[0]
+        assert (line, column) == (2, 12)
+        assert "_rows" in message and "repro.storage" in message
+
+    def test_self_access_is_exempt(self, tmp_path):
+        source = tmp_path / "own_state.py"
+        source.write_text(
+            "class Database:\n"
+            "    def __init__(self):\n"
+            "        self._rows = {}\n"
+            "    def size(self):\n"
+            "        return len(self._rows)\n"
+        )
+        assert check_invariants.check_file(source) == []
+
+    def test_public_api_is_clean(self, tmp_path):
+        source = tmp_path / "consumer.py"
+        source.write_text("def rows(table):\n    return table.rows_map\n")
+        assert check_invariants.check_file(source) == []
+
+    def test_storage_package_is_exempt(self, tmp_path):
+        nested = tmp_path / "src" / "repro" / "storage"
+        nested.mkdir(parents=True)
+        inside = nested / "table.py"
+        inside.write_text("def merge(a, b):\n    a._rows.update(b._rows)\n")
+        assert check_invariants.check_tree([tmp_path / "src"]) == 0
+
+    def test_syntax_error_is_reported_not_crashed(self, tmp_path):
+        source = tmp_path / "broken.py"
+        source.write_text("def (:\n")
+        violations = check_invariants.check_file(source)
+        assert len(violations) == 1
+        assert "cannot parse" in violations[0][2]
+
+
+class TestRepoTree:
+    def test_source_tree_holds_the_invariant(self):
+        result = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "invariants hold" in result.stdout

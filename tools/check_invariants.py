@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Repo invariant checker: storage internals stay inside ``repro.storage``.
+
+The :class:`repro.storage.table.IntTable` row map, subset indexes, lag
+watermarks, adjacency caches and column caches (``_rows``, ``_indexes``,
+``_index_lag``, ``_adjacency``, ``_columns``, ``_colarrays``) are private
+representation: every consumer outside the storage package must go through
+the public accessors (``rows_map``, ``bucket``, ``adjacency``,
+``built_adjacency``, ``column_codes``, ``column_arrays``,
+``merge_novel_coded``, ``seed_coded_rows``), so the packed-array kernel can
+swap representations without auditing the whole tree.  This script walks the
+source tree's ASTs and fails on any attribute access to a banned name from
+outside ``src/repro/storage`` -- except through ``self``, so other classes
+may keep private attributes that happen to share a name with their *own*
+state, as :class:`~repro.datalog.database.Database` does.
+
+Usage::
+
+    python tools/check_invariants.py            # check src/repro
+    python tools/check_invariants.py PATH...    # check specific trees
+
+Exit status 0 when clean, 1 when a violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: IntTable storage representation -- see the class's ``__slots__``.
+BANNED_ATTRIBUTES = frozenset(
+    {
+        "_rows",
+        "_indexes",
+        "_index_lag",
+        "_adjacency",
+        "_columns",
+        "_colarrays",
+    }
+)
+
+#: The package that owns the representation and may touch it freely.
+ALLOWED_PREFIX = ("src", "repro", "storage")
+
+
+def _is_self_access(node: ast.Attribute) -> bool:
+    return isinstance(node.value, ast.Name) and node.value.id in ("self", "cls")
+
+
+def _exempt(path: Path) -> bool:
+    parts = path.parts
+    for start in range(len(parts)):
+        if parts[start : start + len(ALLOWED_PREFIX)] == ALLOWED_PREFIX:
+            return True
+    return False
+
+
+def check_file(path: Path) -> List[Tuple[int, int, str]]:
+    """Banned-attribute accesses in one file as ``(line, col, message)``."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        return [(0, 0, f"cannot parse: {exc}")]
+    violations: List[Tuple[int, int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in BANNED_ATTRIBUTES
+            and not _is_self_access(node)
+        ):
+            violations.append(
+                (
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"access to storage-private attribute `{node.attr}` "
+                    "outside repro.storage; use the IntTable public API",
+                )
+            )
+    return violations
+
+
+def check_tree(roots: Iterable[Path]) -> int:
+    """Check every ``.py`` under ``roots``; print violations, return count."""
+    found = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            if _exempt(path):
+                continue
+            for line, column, message in check_file(path):
+                print(f"{path}:{line}:{column}: {message}")
+                found += 1
+    return found
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src") / "repro"]
+    found = check_tree(roots)
+    if found:
+        print(f"{found} invariant violation(s)")
+        return 1
+    print("storage encapsulation invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
